@@ -1,0 +1,27 @@
+"""Figure 1: the symbolic execution tree of ``testX``.
+
+Regenerates the tree of the paper's first example: two feasible paths with
+path conditions ``X > 0`` and ``!(X > 0)`` and final symbolic values
+``Y + X`` / ``Y - X``.
+"""
+
+from conftest import emit
+
+from repro.artifacts.simple import testx_program
+from repro.reporting.figures import render_execution_tree
+from repro.symexec.engine import symbolic_execute
+
+
+def build_figure1():
+    result = symbolic_execute(
+        testx_program(), "testX", build_tree=True, tracked_variables=["x", "y"]
+    )
+    return result
+
+
+def test_fig1_testx_tree(run_once):
+    result = run_once(build_figure1)
+    text = render_execution_tree(result, title="Figure 1 (testX)")
+    emit("fig1_testx_tree", text)
+    assert len(result.path_conditions) == 2
+    assert result.tree.count() == result.statistics.states_explored

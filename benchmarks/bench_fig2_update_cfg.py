@@ -1,0 +1,30 @@
+"""Figure 2: the simplified WBS ``update`` procedure and its CFG.
+
+Regenerates the program listing's CFG with the paper's n0..n14 node naming and
+annotates the affected (highlighted) and changed nodes for the §2.2 change.
+"""
+
+from conftest import emit
+
+from repro.artifacts.simple import update_base_program, update_modified_program
+from repro.cfg.builder import build_cfg
+from repro.core.dise import DiSE
+from repro.reporting.figures import render_cfg_figure
+
+
+def build_figure2():
+    dise = DiSE(update_base_program(), update_modified_program(), procedure_name="update")
+    static = dise.compute_affected()
+    return static
+
+
+def test_fig2_update_cfg(run_once):
+    static = run_once(build_figure2)
+    changed = static.diff_map.changed_or_added_mod_nodes()
+    text = render_cfg_figure(
+        static.cfg_mod, affected=static.affected, changed=changed, title="Figure 2 (update)"
+    )
+    emit("fig2_update_cfg", text)
+    statement_nodes = [n for n in static.cfg_mod.nodes if n.node_id >= 0]
+    assert len(statement_nodes) == 15
+    assert [n.name for n in changed] == ["n0"]

@@ -1,0 +1,31 @@
+"""Table 1: the directed symbolic execution trace for the §2.2 change.
+
+Regenerates the explored/unexplored set evolution, including the pruned
+``<n0, n1, n5, n6, n8>`` sequence ("no path") and the reset that happens when
+the search enters the ``n2`` branch.
+"""
+
+from conftest import emit
+
+from repro.artifacts.simple import update_base_program, update_modified_program
+from repro.core.dise import run_dise
+from repro.reporting.tables import render_directed_trace
+
+
+def run_directed_with_trace():
+    return run_dise(
+        update_base_program(),
+        update_modified_program(),
+        procedure="update",
+        record_trace=True,
+    )
+
+
+def test_table1_directed_trace(run_once):
+    result = run_once(run_directed_with_trace)
+    text = render_directed_trace(result.strategy.trace_rows, title="Table 1")
+    emit("table1_directed_trace", text)
+    traces = {row.trace for row in result.strategy.trace_rows}
+    assert ("n0", "n1", "n5", "n6", "n7", "n10", "n11") in traces
+    assert ("n0", "n1", "n5", "n6", "n8") in traces
+    assert len(result.path_conditions) == 8

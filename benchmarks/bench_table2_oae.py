@@ -1,0 +1,23 @@
+"""Table 2(c): DiSE versus full symbolic execution on the OAE artifact."""
+
+from conftest import emit, table2_rows
+
+from repro.artifacts import oae_artifact
+from repro.reporting.tables import render_table2
+
+
+def run_table2_oae():
+    return table2_rows(oae_artifact())
+
+
+def test_table2_oae(run_once):
+    rows = run_once(run_table2_oae)
+    emit("table2_oae", render_table2(rows, "OAE"))
+    assert len(rows) == 9
+    for row in rows:
+        assert row.dise_path_conditions <= row.full_path_conditions
+        assert row.dise_states <= row.full_states
+    # output-only changes produce (close to) zero affected path conditions
+    assert min(row.dise_path_conditions for row in rows) <= 10
+    # rule-threshold changes affect a large fraction of the paths
+    assert max(row.dise_path_conditions for row in rows) >= 200

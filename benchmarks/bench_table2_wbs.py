@@ -1,0 +1,24 @@
+"""Table 2(b): DiSE versus full symbolic execution on the WBS artifact."""
+
+from conftest import emit, table2_rows
+
+from repro.artifacts import wbs_artifact
+from repro.reporting.tables import render_table2
+
+
+def run_table2_wbs():
+    return table2_rows(wbs_artifact())
+
+
+def test_table2_wbs(run_once):
+    rows = run_once(run_table2_wbs)
+    emit("table2_wbs", render_table2(rows, "WBS"))
+    assert len(rows) == 16
+    for row in rows:
+        assert row.dise_path_conditions <= row.full_path_conditions
+        assert row.dise_states <= row.full_states
+    # as in the paper, several WBS changes affect every path condition, in
+    # which case DiSE generates the same number of path conditions as full SE
+    assert any(row.dise_path_conditions == row.full_path_conditions for row in rows)
+    # and at least some versions show a strict reduction
+    assert any(row.dise_path_conditions < row.full_path_conditions for row in rows)

@@ -1,0 +1,20 @@
+"""Table 3(a): regression test selection and augmentation for ASW."""
+
+from conftest import emit, table3_reports
+
+from repro.artifacts import asw_artifact
+from repro.reporting.tables import render_table3
+
+
+def run_table3_asw():
+    return table3_reports(asw_artifact())
+
+
+def test_table3_asw(run_once):
+    reports = run_once(run_table3_asw)
+    emit("table3_asw", render_table3(reports, "ASW"))
+    assert len(reports) == 15
+    for report in reports:
+        assert report.total == report.selected_count + report.added_count
+    # output-only changes require no regression tests at all
+    assert any(report.total == 0 for report in reports)

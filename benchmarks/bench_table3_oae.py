@@ -1,0 +1,21 @@
+"""Table 3(c): regression test selection and augmentation for OAE."""
+
+from conftest import emit, table3_reports
+
+from repro.artifacts import oae_artifact
+from repro.reporting.tables import render_table3
+
+
+def run_table3_oae():
+    return table3_reports(oae_artifact())
+
+
+def test_table3_oae(run_once):
+    reports = run_once(run_table3_oae)
+    emit("table3_oae", render_table3(reports, "OAE"))
+    assert len(reports) == 9
+    for report in reports:
+        assert report.total == report.selected_count + report.added_count
+    # some changes need many new tests, others need none (paper Table 3(c) shape)
+    assert any(report.total == 0 for report in reports)
+    assert any(report.added_count + report.selected_count > 50 for report in reports)

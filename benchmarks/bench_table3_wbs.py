@@ -1,0 +1,20 @@
+"""Table 3(b): regression test selection and augmentation for WBS."""
+
+from conftest import emit, table3_reports
+
+from repro.artifacts import wbs_artifact
+from repro.reporting.tables import render_table3
+
+
+def run_table3_wbs():
+    return table3_reports(wbs_artifact())
+
+
+def test_table3_wbs(run_once):
+    reports = run_once(run_table3_wbs)
+    emit("table3_wbs", render_table3(reports, "WBS"))
+    assert len(reports) == 16
+    for report in reports:
+        assert report.total == report.selected_count + report.added_count
+    # most WBS tests can be re-used (selected) rather than regenerated
+    assert any(report.selected_count > 0 for report in reports)

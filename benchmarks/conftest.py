@@ -1,0 +1,84 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and prints it
+(run ``pytest benchmarks/ --benchmark-only -s`` to see the rendered output);
+the printed rows are also appended to ``benchmarks/results/`` so EXPERIMENTS.md
+can be refreshed from a benchmark run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+from repro.artifacts.mutants import Artifact
+from repro.core.dise import ComparisonRow, compare_dise_with_full, run_dise
+from repro.evolution.regression import RegressionReport, select_and_augment
+from repro.evolution.testgen import generate_tests
+from repro.solver.core import ConstraintSolver
+from repro.symexec.engine import symbolic_execute
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+def table2_rows(artifact: Artifact) -> List[ComparisonRow]:
+    """DiSE versus full symbolic execution for every version of an artifact."""
+    base = artifact.base_program()
+    rows = []
+    for spec in artifact.versions:
+        rows.append(
+            compare_dise_with_full(
+                base,
+                artifact.version_program(spec.name),
+                procedure=artifact.procedure_name,
+                version_label=spec.name,
+            )
+        )
+    return rows
+
+
+def table3_reports(artifact: Artifact) -> List[RegressionReport]:
+    """Regression test selection/augmentation for every version of an artifact."""
+    base = artifact.base_program()
+    base_procedure = base.procedure(artifact.procedure_name)
+    base_summary = symbolic_execute(
+        base, artifact.procedure_name, solver=ConstraintSolver()
+    ).summary
+    existing_suite = generate_tests(base_summary, base_procedure)
+
+    reports = []
+    for spec in artifact.versions:
+        modified = artifact.version_program(spec.name)
+        dise_result = run_dise(
+            base, modified, procedure=artifact.procedure_name, solver=ConstraintSolver()
+        )
+        dise_suite = generate_tests(
+            dise_result.path_conditions, modified.procedure(artifact.procedure_name)
+        )
+        reports.append(
+            select_and_augment(
+                existing_suite, dise_suite, version=spec.name, changes=spec.change_count
+            )
+        )
+    return reports
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a workload exactly once under pytest-benchmark timing."""
+
+    def runner(function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,84 @@
+"""Bug finding with DiSE on a program with assertions (paper §5.1).
+
+The paper notes that DiSE supports bug finding when assertions characterise
+bugs: ``assert`` statements are de-sugared into a conditional branch plus an
+error location, so an assertion violation introduced by a program change shows
+up as an affected (error) path condition.
+
+This example writes its own small MiniLang component -- a cruise-control
+style speed governor with a safety assertion -- introduces a faulty change,
+and uses DiSE to (a) find the assertion violation and (b) produce the
+concrete input that triggers it.
+
+Run with::
+
+    python examples/bug_finding_with_assertions.py
+"""
+
+from repro import parse_program, run_dise, symbolic_execute
+from repro.evolution import generate_tests
+from repro.solver import ConstraintSolver
+
+BASE_SOURCE = """\
+global int Throttle = 0;
+
+proc govern(int Speed, int Target, bool Override) {
+    int Error = Target - Speed;
+    if (Override) {
+        Error = 0;
+    }
+    int Command = 0;
+    if (Error > 10) {
+        Command = 4;
+    } else if (Error > 0) {
+        Command = 2;
+    } else if (Error < 0 - 10) {
+        Command = 0 - 4;
+    } else {
+        Command = 0;
+    }
+    Throttle = Throttle + Command;
+    assert Command <= 4 && Command >= 0 - 4;
+}
+"""
+
+# The faulty change doubles the aggressive-acceleration command, violating the
+# actuator limit captured by the assertion.
+MODIFIED_SOURCE = BASE_SOURCE.replace("Command = 4;", "Command = 8;")
+
+
+def main() -> None:
+    base = parse_program(BASE_SOURCE)
+    modified = parse_program(MODIFIED_SOURCE)
+
+    print("Checking the base version with full symbolic execution...")
+    base_result = symbolic_execute(base, "govern")
+    print(f"    {len(base_result.path_conditions)} path conditions, "
+          f"{base_result.statistics.error_paths} assertion violations")
+    print()
+
+    print("Applying DiSE to the change 'Command = 4' -> 'Command = 8'...")
+    dise_result = run_dise(base, modified, procedure="govern")
+    errors = dise_result.execution.summary.error_records
+    print(f"    affected nodes: {dise_result.affected_node_count}")
+    print(f"    affected path conditions: {len(dise_result.path_conditions)}")
+    print(f"    assertion violations among them: {len(errors)}")
+    print()
+
+    if errors:
+        print("Violating path condition(s):")
+        solver = ConstraintSolver()
+        procedure = modified.procedure("govern")
+        for record in errors:
+            print(f"    {record.path_condition}")
+        suite = generate_tests([r.path_condition for r in errors], procedure, solver)
+        print()
+        print("Concrete failing inputs (regression tests to add):")
+        for call in suite.call_strings():
+            print(f"    {call}")
+    else:
+        print("No assertion violation reachable from the change.")
+
+
+if __name__ == "__main__":
+    main()

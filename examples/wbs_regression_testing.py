@@ -1,0 +1,74 @@
+"""Regression test selection and augmentation on the Wheel Brake System artifact.
+
+This is the paper's §5.2 software-evolution application: tests generated for
+the base version by full symbolic execution form the existing suite, DiSE's
+affected path conditions are solved into tests for the new version, and a
+string comparison classifies them as *selected* (re-usable) or *added* (new
+tests that must be written).
+
+Run with::
+
+    python examples/wbs_regression_testing.py [version ...]
+
+Without arguments the script analyses WBS versions v1, v5 and v9.
+"""
+
+import sys
+
+from repro.artifacts import wbs_artifact
+from repro.core import run_dise
+from repro.evolution import generate_tests, select_and_augment
+from repro.reporting.tables import render_table3
+from repro.symexec import symbolic_execute
+
+
+def analyse_versions(version_names):
+    artifact = wbs_artifact()
+    base = artifact.base_program()
+    base_procedure = base.procedure(artifact.procedure_name)
+
+    print(f"Artifact: {artifact.name} ({artifact.description})")
+    print(f"Analysing versions: {', '.join(version_names)}")
+    print()
+
+    base_result = symbolic_execute(base, artifact.procedure_name)
+    existing_suite = generate_tests(base_result.summary, base_procedure)
+    print(f"Existing suite (full symbolic execution of the base version): "
+          f"{len(existing_suite)} tests")
+    for call in existing_suite.call_strings()[:5]:
+        print(f"    {call}")
+    if len(existing_suite) > 5:
+        print(f"    ... {len(existing_suite) - 5} more")
+    print()
+
+    reports = []
+    for name in version_names:
+        spec = artifact.version(name)
+        modified = artifact.version_program(name)
+        dise_result = run_dise(base, modified, procedure=artifact.procedure_name)
+        dise_suite = generate_tests(
+            dise_result.path_conditions, modified.procedure(artifact.procedure_name)
+        )
+        report = select_and_augment(
+            existing_suite, dise_suite, version=name, changes=spec.change_count
+        )
+        reports.append(report)
+        print(f"{name}: {spec.description}")
+        print(f"    affected nodes: {dise_result.affected_node_count}, "
+              f"affected path conditions: {len(dise_result.path_conditions)}")
+        print(f"    selected {report.selected_count} existing tests, "
+              f"added {report.added_count} new tests")
+        for call in report.added[:3]:
+            print(f"        new test: {call}")
+        print()
+
+    print(render_table3(reports, artifact.name))
+
+
+def main() -> None:
+    versions = sys.argv[1:] or ["v1", "v5", "v9"]
+    analyse_versions(versions)
+
+
+if __name__ == "__main__":
+    main()

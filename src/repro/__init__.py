@@ -1,0 +1,50 @@
+"""repro: a Python reproduction of Directed Incremental Symbolic Execution (DiSE, PLDI 2011).
+
+The package is organised bottom-up:
+
+* :mod:`repro.lang` -- the MiniLang imperative language front end.
+* :mod:`repro.cfg` -- control flow graphs and the static analyses DiSE needs
+  (post-dominance, control dependence, def/use, reachability, SCCs).
+* :mod:`repro.solver` -- a linear integer arithmetic constraint solver used to
+  decide path conditions and to generate concrete test inputs.
+* :mod:`repro.symexec` -- a full (traditional) symbolic execution engine.
+* :mod:`repro.diff` -- structural differencing of two program versions.
+* :mod:`repro.core` -- the paper's contribution: affected-location computation
+  and directed incremental symbolic execution.
+* :mod:`repro.evolution` -- software-evolution applications (test generation,
+  regression test selection and augmentation).
+* :mod:`repro.artifacts` -- the programs used in the paper's evaluation
+  (WBS, ASW, OAE re-creations and the motivating examples) plus mutants.
+* :mod:`repro.reporting` -- renderers for the paper's tables and figures.
+
+Quickstart::
+
+    from repro import parse_program, symbolic_execute, run_dise
+
+    base = parse_program(BASE_SOURCE)
+    mod = parse_program(MODIFIED_SOURCE)
+    result = run_dise(base, mod, procedure="update")
+    for pc in result.path_conditions:
+        print(pc)
+"""
+
+from repro.lang import parse_program, parse_procedure
+from repro.cfg import build_cfg
+from repro.symexec import SymbolicExecutor, symbolic_execute
+from repro.core import DiSE, run_dise
+from repro.evolution import generate_tests, select_and_augment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "parse_program",
+    "parse_procedure",
+    "build_cfg",
+    "SymbolicExecutor",
+    "symbolic_execute",
+    "DiSE",
+    "run_dise",
+    "generate_tests",
+    "select_and_augment",
+    "__version__",
+]

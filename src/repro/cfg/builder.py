@@ -1,0 +1,205 @@
+"""Lowering of MiniLang procedures to control flow graphs.
+
+Every statement becomes one CFG node (writes and conditional branches), so
+the resulting graph matches the vocabulary of the DiSE static analysis:
+
+* ``VarDecl`` and ``Assign`` become write (``ASSIGN``) nodes;
+* ``if``/``while``/``assert`` conditions become ``BRANCH`` nodes;
+* ``assert`` is de-sugared the way the paper describes (section 5.1): the
+  false edge of its branch node leads to an ``ERROR`` node which then flows
+  to the procedure exit;
+* ``return`` flows directly to the exit node;
+* node identifiers are assigned in source order so the example in Figure 2
+  of the paper produces the same ``n0`` ... ``n14`` naming.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.ir import FALLTHROUGH_EDGE, FALSE_EDGE, TRUE_EDGE, CFGNode, NodeKind
+from repro.lang.ast_nodes import (
+    Assert,
+    Assign,
+    BoolLiteral,
+    If,
+    IntLiteral,
+    Procedure,
+    Program,
+    Return,
+    Skip,
+    Stmt,
+    VarDecl,
+    While,
+)
+
+#: A dangling edge waiting for its target: (source node, edge label).
+PendingEdge = Tuple[CFGNode, str]
+
+#: Name of the synthetic variable that receives ``return <expr>`` values.
+RETURN_VARIABLE = "__return__"
+
+
+class CFGBuilder:
+    """Builds a :class:`ControlFlowGraph` from a MiniLang procedure."""
+
+    def __init__(self, procedure: Procedure):
+        self.procedure = procedure
+        self.cfg = ControlFlowGraph(procedure.name)
+        #: Edges that must go straight to the exit node (returns, error nodes).
+        self._deferred_exit_edges: List[PendingEdge] = []
+
+    def build(self) -> ControlFlowGraph:
+        """Construct and return the CFG for the procedure."""
+        begin = self.cfg.new_node(NodeKind.BEGIN, label="begin")
+        pending = self._build_statements(self.procedure.body, [(begin, FALLTHROUGH_EDGE)])
+        end = self.cfg.new_node(NodeKind.END, label="end")
+        self._connect(pending, end)
+        for node, label in self._deferred_exit_edges:
+            self.cfg.add_edge(node, end, label)
+        self.cfg.check_well_formed()
+        return self.cfg
+
+    def _connect(self, pending: List[PendingEdge], target: CFGNode) -> None:
+        for node, label in pending:
+            self.cfg.add_edge(node, target, label)
+
+    def _build_statements(
+        self, statements: List[Stmt], pending: List[PendingEdge]
+    ) -> List[PendingEdge]:
+        for stmt in statements:
+            if not pending:
+                # Unreachable code after a return; still build nodes so that the
+                # diff analysis can see them, but they stay disconnected from
+                # the incoming flow (and well-formedness will reject them).
+                break
+            pending = self._build_statement(stmt, pending)
+        return pending
+
+    def _build_statement(self, stmt: Stmt, pending: List[PendingEdge]) -> List[PendingEdge]:
+        if isinstance(stmt, (Assign, VarDecl)):
+            return self._build_write(stmt, pending)
+        if isinstance(stmt, If):
+            return self._build_if(stmt, pending)
+        if isinstance(stmt, While):
+            return self._build_while(stmt, pending)
+        if isinstance(stmt, Assert):
+            return self._build_assert(stmt, pending)
+        if isinstance(stmt, Return):
+            return self._build_return(stmt, pending)
+        if isinstance(stmt, Skip):
+            node = self.cfg.new_node(NodeKind.NOP, line=stmt.line, label="skip", stmt=stmt)
+            self._connect(pending, node)
+            return [(node, FALLTHROUGH_EDGE)]
+        raise TypeError(f"Cannot lower statement of type {type(stmt).__name__}")
+
+    def _build_write(self, stmt: Stmt, pending: List[PendingEdge]) -> List[PendingEdge]:
+        if isinstance(stmt, Assign):
+            target, expr = stmt.name, stmt.value
+        else:
+            assert isinstance(stmt, VarDecl)
+            target = stmt.name
+            if stmt.init is not None:
+                expr = stmt.init
+            elif stmt.type_name == "bool":
+                expr = BoolLiteral(False, line=stmt.line)
+            else:
+                expr = IntLiteral(0, line=stmt.line)
+        node = self.cfg.new_node(
+            NodeKind.ASSIGN,
+            line=stmt.line,
+            label=f"{target} = {expr}",
+            stmt=stmt,
+            target=target,
+            expr=expr,
+        )
+        self._connect(pending, node)
+        return [(node, FALLTHROUGH_EDGE)]
+
+    def _build_if(self, stmt: If, pending: List[PendingEdge]) -> List[PendingEdge]:
+        branch = self.cfg.new_node(
+            NodeKind.BRANCH,
+            line=stmt.line,
+            label=str(stmt.condition),
+            stmt=stmt,
+            condition=stmt.condition,
+        )
+        self._connect(pending, branch)
+        then_pending = self._build_statements(stmt.then_body, [(branch, TRUE_EDGE)])
+        else_pending = self._build_statements(stmt.else_body, [(branch, FALSE_EDGE)])
+        return then_pending + else_pending
+
+    def _build_while(self, stmt: While, pending: List[PendingEdge]) -> List[PendingEdge]:
+        branch = self.cfg.new_node(
+            NodeKind.BRANCH,
+            line=stmt.line,
+            label=str(stmt.condition),
+            stmt=stmt,
+            condition=stmt.condition,
+        )
+        self._connect(pending, branch)
+        body_pending = self._build_statements(stmt.body, [(branch, TRUE_EDGE)])
+        self._connect(body_pending, branch)
+        return [(branch, FALSE_EDGE)]
+
+    def _build_assert(self, stmt: Assert, pending: List[PendingEdge]) -> List[PendingEdge]:
+        branch = self.cfg.new_node(
+            NodeKind.BRANCH,
+            line=stmt.line,
+            label=f"assert {stmt.condition}",
+            stmt=stmt,
+            condition=stmt.condition,
+        )
+        self._connect(pending, branch)
+        error = self.cfg.new_node(
+            NodeKind.ERROR,
+            line=stmt.line,
+            label="assertion failure",
+            stmt=stmt,
+        )
+        self.cfg.add_edge(branch, error, FALSE_EDGE)
+        self._deferred_exit_edges.append((error, FALLTHROUGH_EDGE))
+        return [(branch, TRUE_EDGE)]
+
+    def _build_return(self, stmt: Return, pending: List[PendingEdge]) -> List[PendingEdge]:
+        if stmt.value is not None:
+            node = self.cfg.new_node(
+                NodeKind.ASSIGN,
+                line=stmt.line,
+                label=f"{RETURN_VARIABLE} = {stmt.value}",
+                stmt=stmt,
+                target=RETURN_VARIABLE,
+                expr=stmt.value,
+            )
+        else:
+            node = self.cfg.new_node(NodeKind.NOP, line=stmt.line, label="return", stmt=stmt)
+        self._connect(pending, node)
+        self._deferred_exit_edges.append((node, FALLTHROUGH_EDGE))
+        return []
+
+
+def build_cfg(procedure_or_program, procedure_name: Optional[str] = None) -> ControlFlowGraph:
+    """Build the CFG of a procedure.
+
+    Args:
+        procedure_or_program: either a :class:`Procedure` or a :class:`Program`.
+        procedure_name: when a program is given, the procedure to lower
+            (defaults to the first procedure in the program).
+
+    Returns:
+        The control flow graph of the selected procedure.
+    """
+    if isinstance(procedure_or_program, Program):
+        program = procedure_or_program
+        if procedure_name is None:
+            if not program.procedures:
+                raise ValueError("Program contains no procedures")
+            procedure = program.procedures[0]
+        else:
+            procedure = program.procedure(procedure_name)
+    elif isinstance(procedure_or_program, Procedure):
+        procedure = procedure_or_program
+    else:
+        raise TypeError("build_cfg expects a Procedure or a Program")
+    return CFGBuilder(procedure).build()

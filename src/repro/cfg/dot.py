@@ -1,0 +1,72 @@
+"""Graphviz DOT export for CFGs.
+
+Used by the Figure 2 benchmark/example to render the ``update`` CFG the same
+way the paper draws it, and handy when debugging artifact programs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.ir import CFGNode, NodeKind
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def cfg_to_dot(
+    cfg: ControlFlowGraph,
+    highlight: Optional[Iterable[CFGNode]] = None,
+    changed: Optional[Iterable[CFGNode]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``cfg`` as a Graphviz DOT digraph.
+
+    Args:
+        cfg: the control flow graph to render.
+        highlight: nodes to draw with a filled style (e.g. affected nodes).
+        changed: nodes to draw with a bold red outline (e.g. changed nodes).
+        title: optional graph label; defaults to the procedure name.
+    """
+    highlight_ids: Set[int] = {n.node_id for n in (highlight or [])}
+    changed_ids: Set[int] = {n.node_id for n in (changed or [])}
+    label = title if title is not None else f"CFG for {cfg.procedure_name}"
+
+    lines = ["digraph cfg {"]
+    lines.append(f'    label="{_escape(label)}";')
+    lines.append("    node [shape=box, fontname=Helvetica];")
+    for node in cfg.nodes:
+        attributes = [f'label="{_escape(_node_label(node))}"']
+        if node.kind in (NodeKind.BEGIN, NodeKind.END):
+            attributes.append("shape=ellipse")
+        if node.kind is NodeKind.BRANCH:
+            attributes.append("shape=diamond")
+        if node.node_id in highlight_ids:
+            attributes.append("style=filled")
+            attributes.append("fillcolor=lightgoldenrod")
+        if node.node_id in changed_ids:
+            attributes.append("color=red")
+            attributes.append("penwidth=2")
+        lines.append(f'    "{node.name}" [{", ".join(attributes)}];')
+    for edge in cfg.edges:
+        source = cfg.node(edge.source).name
+        target = cfg.node(edge.target).name
+        if edge.label:
+            lines.append(f'    "{source}" -> "{target}" [label="{_escape(edge.label)}"];')
+        else:
+            lines.append(f'    "{source}" -> "{target}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _node_label(node: CFGNode) -> str:
+    if node.kind is NodeKind.BEGIN:
+        return "begin"
+    if node.kind is NodeKind.END:
+        return "end"
+    prefix = f"{node.name}"
+    if node.line:
+        return f"{prefix}\\n{node.line}: {node.label}"
+    return f"{prefix}\\n{node.label}"

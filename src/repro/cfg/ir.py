@@ -1,0 +1,121 @@
+"""Intermediate representation: the node vocabulary of MiniLang CFGs.
+
+The DiSE static analysis (paper Definitions 3.3-3.7) is phrased over two node
+classes: conditional branch nodes (``Cond``) and write nodes (``Write``).
+The CFG builder lowers MiniLang statements onto exactly those classes plus a
+few structural nodes (begin/end/nop/error).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Optional, Tuple
+
+from repro.lang.ast_nodes import Expr, Stmt
+
+
+class NodeKind(Enum):
+    """The kind of a CFG node."""
+
+    BEGIN = auto()   # synthetic procedure entry
+    END = auto()     # synthetic procedure exit
+    ASSIGN = auto()  # a write instruction (Definition 3.5)
+    BRANCH = auto()  # a conditional branch instruction (Definition 3.4)
+    NOP = auto()     # skip / declarations without initialisers / return without effect
+    ERROR = auto()   # target of a failed assertion (de-sugared ``assert``)
+
+
+@dataclass
+class CFGNode:
+    """A single node of a control flow graph.
+
+    Attributes:
+        node_id: unique integer identifier within the owning CFG; the paper's
+            ``n0``, ``n1``, ... labels correspond to these identifiers.
+        kind: the node's :class:`NodeKind`.
+        line: source line of the originating statement (0 for synthetic nodes).
+        label: human-readable description used in traces, tables and DOT output.
+        stmt: the originating AST statement, if any.
+        condition: for ``BRANCH`` nodes, the branch predicate expression.
+        target: for ``ASSIGN`` nodes, the variable being defined.
+        expr: for ``ASSIGN`` nodes, the right-hand side expression.
+    """
+
+    node_id: int
+    kind: NodeKind
+    line: int = 0
+    label: str = ""
+    stmt: Optional[Stmt] = None
+    condition: Optional[Expr] = None
+    target: Optional[str] = None
+    expr: Optional[Expr] = None
+
+    @property
+    def name(self) -> str:
+        """The paper-style node name, e.g. ``n0``, ``n7``."""
+        if self.kind is NodeKind.BEGIN:
+            return "nbegin"
+        if self.kind is NodeKind.END:
+            return "nend"
+        return f"n{self.node_id}"
+
+    @property
+    def is_branch(self) -> bool:
+        """True if this node is a conditional branch instruction (Cond set)."""
+        return self.kind is NodeKind.BRANCH
+
+    @property
+    def is_write(self) -> bool:
+        """True if this node is a write instruction (Write set)."""
+        return self.kind is NodeKind.ASSIGN
+
+    def defined_variable(self) -> Optional[str]:
+        """``Def(n)`` from Definition 3.6: the variable defined here, or None."""
+        if self.kind is NodeKind.ASSIGN:
+            return self.target
+        return None
+
+    def used_variables(self) -> Tuple[str, ...]:
+        """``Use(n)`` from Definition 3.7: the variables read at this node."""
+        if self.kind is NodeKind.ASSIGN and self.expr is not None:
+            return self.expr.variables()
+        if self.kind is NodeKind.BRANCH and self.condition is not None:
+            return self.condition.variables()
+        return ()
+
+    def structural_key(self) -> tuple:
+        """A key describing the node's behaviour, used by the CFG differ."""
+        if self.kind is NodeKind.ASSIGN:
+            expr_key = self.expr.structural_key() if self.expr is not None else None
+            return ("assign", self.target, expr_key)
+        if self.kind is NodeKind.BRANCH:
+            cond_key = self.condition.structural_key() if self.condition is not None else None
+            return ("branch", cond_key)
+        return (self.kind.name.lower(),)
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.label}" if self.label else self.name
+
+    def __hash__(self) -> int:
+        return hash((id(self.__class__), self.node_id))
+
+
+#: Edge labels used on outgoing edges of BRANCH nodes.
+TRUE_EDGE = "true"
+FALSE_EDGE = "false"
+#: Edge label used on all other edges.
+FALLTHROUGH_EDGE = ""
+
+
+@dataclass(frozen=True)
+class CFGEdge:
+    """A directed, labelled edge between two CFG nodes."""
+
+    source: int
+    target: int
+    label: str = FALLTHROUGH_EDGE
+
+    def __str__(self) -> str:
+        suffix = f" [{self.label}]" if self.label else ""
+        return f"n{self.source} -> n{self.target}{suffix}"

@@ -1,0 +1,41 @@
+"""DiSE: the paper's primary contribution.
+
+* :mod:`repro.core.affected` -- affected-location computation (Fig. 3/4).
+* :mod:`repro.core.removed` -- handling of removed instructions (Fig. 5(a)).
+* :mod:`repro.core.directed` -- the directed search strategy (Fig. 6).
+* :mod:`repro.core.dise` -- the end-to-end pipeline and DiSE-vs-full comparison.
+"""
+
+from repro.core.affected import (
+    AffectedLocationAnalysis,
+    AffectedSets,
+    RuleApplication,
+    compute_affected_sets,
+)
+from repro.core.directed import DirectedExplorationStrategy, DirectedTraceRow
+from repro.core.dise import (
+    ComparisonRow,
+    DiSE,
+    DiSEResult,
+    DiSEResultStatic,
+    compare_dise_with_full,
+    run_dise,
+)
+from repro.core.removed import RemovedNodeEffects, compute_removed_node_effects
+
+__all__ = [
+    "AffectedLocationAnalysis",
+    "AffectedSets",
+    "RuleApplication",
+    "compute_affected_sets",
+    "DirectedExplorationStrategy",
+    "DirectedTraceRow",
+    "ComparisonRow",
+    "DiSE",
+    "DiSEResult",
+    "DiSEResultStatic",
+    "compare_dise_with_full",
+    "run_dise",
+    "RemovedNodeEffects",
+    "compute_removed_node_effects",
+]

@@ -1,0 +1,150 @@
+"""Mapping AST-level change information onto CFG nodes.
+
+The paper's pre-processing step (§3.1) marks nodes of ``CFGbase`` as
+*removed*, *changed* or *unchanged* and nodes of ``CFGmod`` as *added*,
+*changed* or *unchanged*, and builds ``diffMap`` which relates base nodes to
+their corresponding modified nodes.  :class:`DiffMap` implements exactly that
+interface, including the behaviour that ``get`` on a removed node returns
+nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.ir import CFGNode
+from repro.diff.ast_diff import ChangeKind, ProcedureDiff, diff_procedures
+from repro.lang.ast_nodes import Procedure
+
+
+@dataclass
+class DiffMap:
+    """Node-level change classification for a pair of CFGs."""
+
+    cfg_base: ControlFlowGraph
+    cfg_mod: ControlFlowGraph
+    procedure_diff: ProcedureDiff
+    base_marks: Dict[int, ChangeKind]
+    mod_marks: Dict[int, ChangeKind]
+    base_to_mod: Dict[int, Optional[int]]
+
+    # -- paper interface ------------------------------------------------------
+
+    def get(self, base_node: CFGNode) -> Optional[CFGNode]:
+        """``diffMap.get``: the modified-version node for a base node.
+
+        Returns ``None`` for removed nodes (the paper's "empty set").
+        """
+        target = self.base_to_mod.get(base_node.node_id)
+        if target is None:
+            return None
+        return self.cfg_mod.node(target)
+
+    def mark_of_mod_node(self, node: CFGNode) -> ChangeKind:
+        """Classification of a node of the modified CFG."""
+        return self.mod_marks.get(node.node_id, ChangeKind.UNCHANGED)
+
+    def mark_of_base_node(self, node: CFGNode) -> ChangeKind:
+        """Classification of a node of the base CFG."""
+        return self.base_marks.get(node.node_id, ChangeKind.UNCHANGED)
+
+    # -- derived node sets -----------------------------------------------------
+
+    def changed_or_added_mod_nodes(self) -> List[CFGNode]:
+        """Nodes of ``CFGmod`` marked changed or added (seed of the affected sets)."""
+        return [
+            node
+            for node in self.cfg_mod.nodes
+            if self.mod_marks.get(node.node_id) in (ChangeKind.CHANGED, ChangeKind.ADDED)
+        ]
+
+    def removed_base_nodes(self) -> List[CFGNode]:
+        """Nodes of ``CFGbase`` marked removed."""
+        return [
+            node
+            for node in self.cfg_base.nodes
+            if self.base_marks.get(node.node_id) is ChangeKind.REMOVED
+        ]
+
+    def changed_mod_nodes(self) -> List[CFGNode]:
+        return [
+            node
+            for node in self.cfg_mod.nodes
+            if self.mod_marks.get(node.node_id) is ChangeKind.CHANGED
+        ]
+
+    def added_mod_nodes(self) -> List[CFGNode]:
+        return [
+            node
+            for node in self.cfg_mod.nodes
+            if self.mod_marks.get(node.node_id) is ChangeKind.ADDED
+        ]
+
+    def count_changed_nodes(self) -> int:
+        """The "CFG Nodes Changed" column of Table 2: changed + added in CFGmod
+        plus removed nodes of CFGbase (a removal is a change with no mod node)."""
+        return len(self.changed_or_added_mod_nodes()) + len(self.removed_base_nodes())
+
+    def describe(self) -> str:
+        lines = [f"DiffMap for {self.cfg_mod.procedure_name}"]
+        for node in self.cfg_mod.nodes:
+            mark = self.mod_marks.get(node.node_id, ChangeKind.UNCHANGED)
+            if mark is not ChangeKind.UNCHANGED:
+                lines.append(f"  mod  {node.name:<6} {mark.value:<9} {node.label}")
+        for node in self.cfg_base.nodes:
+            mark = self.base_marks.get(node.node_id, ChangeKind.UNCHANGED)
+            if mark is ChangeKind.REMOVED:
+                lines.append(f"  base {node.name:<6} {mark.value:<9} {node.label}")
+        if len(lines) == 1:
+            lines.append("  (no changes)")
+        return "\n".join(lines)
+
+
+def build_diff_map(
+    base: Procedure,
+    modified: Procedure,
+    cfg_base: Optional[ControlFlowGraph] = None,
+    cfg_mod: Optional[ControlFlowGraph] = None,
+    procedure_diff: Optional[ProcedureDiff] = None,
+) -> DiffMap:
+    """Diff two procedure versions and lift the result onto their CFGs."""
+    from repro.cfg.builder import build_cfg  # local import to avoid cycles
+
+    cfg_base = cfg_base or build_cfg(base)
+    cfg_mod = cfg_mod or build_cfg(modified)
+    procedure_diff = procedure_diff or diff_procedures(base, modified)
+
+    base_marks: Dict[int, ChangeKind] = {}
+    mod_marks: Dict[int, ChangeKind] = {}
+    base_to_mod: Dict[int, Optional[int]] = {}
+
+    def mark_pair(base_stmt, mod_stmt, kind: ChangeKind) -> None:
+        base_nodes = cfg_base.nodes_for_statement(base_stmt)
+        mod_nodes = cfg_mod.nodes_for_statement(mod_stmt)
+        for base_node, mod_node in zip(base_nodes, mod_nodes):
+            base_marks[base_node.node_id] = kind
+            mod_marks[mod_node.node_id] = kind
+            base_to_mod[base_node.node_id] = mod_node.node_id
+
+    for base_stmt, mod_stmt in procedure_diff.unchanged_pairs:
+        mark_pair(base_stmt, mod_stmt, ChangeKind.UNCHANGED)
+    for base_stmt, mod_stmt in procedure_diff.changed_pairs:
+        mark_pair(base_stmt, mod_stmt, ChangeKind.CHANGED)
+    for stmt in procedure_diff.added:
+        for node in cfg_mod.nodes_for_statement(stmt):
+            mod_marks[node.node_id] = ChangeKind.ADDED
+    for stmt in procedure_diff.removed:
+        for node in cfg_base.nodes_for_statement(stmt):
+            base_marks[node.node_id] = ChangeKind.REMOVED
+            base_to_mod[node.node_id] = None
+
+    return DiffMap(
+        cfg_base=cfg_base,
+        cfg_mod=cfg_mod,
+        procedure_diff=procedure_diff,
+        base_marks=base_marks,
+        mod_marks=mod_marks,
+        base_to_mod=base_to_mod,
+    )

@@ -1,0 +1,63 @@
+"""Source-line differencing (the paper's alternative "lightweight diff").
+
+The paper allows the differential analysis to be either a source-line diff or
+an AST diff (§3.1).  The AST diff in :mod:`repro.diff.ast_diff` is what the
+pipeline uses by default (it is what the paper's evaluation used); this module
+provides the line-based alternative, built on :mod:`difflib`, mainly so the
+two can be compared and cross-checked in tests.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.lang.ast_nodes import Procedure
+from repro.lang.parser import parse_procedure
+from repro.lang.pretty import pretty_procedure
+
+
+@dataclass
+class SourceDiff:
+    """Line-level difference between two versions of a procedure's source."""
+
+    base_lines: List[str]
+    modified_lines: List[str]
+    #: 1-based indices of modified-version lines that are new or rewritten.
+    changed_modified_lines: Set[int] = field(default_factory=set)
+    #: 1-based indices of base-version lines that were deleted or rewritten.
+    changed_base_lines: Set[int] = field(default_factory=set)
+
+    def has_changes(self) -> bool:
+        return bool(self.changed_modified_lines or self.changed_base_lines)
+
+    def unified(self) -> str:
+        """A unified diff rendering (for logs and examples)."""
+        return "".join(
+            difflib.unified_diff(
+                [line + "\n" for line in self.base_lines],
+                [line + "\n" for line in self.modified_lines],
+                fromfile="base",
+                tofile="modified",
+            )
+        )
+
+
+def diff_source(base_source: str, modified_source: str) -> SourceDiff:
+    """Compute the line-level diff between two source texts."""
+    base_lines = base_source.splitlines()
+    modified_lines = modified_source.splitlines()
+    matcher = difflib.SequenceMatcher(a=base_lines, b=modified_lines, autojunk=False)
+    result = SourceDiff(base_lines=base_lines, modified_lines=modified_lines)
+    for tag, base_start, base_end, mod_start, mod_end in matcher.get_opcodes():
+        if tag == "equal":
+            continue
+        result.changed_base_lines.update(range(base_start + 1, base_end + 1))
+        result.changed_modified_lines.update(range(mod_start + 1, mod_end + 1))
+    return result
+
+
+def diff_procedure_sources(base: Procedure, modified: Procedure) -> SourceDiff:
+    """Pretty-print two procedure versions and diff the resulting source."""
+    return diff_source(pretty_procedure(base), pretty_procedure(modified))

@@ -1,0 +1,17 @@
+"""Software-evolution applications built on DiSE results (paper §5.2)."""
+
+from repro.evolution.regression import (
+    RegressionReport,
+    regression_analysis,
+    select_and_augment,
+)
+from repro.evolution.testgen import TestCase, TestSuite, generate_tests
+
+__all__ = [
+    "RegressionReport",
+    "regression_analysis",
+    "select_and_augment",
+    "TestCase",
+    "TestSuite",
+    "generate_tests",
+]

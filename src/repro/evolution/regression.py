@@ -1,0 +1,112 @@
+"""Regression test selection and augmentation (paper §5.2, Table 3).
+
+The paper's application is intentionally trivial: the tests generated for the
+*original* version by full symbolic execution form the existing suite, and
+the tests generated from DiSE's affected path conditions are string-compared
+against it.  DiSE tests that already exist are *selected* (can be re-used);
+the remaining DiSE tests must be *added* to augment the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.evolution.testgen import TestSuite
+from repro.lang.ast_nodes import Program
+from repro.solver.core import ConstraintSolver
+
+
+@dataclass
+class RegressionReport:
+    """The outcome of test selection and augmentation for one program version."""
+
+    version: str
+    changes: int
+    selected: List[str] = field(default_factory=list)
+    added: List[str] = field(default_factory=list)
+
+    @property
+    def selected_count(self) -> int:
+        return len(self.selected)
+
+    @property
+    def added_count(self) -> int:
+        return len(self.added)
+
+    @property
+    def total(self) -> int:
+        """Total tests needed to exercise the affected behaviours."""
+        return self.selected_count + self.added_count
+
+    def as_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "changes": self.changes,
+            "selected": self.selected_count,
+            "added": self.added_count,
+            "total": self.total,
+        }
+
+
+def select_and_augment(
+    existing_suite: TestSuite,
+    dise_suite: TestSuite,
+    version: str = "",
+    changes: int = 0,
+) -> RegressionReport:
+    """Classify DiSE-generated tests as re-usable (selected) or new (added)."""
+    existing_calls = set(existing_suite.call_strings())
+    report = RegressionReport(version=version, changes=changes)
+    for call in dise_suite.call_strings():
+        if call in existing_calls:
+            report.selected.append(call)
+        else:
+            report.added.append(call)
+    return report
+
+
+def regression_analysis(
+    base_program: Program,
+    modified_program: Program,
+    procedure: Optional[str] = None,
+    version: str = "",
+    changes: int = 0,
+    depth_bound: Optional[int] = None,
+) -> RegressionReport:
+    """End-to-end Table 3 workflow for one version.
+
+    1. full symbolic execution of the *base* version generates the existing suite;
+    2. DiSE on (base, modified) generates the affected path conditions;
+    3. the affected path conditions are solved into tests and compared against
+       the existing suite.
+    """
+    from repro.core.dise import run_dise  # local import to avoid import cycle
+    from repro.evolution.testgen import generate_tests
+    from repro.symexec.engine import symbolic_execute
+
+    base_procedure = (
+        base_program.procedure(procedure) if procedure else base_program.procedures[0]
+    )
+    modified_procedure = (
+        modified_program.procedure(base_procedure.name)
+    )
+
+    base_result = symbolic_execute(
+        base_program,
+        procedure_name=base_procedure.name,
+        depth_bound=depth_bound,
+        solver=ConstraintSolver(),
+    )
+    existing_suite = generate_tests(base_result.summary, base_procedure)
+
+    dise_result = run_dise(
+        base_program,
+        modified_program,
+        procedure=base_procedure.name,
+        depth_bound=depth_bound,
+        solver=ConstraintSolver(),
+    )
+    dise_suite = generate_tests(dise_result.path_conditions, modified_procedure)
+
+    return select_and_augment(existing_suite, dise_suite, version=version, changes=changes)

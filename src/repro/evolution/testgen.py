@@ -1,0 +1,107 @@
+"""Test input generation from path conditions (paper §5.2).
+
+SPF "outputs values that can be used for the method arguments (test inputs)
+based on the generated path conditions ... The results are output in string
+format."  We do the same: every satisfiable path condition is solved and the
+model restricted to the procedure's parameters becomes one test case, printed
+as a call string such as ``update(0, 1, 2)``.
+
+Because only the method arguments are solved (a *partial* state, exactly as
+in the paper), several path conditions can map to the same concrete test
+case; the generated suite therefore de-duplicates call strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.lang.ast_nodes import Procedure
+from repro.solver.core import ConstraintSolver
+from repro.solver.terms import BOOL_SORT
+from repro.symexec.state import PathCondition
+from repro.symexec.summary import MethodSummary
+
+
+@dataclass(frozen=True)
+class TestCase:
+    """One concrete invocation of the procedure under analysis."""
+
+    procedure_name: str
+    arguments: tuple
+
+    def call_string(self) -> str:
+        rendered = ", ".join(_render_value(value) for value in self.arguments)
+        return f"{self.procedure_name}({rendered})"
+
+    def __str__(self) -> str:
+        return self.call_string()
+
+
+@dataclass
+class TestSuite:
+    """A de-duplicated collection of test cases."""
+
+    procedure_name: str
+    cases: List[TestCase] = field(default_factory=list)
+
+    def add(self, case: TestCase) -> bool:
+        """Add a case; returns False when an identical call already exists."""
+        if case in self.cases:
+            return False
+        self.cases.append(case)
+        return True
+
+    def call_strings(self) -> List[str]:
+        return [case.call_string() for case in self.cases]
+
+    def __len__(self) -> int:
+        return len(self.cases)
+
+    def __iter__(self):
+        return iter(self.cases)
+
+    def __contains__(self, case: TestCase) -> bool:
+        return case in self.cases
+
+
+def _render_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def generate_tests(
+    summary_or_conditions,
+    procedure: Procedure,
+    solver: Optional[ConstraintSolver] = None,
+) -> TestSuite:
+    """Solve each path condition and produce concrete test inputs.
+
+    Args:
+        summary_or_conditions: a :class:`MethodSummary` or a sequence of
+            :class:`PathCondition` objects.
+        procedure: the procedure whose parameters the tests must supply.
+        solver: optional solver instance (one is created on demand).
+    """
+    solver = solver or ConstraintSolver()
+    conditions = _as_conditions(summary_or_conditions)
+    suite = TestSuite(procedure.name)
+    for condition in conditions:
+        model = solver.model(list(condition))
+        if model is None:
+            continue
+        arguments = []
+        for param in procedure.params:
+            value = model.get(param.name, 0)
+            if param.type_name == "bool":
+                value = bool(value)
+            arguments.append(value)
+        suite.add(TestCase(procedure.name, tuple(arguments)))
+    return suite
+
+
+def _as_conditions(summary_or_conditions) -> Sequence[PathCondition]:
+    if isinstance(summary_or_conditions, MethodSummary):
+        return summary_or_conditions.path_conditions
+    return list(summary_or_conditions)

@@ -1,0 +1,73 @@
+"""MiniLang: the small imperative language analysed by this reproduction.
+
+MiniLang plays the role that Java (analysed at the bytecode level through
+Java PathFinder) plays in the original DiSE paper: a language whose
+procedures compile to control flow graphs over write statements and
+conditional branches, which is exactly the vocabulary of the DiSE static
+analysis (Definitions 3.3-3.7).
+"""
+
+from repro.lang.ast_nodes import (
+    Assert,
+    Assign,
+    BinaryOp,
+    BoolLiteral,
+    Expr,
+    GlobalDecl,
+    If,
+    IntLiteral,
+    Param,
+    Procedure,
+    Program,
+    Return,
+    Skip,
+    Stmt,
+    UnaryOp,
+    VarDecl,
+    VarRef,
+    While,
+    walk_statements,
+)
+from repro.lang.errors import LexerError, MiniLangError, ParseError, SemanticError
+from repro.lang.lexer import Lexer, tokenize
+from repro.lang.parser import Parser, parse_procedure, parse_program
+from repro.lang.pretty import pretty_procedure, pretty_program
+from repro.lang.validate import validate_procedure, validate_program
+
+__all__ = [
+    # AST
+    "Assert",
+    "Assign",
+    "BinaryOp",
+    "BoolLiteral",
+    "Expr",
+    "GlobalDecl",
+    "If",
+    "IntLiteral",
+    "Param",
+    "Procedure",
+    "Program",
+    "Return",
+    "Skip",
+    "Stmt",
+    "UnaryOp",
+    "VarDecl",
+    "VarRef",
+    "While",
+    "walk_statements",
+    # Errors
+    "LexerError",
+    "MiniLangError",
+    "ParseError",
+    "SemanticError",
+    # Front end entry points
+    "Lexer",
+    "tokenize",
+    "Parser",
+    "parse_program",
+    "parse_procedure",
+    "pretty_program",
+    "pretty_procedure",
+    "validate_program",
+    "validate_procedure",
+]

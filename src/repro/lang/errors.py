@@ -1,0 +1,26 @@
+"""Errors raised by the MiniLang front end."""
+
+from __future__ import annotations
+
+
+class MiniLangError(Exception):
+    """Base class for all errors raised while processing MiniLang source."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class LexerError(MiniLangError):
+    """Raised when the lexer encounters an unexpected character."""
+
+
+class ParseError(MiniLangError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class SemanticError(MiniLangError):
+    """Raised by semantic validation (undeclared variables, type errors...)."""

@@ -1,0 +1,338 @@
+"""A recursive-descent parser for MiniLang.
+
+Grammar (EBNF)::
+
+    program     ::= (global_decl | procedure)*
+    global_decl ::= "global" type IDENT ("=" expr)? ";"
+    procedure   ::= "proc" IDENT "(" params? ")" block
+    params      ::= type IDENT ("," type IDENT)*
+    type        ::= "int" | "bool"
+    block       ::= "{" stmt* "}"
+    stmt        ::= var_decl | assign | if_stmt | while_stmt
+                  | assert_stmt | return_stmt | skip_stmt
+    var_decl    ::= type IDENT ("=" expr)? ";"
+    assign      ::= IDENT "=" expr ";"
+    if_stmt     ::= "if" "(" expr ")" block ("else" (block | if_stmt))?
+    while_stmt  ::= "while" "(" expr ")" block
+    assert_stmt ::= "assert" expr ";"
+    return_stmt ::= "return" expr? ";"
+    skip_stmt   ::= "skip" ";"
+
+Expression precedence (low to high): ``||``, ``&&``, comparisons, additive,
+multiplicative, unary (``-``, ``!``), primary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.lang.ast_nodes import (
+    Assert,
+    Assign,
+    BinaryOp,
+    BoolLiteral,
+    Expr,
+    GlobalDecl,
+    If,
+    IntLiteral,
+    Param,
+    Procedure,
+    Program,
+    Return,
+    Skip,
+    Stmt,
+    UnaryOp,
+    VarDecl,
+    VarRef,
+    While,
+)
+from repro.lang.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import Token, TokenType
+
+
+_TYPE_TOKENS = (TokenType.INT, TokenType.BOOL)
+
+_COMPARISON_TOKENS = {
+    TokenType.EQ: "==",
+    TokenType.NEQ: "!=",
+    TokenType.LT: "<",
+    TokenType.LE: "<=",
+    TokenType.GT: ">",
+    TokenType.GE: ">=",
+}
+
+_ADDITIVE_TOKENS = {TokenType.PLUS: "+", TokenType.MINUS: "-"}
+_MULTIPLICATIVE_TOKENS = {TokenType.STAR: "*", TokenType.SLASH: "/", TokenType.PERCENT: "%"}
+
+
+class Parser:
+    """Recursive-descent parser over a token list."""
+
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    def _peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _check(self, token_type: TokenType) -> bool:
+        return self._peek().type == token_type
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.type != TokenType.EOF:
+            self.pos += 1
+        return token
+
+    def _match(self, *token_types: TokenType) -> Optional[Token]:
+        if self._peek().type in token_types:
+            return self._advance()
+        return None
+
+    def _expect(self, token_type: TokenType, description: str) -> Token:
+        token = self._peek()
+        if token.type != token_type:
+            raise ParseError(
+                f"Expected {description}, found {token.value!r}", token.line, token.column
+            )
+        return self._advance()
+
+    # -- top level ----------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        """Parse a full compilation unit."""
+        program = Program()
+        while not self._check(TokenType.EOF):
+            if self._check(TokenType.GLOBAL):
+                program.globals.append(self._parse_global())
+            elif self._check(TokenType.PROC):
+                program.procedures.append(self._parse_procedure())
+            else:
+                token = self._peek()
+                raise ParseError(
+                    f"Expected 'global' or 'proc', found {token.value!r}",
+                    token.line,
+                    token.column,
+                )
+        return program
+
+    def _parse_global(self) -> GlobalDecl:
+        keyword = self._expect(TokenType.GLOBAL, "'global'")
+        type_token = self._expect_type()
+        name = self._expect(TokenType.IDENT, "global variable name")
+        init: Optional[Expr] = None
+        if self._match(TokenType.ASSIGN):
+            init = self._parse_expr()
+        self._expect(TokenType.SEMICOLON, "';'")
+        return GlobalDecl(type_token.value, name.value, init, line=keyword.line)
+
+    def _parse_procedure(self) -> Procedure:
+        keyword = self._expect(TokenType.PROC, "'proc'")
+        name = self._expect(TokenType.IDENT, "procedure name")
+        self._expect(TokenType.LPAREN, "'('")
+        params: List[Param] = []
+        if not self._check(TokenType.RPAREN):
+            params.append(self._parse_param())
+            while self._match(TokenType.COMMA):
+                params.append(self._parse_param())
+        self._expect(TokenType.RPAREN, "')'")
+        body = self._parse_block()
+        return Procedure(name.value, params, body, line=keyword.line)
+
+    def _parse_param(self) -> Param:
+        type_token = self._expect_type()
+        name = self._expect(TokenType.IDENT, "parameter name")
+        return Param(type_token.value, name.value, line=type_token.line)
+
+    def _expect_type(self) -> Token:
+        token = self._peek()
+        if token.type not in _TYPE_TOKENS:
+            raise ParseError(
+                f"Expected a type ('int' or 'bool'), found {token.value!r}",
+                token.line,
+                token.column,
+            )
+        return self._advance()
+
+    # -- statements ---------------------------------------------------------
+
+    def _parse_block(self) -> List[Stmt]:
+        self._expect(TokenType.LBRACE, "'{'")
+        statements: List[Stmt] = []
+        while not self._check(TokenType.RBRACE):
+            if self._check(TokenType.EOF):
+                token = self._peek()
+                raise ParseError("Unterminated block", token.line, token.column)
+            statements.append(self._parse_statement())
+        self._expect(TokenType.RBRACE, "'}'")
+        return statements
+
+    def _parse_statement(self) -> Stmt:
+        token = self._peek()
+        if token.type in _TYPE_TOKENS:
+            return self._parse_var_decl()
+        if token.type == TokenType.IDENT:
+            return self._parse_assign()
+        if token.type == TokenType.IF:
+            return self._parse_if()
+        if token.type == TokenType.WHILE:
+            return self._parse_while()
+        if token.type == TokenType.ASSERT:
+            return self._parse_assert()
+        if token.type == TokenType.RETURN:
+            return self._parse_return()
+        if token.type == TokenType.SKIP:
+            self._advance()
+            self._expect(TokenType.SEMICOLON, "';'")
+            return Skip(line=token.line)
+        raise ParseError(f"Unexpected token {token.value!r} in statement", token.line, token.column)
+
+    def _parse_var_decl(self) -> VarDecl:
+        type_token = self._expect_type()
+        name = self._expect(TokenType.IDENT, "variable name")
+        init: Optional[Expr] = None
+        if self._match(TokenType.ASSIGN):
+            init = self._parse_expr()
+        self._expect(TokenType.SEMICOLON, "';'")
+        return VarDecl(type_token.value, name.value, init, line=type_token.line)
+
+    def _parse_assign(self) -> Assign:
+        name = self._expect(TokenType.IDENT, "variable name")
+        self._expect(TokenType.ASSIGN, "'='")
+        value = self._parse_expr()
+        self._expect(TokenType.SEMICOLON, "';'")
+        return Assign(name.value, value, line=name.line)
+
+    def _parse_if(self) -> If:
+        keyword = self._expect(TokenType.IF, "'if'")
+        self._expect(TokenType.LPAREN, "'('")
+        condition = self._parse_expr()
+        self._expect(TokenType.RPAREN, "')'")
+        then_body = self._parse_block()
+        else_body: List[Stmt] = []
+        if self._match(TokenType.ELSE):
+            if self._check(TokenType.IF):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_block()
+        return If(condition, then_body, else_body, line=keyword.line)
+
+    def _parse_while(self) -> While:
+        keyword = self._expect(TokenType.WHILE, "'while'")
+        self._expect(TokenType.LPAREN, "'('")
+        condition = self._parse_expr()
+        self._expect(TokenType.RPAREN, "')'")
+        body = self._parse_block()
+        return While(condition, body, line=keyword.line)
+
+    def _parse_assert(self) -> Assert:
+        keyword = self._expect(TokenType.ASSERT, "'assert'")
+        condition = self._parse_expr()
+        self._expect(TokenType.SEMICOLON, "';'")
+        return Assert(condition, line=keyword.line)
+
+    def _parse_return(self) -> Return:
+        keyword = self._expect(TokenType.RETURN, "'return'")
+        value: Optional[Expr] = None
+        if not self._check(TokenType.SEMICOLON):
+            value = self._parse_expr()
+        self._expect(TokenType.SEMICOLON, "';'")
+        return Return(value, line=keyword.line)
+
+    # -- expressions --------------------------------------------------------
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        expr = self._parse_and()
+        while self._check(TokenType.OR):
+            token = self._advance()
+            right = self._parse_and()
+            expr = BinaryOp("||", expr, right, line=token.line)
+        return expr
+
+    def _parse_and(self) -> Expr:
+        expr = self._parse_comparison()
+        while self._check(TokenType.AND):
+            token = self._advance()
+            right = self._parse_comparison()
+            expr = BinaryOp("&&", expr, right, line=token.line)
+        return expr
+
+    def _parse_comparison(self) -> Expr:
+        expr = self._parse_additive()
+        while self._peek().type in _COMPARISON_TOKENS:
+            token = self._advance()
+            right = self._parse_additive()
+            expr = BinaryOp(_COMPARISON_TOKENS[token.type], expr, right, line=token.line)
+        return expr
+
+    def _parse_additive(self) -> Expr:
+        expr = self._parse_multiplicative()
+        while self._peek().type in _ADDITIVE_TOKENS:
+            token = self._advance()
+            right = self._parse_multiplicative()
+            expr = BinaryOp(_ADDITIVE_TOKENS[token.type], expr, right, line=token.line)
+        return expr
+
+    def _parse_multiplicative(self) -> Expr:
+        expr = self._parse_unary()
+        while self._peek().type in _MULTIPLICATIVE_TOKENS:
+            token = self._advance()
+            right = self._parse_unary()
+            expr = BinaryOp(_MULTIPLICATIVE_TOKENS[token.type], expr, right, line=token.line)
+        return expr
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token.type == TokenType.MINUS:
+            self._advance()
+            operand = self._parse_unary()
+            return UnaryOp("-", operand, line=token.line)
+        if token.type == TokenType.NOT:
+            self._advance()
+            operand = self._parse_unary()
+            return UnaryOp("!", operand, line=token.line)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._peek()
+        if token.type == TokenType.INT_LITERAL:
+            self._advance()
+            return IntLiteral(int(token.value), line=token.line)
+        if token.type == TokenType.BOOL_LITERAL:
+            self._advance()
+            return BoolLiteral(token.value == "true", line=token.line)
+        if token.type == TokenType.IDENT:
+            self._advance()
+            return VarRef(token.value, line=token.line)
+        if token.type == TokenType.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenType.RPAREN, "')'")
+            return expr
+        raise ParseError(f"Unexpected token {token.value!r} in expression", token.line, token.column)
+
+
+def parse_program(source: str) -> Program:
+    """Parse MiniLang source text into a :class:`Program`."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_procedure(source: str, name: Optional[str] = None) -> Procedure:
+    """Parse MiniLang source and return one procedure.
+
+    Args:
+        source: MiniLang source text containing at least one procedure.
+        name: if given, the procedure with that name; otherwise the first one.
+    """
+    program = parse_program(source)
+    if not program.procedures:
+        raise ParseError("Source contains no procedures")
+    if name is None:
+        return program.procedures[0]
+    return program.procedure(name)

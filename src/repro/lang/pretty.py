@@ -1,0 +1,93 @@
+"""Pretty printer that turns MiniLang AST nodes back into source text.
+
+Round-tripping (``parse(pretty(parse(src)))`` structurally equal to
+``parse(src)``) is covered by property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.ast_nodes import (
+    Assert,
+    Assign,
+    GlobalDecl,
+    If,
+    Procedure,
+    Program,
+    Return,
+    Skip,
+    Stmt,
+    VarDecl,
+    While,
+)
+
+_INDENT = "    "
+
+
+def pretty_program(program: Program) -> str:
+    """Render a full program as MiniLang source text."""
+    parts: List[str] = []
+    for decl in program.globals:
+        parts.append(_render_global(decl))
+    if program.globals and program.procedures:
+        parts.append("")
+    for index, proc in enumerate(program.procedures):
+        if index:
+            parts.append("")
+        parts.append(pretty_procedure(proc))
+    return "\n".join(parts) + "\n"
+
+
+def pretty_procedure(proc: Procedure) -> str:
+    """Render one procedure as MiniLang source text."""
+    params = ", ".join(f"{p.type_name} {p.name}" for p in proc.params)
+    lines = [f"proc {proc.name}({params}) {{"]
+    lines.extend(_render_statements(proc.body, 1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _render_global(decl: GlobalDecl) -> str:
+    if decl.init is not None:
+        return f"global {decl.type_name} {decl.name} = {decl.init};"
+    return f"global {decl.type_name} {decl.name};"
+
+
+def _render_statements(statements: List[Stmt], depth: int) -> List[str]:
+    lines: List[str] = []
+    for stmt in statements:
+        lines.extend(_render_statement(stmt, depth))
+    return lines
+
+
+def _render_statement(stmt: Stmt, depth: int) -> List[str]:
+    pad = _INDENT * depth
+    if isinstance(stmt, VarDecl):
+        if stmt.init is not None:
+            return [f"{pad}{stmt.type_name} {stmt.name} = {stmt.init};"]
+        return [f"{pad}{stmt.type_name} {stmt.name};"]
+    if isinstance(stmt, Assign):
+        return [f"{pad}{stmt.name} = {stmt.value};"]
+    if isinstance(stmt, Assert):
+        return [f"{pad}assert {stmt.condition};"]
+    if isinstance(stmt, Return):
+        if stmt.value is not None:
+            return [f"{pad}return {stmt.value};"]
+        return [f"{pad}return;"]
+    if isinstance(stmt, Skip):
+        return [f"{pad}skip;"]
+    if isinstance(stmt, If):
+        lines = [f"{pad}if ({stmt.condition}) {{"]
+        lines.extend(_render_statements(stmt.then_body, depth + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            lines.extend(_render_statements(stmt.else_body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, While):
+        lines = [f"{pad}while ({stmt.condition}) {{"]
+        lines.extend(_render_statements(stmt.body, depth + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    raise TypeError(f"Unknown statement type: {type(stmt).__name__}")

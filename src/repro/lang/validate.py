@@ -1,0 +1,197 @@
+"""Semantic validation of MiniLang programs.
+
+Performs simple name-resolution and type checking before CFG construction so
+that later analyses can assume a well-formed program:
+
+* every variable is declared (as a global, parameter or local) before use;
+* no variable is declared twice in the same scope;
+* arithmetic operators only apply to ``int`` operands, logical operators only
+  to ``bool`` operands, and branch/loop/assert conditions are ``bool``;
+* assignments do not change a variable's declared type.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.lang.ast_nodes import (
+    ARITHMETIC_OPS,
+    BOOL_TYPE,
+    COMPARISON_OPS,
+    INT_TYPE,
+    LOGICAL_OPS,
+    Assert,
+    Assign,
+    BinaryOp,
+    BoolLiteral,
+    Expr,
+    If,
+    IntLiteral,
+    Procedure,
+    Program,
+    Return,
+    Skip,
+    Stmt,
+    UnaryOp,
+    VarDecl,
+    VarRef,
+    While,
+)
+from repro.lang.errors import SemanticError
+
+
+class TypeEnvironment:
+    """Maps variable names to their declared types within one procedure."""
+
+    def __init__(self, globals_: Dict[str, str]):
+        self._globals = dict(globals_)
+        self._locals: Dict[str, str] = {}
+
+    def declare(self, name: str, type_name: str, line: int) -> None:
+        if name in self._locals:
+            raise SemanticError(f"Variable {name!r} is declared twice", line)
+        self._locals[name] = type_name
+
+    def lookup(self, name: str, line: int) -> str:
+        if name in self._locals:
+            return self._locals[name]
+        if name in self._globals:
+            return self._globals[name]
+        raise SemanticError(f"Variable {name!r} is not declared", line)
+
+    def is_declared(self, name: str) -> bool:
+        return name in self._locals or name in self._globals
+
+
+def validate_program(program: Program) -> None:
+    """Validate a whole program; raises :class:`SemanticError` on problems."""
+    globals_: Dict[str, str] = {}
+    for decl in program.globals:
+        if decl.name in globals_:
+            raise SemanticError(f"Global {decl.name!r} is declared twice", decl.line)
+        if decl.init is not None:
+            init_type = _literal_type(decl.init, decl.line)
+            if init_type != decl.type_name:
+                raise SemanticError(
+                    f"Global {decl.name!r} of type {decl.type_name} initialised "
+                    f"with a {init_type} literal",
+                    decl.line,
+                )
+        globals_[decl.name] = decl.type_name
+
+    names = set()
+    for proc in program.procedures:
+        if proc.name in names:
+            raise SemanticError(f"Procedure {proc.name!r} is defined twice", proc.line)
+        names.add(proc.name)
+        validate_procedure(proc, globals_)
+
+
+def validate_procedure(proc: Procedure, globals_: Dict[str, str]) -> None:
+    """Validate one procedure against the given global environment."""
+    env = TypeEnvironment(globals_)
+    for param in proc.params:
+        env.declare(param.name, param.type_name, param.line)
+    _check_statements(proc.body, env)
+
+
+def _literal_type(expr: Expr, line: int) -> str:
+    if isinstance(expr, IntLiteral):
+        return INT_TYPE
+    if isinstance(expr, BoolLiteral):
+        return BOOL_TYPE
+    if isinstance(expr, UnaryOp) and expr.op == "-" and isinstance(expr.operand, IntLiteral):
+        return INT_TYPE
+    raise SemanticError("Global initialisers must be literals", line)
+
+
+def _check_statements(statements: List[Stmt], env: TypeEnvironment) -> None:
+    for stmt in statements:
+        _check_statement(stmt, env)
+
+
+def _check_statement(stmt: Stmt, env: TypeEnvironment) -> None:
+    if isinstance(stmt, VarDecl):
+        if stmt.init is not None:
+            init_type = _check_expr(stmt.init, env)
+            if init_type != stmt.type_name:
+                raise SemanticError(
+                    f"Cannot initialise {stmt.type_name} {stmt.name!r} with a "
+                    f"{init_type} expression",
+                    stmt.line,
+                )
+        env.declare(stmt.name, stmt.type_name, stmt.line)
+    elif isinstance(stmt, Assign):
+        declared = env.lookup(stmt.name, stmt.line)
+        value_type = _check_expr(stmt.value, env)
+        if declared != value_type:
+            raise SemanticError(
+                f"Cannot assign a {value_type} expression to {declared} variable "
+                f"{stmt.name!r}",
+                stmt.line,
+            )
+    elif isinstance(stmt, If):
+        _require_bool(stmt.condition, env, stmt.line, "if condition")
+        _check_statements(stmt.then_body, env)
+        _check_statements(stmt.else_body, env)
+    elif isinstance(stmt, While):
+        _require_bool(stmt.condition, env, stmt.line, "while condition")
+        _check_statements(stmt.body, env)
+    elif isinstance(stmt, Assert):
+        _require_bool(stmt.condition, env, stmt.line, "assert condition")
+    elif isinstance(stmt, Return):
+        if stmt.value is not None:
+            _check_expr(stmt.value, env)
+    elif isinstance(stmt, Skip):
+        pass
+    else:
+        raise SemanticError(f"Unknown statement type {type(stmt).__name__}", getattr(stmt, "line", 0))
+
+
+def _require_bool(expr: Expr, env: TypeEnvironment, line: int, what: str) -> None:
+    actual = _check_expr(expr, env)
+    if actual != BOOL_TYPE:
+        raise SemanticError(f"{what} must be a bool expression, found {actual}", line)
+
+
+def _check_expr(expr: Expr, env: TypeEnvironment) -> str:
+    if isinstance(expr, IntLiteral):
+        return INT_TYPE
+    if isinstance(expr, BoolLiteral):
+        return BOOL_TYPE
+    if isinstance(expr, VarRef):
+        return env.lookup(expr.name, expr.line)
+    if isinstance(expr, UnaryOp):
+        operand_type = _check_expr(expr.operand, env)
+        if expr.op == "-":
+            if operand_type != INT_TYPE:
+                raise SemanticError("Unary '-' requires an int operand", expr.line)
+            return INT_TYPE
+        if expr.op == "!":
+            if operand_type != BOOL_TYPE:
+                raise SemanticError("Unary '!' requires a bool operand", expr.line)
+            return BOOL_TYPE
+        raise SemanticError(f"Unknown unary operator {expr.op!r}", expr.line)
+    if isinstance(expr, BinaryOp):
+        left = _check_expr(expr.left, env)
+        right = _check_expr(expr.right, env)
+        if expr.op in ARITHMETIC_OPS:
+            if left != INT_TYPE or right != INT_TYPE:
+                raise SemanticError(f"Operator {expr.op!r} requires int operands", expr.line)
+            return INT_TYPE
+        if expr.op in COMPARISON_OPS:
+            if left != right:
+                raise SemanticError(
+                    f"Comparison {expr.op!r} requires operands of the same type", expr.line
+                )
+            if expr.op not in ("==", "!=") and left != INT_TYPE:
+                raise SemanticError(
+                    f"Ordering comparison {expr.op!r} requires int operands", expr.line
+                )
+            return BOOL_TYPE
+        if expr.op in LOGICAL_OPS:
+            if left != BOOL_TYPE or right != BOOL_TYPE:
+                raise SemanticError(f"Operator {expr.op!r} requires bool operands", expr.line)
+            return BOOL_TYPE
+        raise SemanticError(f"Unknown binary operator {expr.op!r}", expr.line)
+    raise SemanticError(f"Unknown expression type {type(expr).__name__}", getattr(expr, "line", 0))

@@ -1,0 +1,22 @@
+"""Renderers for the paper's tables and figures (used by the benchmark harness)."""
+
+from repro.reporting.figures import render_cfg_figure, render_execution_tree
+from repro.reporting.tables import (
+    format_seconds,
+    render_affected_sets,
+    render_affected_trace,
+    render_directed_trace,
+    render_table2,
+    render_table3,
+)
+
+__all__ = [
+    "render_cfg_figure",
+    "render_execution_tree",
+    "format_seconds",
+    "render_affected_sets",
+    "render_affected_trace",
+    "render_directed_trace",
+    "render_table2",
+    "render_table3",
+]

@@ -1,0 +1,44 @@
+"""Figure renderers: the symbolic execution tree (Fig. 1) and the CFG (Fig. 2)."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.cfg.dot import cfg_to_dot
+from repro.cfg.graph import ControlFlowGraph
+from repro.core.affected import AffectedSets
+from repro.symexec.engine import ExecutionResult
+from repro.symexec.tree import ExecutionTree
+
+
+def render_execution_tree(result: ExecutionResult, title: str = "Figure 1") -> str:
+    """Figure 1: the symbolic execution tree of a (small) procedure."""
+    if result.tree is None:
+        raise ValueError("The execution result was produced without build_tree=True")
+    lines = [f"{title}: symbolic execution tree ({result.tree.count()} states)"]
+    lines.append(result.tree.render())
+    lines.append("")
+    lines.append("Leaf path conditions:")
+    for index, condition in enumerate(result.path_conditions):
+        lines.append(f"  [{index}] {condition}")
+    return "\n".join(lines)
+
+
+def render_cfg_figure(
+    cfg: ControlFlowGraph,
+    affected: Optional[AffectedSets] = None,
+    changed: Optional[Sequence] = None,
+    title: str = "Figure 2",
+) -> str:
+    """Figure 2: the CFG of the procedure, optionally annotated with affected nodes."""
+    lines = [f"{title}: control flow graph for {cfg.procedure_name}"]
+    lines.append(cfg.describe())
+    if affected is not None:
+        acn, awn = affected.names()
+        lines.append(f"Affected conditional nodes: {{{', '.join(acn)}}}")
+        lines.append(f"Affected write nodes: {{{', '.join(awn)}}}")
+    lines.append("")
+    lines.append("Graphviz DOT:")
+    highlight = affected.all_affected_nodes() if affected is not None else None
+    lines.append(cfg_to_dot(cfg, highlight=highlight, changed=changed, title=title))
+    return "\n".join(lines)

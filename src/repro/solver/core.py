@@ -1,0 +1,377 @@
+"""The constraint solver: satisfiability and model generation for path conditions.
+
+This plays the role Choco plays in the paper's SPF-based implementation.  The
+decision procedure handles conjunctions of boolean terms built from linear
+integer arithmetic, boolean symbols and the logical connectives:
+
+1. boolean structure (``&&``, ``||``, ``!``, boolean symbols/constants) is
+   handled by rewriting plus case splitting;
+2. comparisons are normalised to linear atoms (``<=``, ``==``, ``!=`` against 0);
+3. ``!=`` atoms are split into the two strict alternatives;
+4. the remaining conjunction of ``<=``/``==`` atoms is decided by interval
+   propagation followed by branch-and-bound splitting over a bounded integer
+   box (complete over that box).
+
+Models are returned for satisfiable queries and every model is re-checked
+against the original constraints before being returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.solver.intervals import (
+    DEFAULT_BOUND,
+    Domains,
+    Interval,
+    atom_definitely_satisfied,
+    initial_domains,
+    propagate,
+)
+from repro.solver.linear import (
+    EQ,
+    LE,
+    NE,
+    LinearAtom,
+    LinearExpr,
+    NonLinearError,
+    linearize_comparison,
+    linearize_int,
+)
+from repro.solver.simplify import simplify
+from repro.solver.terms import (
+    BOOL_SORT,
+    COMPARISON_OPS,
+    FALSE,
+    TRUE,
+    Assignment,
+    BinaryTerm,
+    BoolConst,
+    IntConst,
+    NotTerm,
+    Symbol,
+    Term,
+    negate,
+)
+
+
+class SolverError(Exception):
+    """Raised when the solver cannot decide a constraint set."""
+
+
+@dataclass
+class SolverStatistics:
+    """Counters describing the work a :class:`ConstraintSolver` has done."""
+
+    queries: int = 0
+    cache_hits: int = 0
+    sat_results: int = 0
+    unsat_results: int = 0
+    case_splits: int = 0
+    propagations: int = 0
+    branch_steps: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "queries": self.queries,
+            "cache_hits": self.cache_hits,
+            "sat_results": self.sat_results,
+            "unsat_results": self.unsat_results,
+            "case_splits": self.case_splits,
+            "propagations": self.propagations,
+            "branch_steps": self.branch_steps,
+        }
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """Outcome of a satisfiability query."""
+
+    satisfiable: bool
+    model: Optional[Dict[str, int]] = None
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+class ConstraintSolver:
+    """Decides conjunctions of MiniLang path-condition constraints."""
+
+    def __init__(self, bound: int = DEFAULT_BOUND, max_branch_steps: int = 200_000):
+        self.bound = bound
+        self.max_branch_steps = max_branch_steps
+        self.statistics = SolverStatistics()
+        self._cache: Dict[Tuple[str, ...], SolverResult] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def check(self, constraints: Sequence[Term]) -> SolverResult:
+        """Decide the conjunction of ``constraints``; returns sat/unsat + model."""
+        self.statistics.queries += 1
+        simplified = [simplify(term) for term in constraints]
+        key = tuple(sorted(str(term) for term in simplified))
+        if key in self._cache:
+            self.statistics.cache_hits += 1
+            return self._cache[key]
+        result = self._solve(list(simplified))
+        if result.satisfiable and result.model is not None:
+            self._verify_model(simplified, result.model)
+        if result.satisfiable:
+            self.statistics.sat_results += 1
+        else:
+            self.statistics.unsat_results += 1
+        self._cache[key] = result
+        return result
+
+    def is_satisfiable(self, constraints: Sequence[Term]) -> bool:
+        """Convenience wrapper returning only the sat/unsat verdict."""
+        return self.check(constraints).satisfiable
+
+    def model(self, constraints: Sequence[Term]) -> Optional[Dict[str, int]]:
+        """A satisfying assignment for the constraints, or None when unsat."""
+        result = self.check(constraints)
+        if result.satisfiable and result.model is not None:
+            return dict(result.model)
+        return None
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # -- boolean structure ---------------------------------------------------
+
+    def _solve(self, pending: List[Term]) -> SolverResult:
+        atoms: List[LinearAtom] = []
+        bool_symbols: Dict[str, str] = {}
+        work = list(pending)
+        while work:
+            term = work.pop()
+            term = simplify(term)
+            if isinstance(term, BoolConst):
+                if term.value:
+                    continue
+                return SolverResult(False)
+            if isinstance(term, Symbol):
+                if term.sort != BOOL_SORT:
+                    raise SolverError(f"Integer symbol {term} used as a constraint")
+                bool_symbols[term.name] = BOOL_SORT
+                atoms.append(self._bool_symbol_atom(term.name, True))
+                continue
+            if isinstance(term, NotTerm):
+                inner = term.operand
+                if isinstance(inner, Symbol) and inner.sort == BOOL_SORT:
+                    bool_symbols[inner.name] = BOOL_SORT
+                    atoms.append(self._bool_symbol_atom(inner.name, False))
+                    continue
+                work.append(negate(inner))
+                continue
+            if isinstance(term, BinaryTerm):
+                if term.op == "&&":
+                    work.append(term.left)
+                    work.append(term.right)
+                    continue
+                if term.op == "||":
+                    self.statistics.case_splits += 1
+                    left_result = self._solve(work + atoms_to_terms(atoms) + [term.left])
+                    if left_result.satisfiable:
+                        return left_result
+                    return self._solve(work + atoms_to_terms(atoms) + [term.right])
+                if term.op in COMPARISON_OPS:
+                    converted = self._comparison_to_atoms(term)
+                    if converted is None:
+                        return SolverResult(False)
+                    new_atoms, extra_terms = converted
+                    atoms.extend(new_atoms)
+                    work.extend(extra_terms)
+                    continue
+                raise SolverError(f"Unsupported boolean term {term}")
+            raise SolverError(f"Unsupported constraint {term!r}")
+        return self._solve_atoms(atoms)
+
+    def _comparison_to_atoms(
+        self, term: BinaryTerm
+    ) -> Optional[Tuple[List[LinearAtom], List[Term]]]:
+        """Convert a comparison into linear atoms (and possibly residual terms).
+
+        Boolean-sorted comparisons (``flag == true``, ``a != b`` over booleans)
+        are rewritten into equivalent boolean formulae and returned as residual
+        terms.  Returns None when the comparison is trivially false.
+        """
+        left, right = term.left, term.right
+        if left.sort == BOOL_SORT or right.sort == BOOL_SORT:
+            if term.op not in ("==", "!="):
+                raise SolverError(f"Ordering comparison over booleans: {term}")
+            equal = BinaryTerm(
+                "||",
+                BinaryTerm("&&", left, right),
+                BinaryTerm("&&", negate(left), negate(right)),
+            )
+            residual = equal if term.op == "==" else negate(equal)
+            return [], [residual]
+        try:
+            atom = linearize_comparison(term.op, left, right)
+        except NonLinearError:
+            return [], [self._eliminate_nonlinear(term)]
+        if atom.is_trivially_false():
+            return None
+        if atom.is_trivially_true():
+            return [], []
+        return [atom], []
+
+    def _eliminate_nonlinear(self, term: BinaryTerm) -> Term:
+        """Last-resort handling of non-linear comparisons.
+
+        The artifact programs in this reproduction only generate linear
+        constraints; if a client feeds non-linear arithmetic we reject it
+        explicitly rather than silently mis-deciding it.
+        """
+        raise SolverError(f"Non-linear constraint is outside the decidable fragment: {term}")
+
+    @staticmethod
+    def _bool_symbol_atom(name: str, value: bool) -> LinearAtom:
+        """Encode a boolean symbol as the 0/1 integer variable ``name``."""
+        expr = LinearExpr(((name, 1),), -1 if value else 0)
+        return LinearAtom(expr, EQ)
+
+    # -- linear core ---------------------------------------------------------
+
+    def _solve_atoms(self, atoms: List[LinearAtom]) -> SolverResult:
+        # Split every != atom into two < alternatives (ints: <= with shift).
+        definite: List[LinearAtom] = []
+        disequalities: List[LinearAtom] = []
+        for atom in atoms:
+            if atom.is_trivially_true():
+                continue
+            if atom.is_trivially_false():
+                return SolverResult(False)
+            if atom.op == NE:
+                disequalities.append(atom)
+            else:
+                definite.append(atom)
+        return self._solve_with_splits(definite, disequalities)
+
+    def _solve_with_splits(
+        self, definite: List[LinearAtom], disequalities: List[LinearAtom]
+    ) -> SolverResult:
+        if not disequalities:
+            return self._solve_box(definite)
+        head, rest = disequalities[0], disequalities[1:]
+        self.statistics.case_splits += 1
+        # expr != 0  ==>  expr <= -1  or  -expr <= -1
+        less = LinearAtom(head.expr.shift(1), LE)
+        greater = LinearAtom(head.expr.negate().shift(1), LE)
+        for alternative in (less, greater):
+            result = self._solve_with_splits(definite + [alternative], rest)
+            if result.satisfiable:
+                return result
+        return SolverResult(False)
+
+    def _solve_box(self, atoms: List[LinearAtom]) -> SolverResult:
+        variables = set()
+        for atom in atoms:
+            variables |= atom.variables()
+        domains = initial_domains(variables, self.bound)
+        return self._search(atoms, domains, 0)
+
+    def _search(self, atoms: List[LinearAtom], domains: Domains, depth: int) -> SolverResult:
+        self.statistics.propagations += 1
+        narrowed = propagate(atoms, domains)
+        if narrowed is None:
+            return SolverResult(False)
+        # If every atom is satisfied over the whole box, any point works; pick
+        # the one closest to zero so generated test inputs stay readable.
+        if all(atom_definitely_satisfied(atom, narrowed) for atom in atoms):
+            model = {
+                name: _value_closest_to_zero(interval) for name, interval in narrowed.items()
+            }
+            return SolverResult(True, model)
+        # All singleton but not all satisfied => this box is a single failing point.
+        split_candidates = [
+            (interval.width, name)
+            for name, interval in narrowed.items()
+            if not interval.is_singleton
+        ]
+        if not split_candidates:
+            model = {name: interval.low for name, interval in narrowed.items()}
+            if all(atom.holds(model) for atom in atoms):
+                return SolverResult(True, model)
+            return SolverResult(False)
+        self.statistics.branch_steps += 1
+        if self.statistics.branch_steps > self.max_branch_steps:
+            raise SolverError("Branch-and-bound step limit exceeded")
+        # Split the narrowest non-singleton interval at its midpoint, trying the
+        # half nearer to zero first so that models (and therefore generated test
+        # inputs) stay small in magnitude.
+        _, name = min(split_candidates)
+        interval = narrowed[name]
+        midpoint = (interval.low + interval.high) // 2
+        halves = [Interval(interval.low, midpoint), Interval(midpoint + 1, interval.high)]
+        halves.sort(key=lambda half: min(abs(half.low), abs(half.high), abs(_value_closest_to_zero(half))))
+        for half in halves:
+            child = dict(narrowed)
+            child[name] = half
+            result = self._search(atoms, child, depth + 1)
+            if result.satisfiable:
+                return result
+        return SolverResult(False)
+
+    # -- model checking ------------------------------------------------------
+
+    def _verify_model(self, constraints: Sequence[Term], model: Dict[str, int]) -> None:
+        assignment: Assignment = dict(model)
+        for term in constraints:
+            missing = term.symbols() - set(assignment)
+            for name in missing:
+                assignment[name] = 0
+            value = term.evaluate(_booleanize(term, assignment))
+            if not value:
+                raise SolverError(
+                    f"Internal error: model {model} does not satisfy constraint {term}"
+                )
+
+
+def _value_closest_to_zero(interval: Interval) -> int:
+    """The integer of smallest magnitude inside a non-empty interval."""
+    if interval.low <= 0 <= interval.high:
+        return 0
+    return interval.low if interval.low > 0 else interval.high
+
+
+def atoms_to_terms(atoms: List[LinearAtom]) -> List[Term]:
+    """Convert linear atoms back to terms (used when re-entering the splitter)."""
+    terms: List[Term] = []
+    for atom in atoms:
+        expr_term: Term = IntConst(atom.expr.constant)
+        for name, coeff in atom.expr.coeffs:
+            product: Term = Symbol(name)
+            if coeff != 1:
+                product = BinaryTerm("*", IntConst(coeff), Symbol(name))
+            expr_term = BinaryTerm("+", expr_term, product)
+        terms.append(BinaryTerm(atom.op, expr_term, IntConst(0)))
+    return terms
+
+
+def _booleanize(term: Term, assignment: Assignment) -> Assignment:
+    """Map 0/1 integers back to booleans for boolean-sorted symbols in ``term``."""
+    result: Assignment = dict(assignment)
+    for symbol in _collect_symbols(term):
+        if symbol.sort == BOOL_SORT and symbol.name in result:
+            result[symbol.name] = bool(result[symbol.name])
+    return result
+
+
+def _collect_symbols(term: Term) -> List[Symbol]:
+    found: List[Symbol] = []
+    stack = [term]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, Symbol):
+            found.append(current)
+        elif isinstance(current, BinaryTerm):
+            stack.append(current.left)
+            stack.append(current.right)
+        elif isinstance(current, (NotTerm,)):
+            stack.append(current.operand)
+        elif hasattr(current, "operand"):
+            stack.append(current.operand)
+    return found

@@ -1,0 +1,208 @@
+"""Interval (bounds-consistency) propagation for linear integer constraints.
+
+The propagator narrows per-variable integer intervals until a fixed point,
+given a conjunction of :class:`~repro.solver.linear.LinearAtom` constraints.
+It is the work-horse of the decision procedure: on the mostly-single-variable
+constraints produced by the artifact programs it decides satisfiability
+outright, and for harder conjunctions it shrinks the search box that the
+branch-and-bound search then explores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.solver.linear import EQ, LE, NE, LinearAtom
+
+#: Default symmetric bound for symbolic integers (documented in DESIGN.md).
+DEFAULT_BOUND = 1 << 16
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A closed integer interval ``[low, high]``; empty when ``low > high``."""
+
+    low: int
+    high: int
+
+    @property
+    def is_empty(self) -> bool:
+        return self.low > self.high
+
+    @property
+    def is_singleton(self) -> bool:
+        return self.low == self.high
+
+    @property
+    def width(self) -> int:
+        return max(0, self.high - self.low + 1)
+
+    def contains(self, value: int) -> bool:
+        return self.low <= value <= self.high
+
+    def intersect(self, other: "Interval") -> "Interval":
+        return Interval(max(self.low, other.low), min(self.high, other.high))
+
+    def __str__(self) -> str:
+        return f"[{self.low}, {self.high}]"
+
+
+Domains = Dict[str, Interval]
+
+
+class Inconsistent(Exception):
+    """Raised internally when propagation empties some variable's interval."""
+
+
+def initial_domains(variables: Iterable[str], bound: int = DEFAULT_BOUND) -> Domains:
+    """A fresh domain map giving every variable the default interval."""
+    return {name: Interval(-bound, bound) for name in variables}
+
+
+def propagate(atoms: List[LinearAtom], domains: Domains, max_rounds: int = 64) -> Optional[Domains]:
+    """Narrow ``domains`` using bounds consistency on ``atoms``.
+
+    Returns the narrowed domains, or ``None`` when the constraint set is
+    detected to be unsatisfiable over the given box.  ``!=`` atoms only
+    propagate when their left-hand side is constant over the current box or
+    when they can trim an endpoint.
+    """
+    current = dict(domains)
+    try:
+        for _ in range(max_rounds):
+            changed = False
+            for atom in atoms:
+                changed |= _propagate_atom(atom, current)
+            if not changed:
+                break
+        return current
+    except Inconsistent:
+        return None
+
+
+def _propagate_atom(atom: LinearAtom, domains: Domains) -> bool:
+    if atom.op == NE:
+        return _propagate_disequality(atom, domains)
+    changed = _propagate_upper(atom, domains)
+    if atom.op == EQ:
+        # expr == 0 also implies -expr <= 0.
+        mirrored = LinearAtom(atom.expr.negate(), LE)
+        changed |= _propagate_upper(mirrored, domains)
+    return changed
+
+
+def _propagate_upper(atom: LinearAtom, domains: Domains) -> bool:
+    """Propagate ``expr <= 0`` by isolating each variable in turn."""
+    changed = False
+    coeffs = atom.expr.coeffs
+    for name, coeff in coeffs:
+        rest_min, rest_max = _bounds_of_rest(atom, name, domains)
+        interval = domains[name]
+        if coeff > 0:
+            # coeff*x <= -constant - rest  =>  x <= floor((-constant - rest_min)/coeff)
+            limit = _floor_div(-atom.expr.constant - rest_min, coeff)
+            new_interval = Interval(interval.low, min(interval.high, limit))
+        else:
+            # coeff*x <= -constant - rest with coeff < 0  =>  x >= ceil(...)
+            limit = _ceil_div(-atom.expr.constant - rest_min, coeff)
+            new_interval = Interval(max(interval.low, limit), interval.high)
+        if new_interval.is_empty:
+            raise Inconsistent()
+        if new_interval != interval:
+            domains[name] = new_interval
+            changed = True
+    if not coeffs and atom.expr.constant > 0:
+        raise Inconsistent()
+    return changed
+
+
+def _propagate_disequality(atom: LinearAtom, domains: Domains) -> bool:
+    low, high = _expr_bounds(atom, domains)
+    if low == high == 0:
+        raise Inconsistent()
+    # Trim a domain endpoint when the expression is a single-variable one and
+    # the excluded value sits exactly on that endpoint.
+    coeffs = atom.expr.coeffs
+    if len(coeffs) != 1:
+        return False
+    name, coeff = coeffs[0]
+    interval = domains[name]
+    changed = False
+    # Value excluded: coeff*x + constant != 0  =>  x != -constant/coeff (if integral)
+    numerator = -atom.expr.constant
+    if numerator % coeff == 0:
+        excluded = numerator // coeff
+        if interval.low == excluded:
+            interval = Interval(interval.low + 1, interval.high)
+            changed = True
+        if interval.high == excluded:
+            interval = Interval(interval.low, interval.high - 1)
+            changed = True
+        if interval.is_empty:
+            raise Inconsistent()
+        if changed:
+            domains[name] = interval
+    return changed
+
+
+def _bounds_of_rest(atom: LinearAtom, skip: str, domains: Domains) -> Tuple[int, int]:
+    """Min and max of ``expr - coeff(skip)*skip - constant`` over the box."""
+    low = 0
+    high = 0
+    for name, coeff in atom.expr.coeffs:
+        if name == skip:
+            continue
+        interval = domains[name]
+        if coeff > 0:
+            low += coeff * interval.low
+            high += coeff * interval.high
+        else:
+            low += coeff * interval.high
+            high += coeff * interval.low
+    return low, high
+
+
+def _expr_bounds(atom: LinearAtom, domains: Domains) -> Tuple[int, int]:
+    """Min and max of the atom's expression over the current box."""
+    low = atom.expr.constant
+    high = atom.expr.constant
+    for name, coeff in atom.expr.coeffs:
+        interval = domains[name]
+        if coeff > 0:
+            low += coeff * interval.low
+            high += coeff * interval.high
+        else:
+            low += coeff * interval.high
+            high += coeff * interval.low
+    return low, high
+
+
+def atom_definitely_satisfied(atom: LinearAtom, domains: Domains) -> bool:
+    """True when the atom holds for every assignment in the box."""
+    low, high = _expr_bounds(atom, domains)
+    if atom.op == LE:
+        return high <= 0
+    if atom.op == EQ:
+        return low == high == 0
+    return high < 0 or low > 0  # NE
+
+
+def atom_definitely_violated(atom: LinearAtom, domains: Domains) -> bool:
+    """True when the atom fails for every assignment in the box."""
+    low, high = _expr_bounds(atom, domains)
+    if atom.op == LE:
+        return low > 0
+    if atom.op == EQ:
+        return high < 0 or low > 0
+    return low == high == 0  # NE
+
+
+def _floor_div(numerator: int, denominator: int) -> int:
+    """floor(numerator / denominator); Python's ``//`` already floors for any sign."""
+    return numerator // denominator
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    """ceil(numerator / denominator) for any sign of the denominator."""
+    return -((-numerator) // denominator)

@@ -1,0 +1,124 @@
+"""Term simplification: constant folding and algebraic identities.
+
+Keeping symbolic values small is important for two reasons: the solver
+linearises fewer operators, and printed path conditions stay readable (the
+paper prints conditions such as ``PedalPos + 1 == 2``).
+"""
+
+from __future__ import annotations
+
+from repro.solver.terms import (
+    ARITHMETIC_OPS,
+    COMPARISON_OPS,
+    FALSE,
+    LOGICAL_OPS,
+    TRUE,
+    BinaryTerm,
+    BoolConst,
+    IntConst,
+    NegTerm,
+    NotTerm,
+    Term,
+)
+
+
+def simplify(term: Term) -> Term:
+    """Return an equivalent, usually smaller, term."""
+    if isinstance(term, BinaryTerm):
+        left = simplify(term.left)
+        right = simplify(term.right)
+        return _simplify_binary(term.op, left, right)
+    if isinstance(term, NotTerm):
+        operand = simplify(term.operand)
+        if isinstance(operand, BoolConst):
+            return BoolConst(not operand.value)
+        if isinstance(operand, NotTerm):
+            return operand.operand
+        return NotTerm(operand)
+    if isinstance(term, NegTerm):
+        operand = simplify(term.operand)
+        if isinstance(operand, IntConst):
+            return IntConst(-operand.value)
+        if isinstance(operand, NegTerm):
+            return operand.operand
+        return NegTerm(operand)
+    return term
+
+
+def _simplify_binary(op: str, left: Term, right: Term) -> Term:
+    folded = _fold_constants(op, left, right)
+    if folded is not None:
+        return folded
+    if op in ARITHMETIC_OPS:
+        return _simplify_arithmetic(op, left, right)
+    if op in LOGICAL_OPS:
+        return _simplify_logical(op, left, right)
+    if op in COMPARISON_OPS:
+        return _simplify_comparison(op, left, right)
+    return BinaryTerm(op, left, right)
+
+
+def _fold_constants(op: str, left: Term, right: Term) -> Term:
+    both_int = isinstance(left, IntConst) and isinstance(right, IntConst)
+    both_bool = isinstance(left, BoolConst) and isinstance(right, BoolConst)
+    if not (both_int or both_bool):
+        return None
+    if op in ("/", "%") and isinstance(right, IntConst) and right.value == 0:
+        return None  # leave division by zero to the evaluator / error paths
+    value = BinaryTerm(op, left, right).evaluate({})
+    if isinstance(value, bool):
+        return BoolConst(value)
+    return IntConst(value)
+
+
+def _simplify_arithmetic(op: str, left: Term, right: Term) -> Term:
+    if op == "+":
+        if isinstance(left, IntConst) and left.value == 0:
+            return right
+        if isinstance(right, IntConst) and right.value == 0:
+            return left
+    elif op == "-":
+        if isinstance(right, IntConst) and right.value == 0:
+            return left
+        if left == right:
+            return IntConst(0)
+    elif op == "*":
+        for constant, other in ((left, right), (right, left)):
+            if isinstance(constant, IntConst):
+                if constant.value == 0:
+                    return IntConst(0)
+                if constant.value == 1:
+                    return other
+    elif op == "/":
+        if isinstance(right, IntConst) and right.value == 1:
+            return left
+    return BinaryTerm(op, left, right)
+
+
+def _simplify_logical(op: str, left: Term, right: Term) -> Term:
+    if op == "&&":
+        if left == FALSE or right == FALSE:
+            return FALSE
+        if left == TRUE:
+            return right
+        if right == TRUE:
+            return left
+    else:  # "||"
+        if left == TRUE or right == TRUE:
+            return TRUE
+        if left == FALSE:
+            return right
+        if right == FALSE:
+            return left
+    if left == right:
+        return left
+    return BinaryTerm(op, left, right)
+
+
+def _simplify_comparison(op: str, left: Term, right: Term) -> Term:
+    if left == right:
+        if op in ("==", "<=", ">="):
+            return TRUE
+        if op in ("!=", "<", ">"):
+            return FALSE
+    return BinaryTerm(op, left, right)

@@ -1,0 +1,316 @@
+"""Symbolic terms: the expression language shared by the solver and the symbolic executor.
+
+A :class:`Term` is an immutable expression tree over integer and boolean
+symbols, constants and operators.  Path conditions are conjunctions of
+boolean-sorted terms.  The same representation is used for the symbolic
+values stored in symbolic states (e.g. ``Y + X`` in Figure 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Union
+
+INT_SORT = "int"
+BOOL_SORT = "bool"
+
+ConcreteValue = Union[int, bool]
+Assignment = Dict[str, ConcreteValue]
+
+
+class EvaluationError(Exception):
+    """Raised when a term cannot be evaluated under a given assignment."""
+
+
+@dataclass(frozen=True)
+class Term:
+    """Base class of all symbolic terms."""
+
+    @property
+    def sort(self) -> str:
+        raise NotImplementedError
+
+    def symbols(self) -> FrozenSet[str]:
+        """The names of all symbolic variables occurring in the term."""
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Assignment) -> ConcreteValue:
+        """Evaluate the term under a concrete assignment of its symbols."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Dict[str, "Term"]) -> "Term":
+        """Replace symbols by terms according to ``mapping``."""
+        raise NotImplementedError
+
+    # Convenience constructors so engine code reads naturally.
+
+    def __add__(self, other: "Term") -> "Term":
+        return BinaryTerm("+", self, _as_term(other))
+
+    def __sub__(self, other: "Term") -> "Term":
+        return BinaryTerm("-", self, _as_term(other))
+
+    def __mul__(self, other: "Term") -> "Term":
+        return BinaryTerm("*", self, _as_term(other))
+
+
+@dataclass(frozen=True)
+class IntConst(Term):
+    """An integer constant."""
+
+    value: int
+
+    @property
+    def sort(self) -> str:
+        return INT_SORT
+
+    def symbols(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def evaluate(self, assignment: Assignment) -> ConcreteValue:
+        return self.value
+
+    def substitute(self, mapping: Dict[str, Term]) -> Term:
+        return self
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BoolConst(Term):
+    """A boolean constant."""
+
+    value: bool
+
+    @property
+    def sort(self) -> str:
+        return BOOL_SORT
+
+    def symbols(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def evaluate(self, assignment: Assignment) -> ConcreteValue:
+        return self.value
+
+    def substitute(self, mapping: Dict[str, Term]) -> Term:
+        return self
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+TRUE = BoolConst(True)
+FALSE = BoolConst(False)
+
+
+@dataclass(frozen=True)
+class Symbol(Term):
+    """A symbolic input variable, e.g. the ``X`` standing for argument ``x``."""
+
+    name: str
+    symbol_sort: str = INT_SORT
+
+    @property
+    def sort(self) -> str:
+        return self.symbol_sort
+
+    def symbols(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def evaluate(self, assignment: Assignment) -> ConcreteValue:
+        if self.name not in assignment:
+            raise EvaluationError(f"No value for symbol {self.name!r}")
+        return assignment[self.name]
+
+    def substitute(self, mapping: Dict[str, Term]) -> Term:
+        return mapping.get(self.name, self)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: Operator groups; the solver relies on these sets to classify terms.
+ARITHMETIC_OPS = frozenset({"+", "-", "*", "/", "%"})
+COMPARISON_OPS = frozenset({"==", "!=", "<", "<=", ">", ">="})
+LOGICAL_OPS = frozenset({"&&", "||"})
+
+_NEGATED_COMPARISON = {
+    "==": "!=",
+    "!=": "==",
+    "<": ">=",
+    "<=": ">",
+    ">": "<=",
+    ">=": "<",
+}
+
+
+@dataclass(frozen=True)
+class BinaryTerm(Term):
+    """A binary operation over two terms."""
+
+    op: str
+    left: Term
+    right: Term
+
+    @property
+    def sort(self) -> str:
+        if self.op in ARITHMETIC_OPS:
+            return INT_SORT
+        return BOOL_SORT
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.left.symbols() | self.right.symbols()
+
+    def evaluate(self, assignment: Assignment) -> ConcreteValue:
+        left = self.left.evaluate(assignment)
+        right = self.right.evaluate(assignment)
+        if self.op == "+":
+            return left + right
+        if self.op == "-":
+            return left - right
+        if self.op == "*":
+            return left * right
+        if self.op == "/":
+            if right == 0:
+                raise EvaluationError("Division by zero")
+            return _java_div(left, right)
+        if self.op == "%":
+            if right == 0:
+                raise EvaluationError("Modulo by zero")
+            return _java_mod(left, right)
+        if self.op == "==":
+            return left == right
+        if self.op == "!=":
+            return left != right
+        if self.op == "<":
+            return left < right
+        if self.op == "<=":
+            return left <= right
+        if self.op == ">":
+            return left > right
+        if self.op == ">=":
+            return left >= right
+        if self.op == "&&":
+            return bool(left) and bool(right)
+        if self.op == "||":
+            return bool(left) or bool(right)
+        raise EvaluationError(f"Unknown operator {self.op!r}")
+
+    def substitute(self, mapping: Dict[str, Term]) -> Term:
+        return BinaryTerm(self.op, self.left.substitute(mapping), self.right.substitute(mapping))
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class NotTerm(Term):
+    """Boolean negation."""
+
+    operand: Term
+
+    @property
+    def sort(self) -> str:
+        return BOOL_SORT
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.operand.symbols()
+
+    def evaluate(self, assignment: Assignment) -> ConcreteValue:
+        return not bool(self.operand.evaluate(assignment))
+
+    def substitute(self, mapping: Dict[str, Term]) -> Term:
+        return NotTerm(self.operand.substitute(mapping))
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class NegTerm(Term):
+    """Integer negation."""
+
+    operand: Term
+
+    @property
+    def sort(self) -> str:
+        return INT_SORT
+
+    def symbols(self) -> FrozenSet[str]:
+        return self.operand.symbols()
+
+    def evaluate(self, assignment: Assignment) -> ConcreteValue:
+        return -self.operand.evaluate(assignment)
+
+    def substitute(self, mapping: Dict[str, Term]) -> Term:
+        return NegTerm(self.operand.substitute(mapping))
+
+    def __str__(self) -> str:
+        return f"-({self.operand})"
+
+
+def _as_term(value) -> Term:
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, bool):
+        return BoolConst(value)
+    if isinstance(value, int):
+        return IntConst(value)
+    raise TypeError(f"Cannot convert {value!r} to a Term")
+
+
+def _java_div(left: int, right: int) -> int:
+    """Integer division truncating toward zero (Java/C semantics)."""
+    quotient = abs(left) // abs(right)
+    if (left < 0) != (right < 0):
+        quotient = -quotient
+    return quotient
+
+
+def _java_mod(left: int, right: int) -> int:
+    """Remainder consistent with :func:`_java_div`."""
+    return left - _java_div(left, right) * right
+
+
+def int_symbol(name: str) -> Symbol:
+    """Create an integer-sorted symbolic variable."""
+    return Symbol(name, INT_SORT)
+
+
+def bool_symbol(name: str) -> Symbol:
+    """Create a boolean-sorted symbolic variable."""
+    return Symbol(name, BOOL_SORT)
+
+
+def negate(term: Term) -> Term:
+    """Boolean negation with comparison flipping and De Morgan rewriting.
+
+    Rewriting conjunctions/disjunctions eagerly keeps the result in a form the
+    solver's splitter consumes directly and guarantees that repeatedly negating
+    a term terminates.
+    """
+    if isinstance(term, BoolConst):
+        return BoolConst(not term.value)
+    if isinstance(term, NotTerm):
+        return term.operand
+    if isinstance(term, BinaryTerm) and term.op in _NEGATED_COMPARISON:
+        return BinaryTerm(_NEGATED_COMPARISON[term.op], term.left, term.right)
+    if isinstance(term, BinaryTerm) and term.op == "&&":
+        return BinaryTerm("||", negate(term.left), negate(term.right))
+    if isinstance(term, BinaryTerm) and term.op == "||":
+        return BinaryTerm("&&", negate(term.left), negate(term.right))
+    return NotTerm(term)
+
+
+def conjunction(terms) -> Term:
+    """Build the conjunction of an iterable of boolean terms."""
+    result: Term = TRUE
+    first = True
+    for term in terms:
+        if first:
+            result = term
+            first = False
+        else:
+            result = BinaryTerm("&&", result, term)
+    return result

@@ -1,0 +1,35 @@
+"""Symbolic execution: the engine DiSE directs.
+
+``symbolic_execute`` performs full (traditional) symbolic execution; the DiSE
+directed search in :mod:`repro.core` reuses :class:`SymbolicExecutor` with a
+pruning :class:`~repro.symexec.strategy.ExplorationStrategy`.
+"""
+
+from repro.symexec.engine import (
+    ExecutionResult,
+    ExecutionStatistics,
+    SymbolicExecutor,
+    symbolic_execute,
+)
+from repro.symexec.evaluator import UndefinedVariableError, evaluate_expression
+from repro.symexec.state import PathCondition, SymbolicState
+from repro.symexec.strategy import ExplorationStrategy, ExploreEverything
+from repro.symexec.summary import MethodSummary, PathRecord
+from repro.symexec.tree import ExecutionTree, ExecutionTreeNode
+
+__all__ = [
+    "ExecutionResult",
+    "ExecutionStatistics",
+    "SymbolicExecutor",
+    "symbolic_execute",
+    "UndefinedVariableError",
+    "evaluate_expression",
+    "PathCondition",
+    "SymbolicState",
+    "ExplorationStrategy",
+    "ExploreEverything",
+    "MethodSummary",
+    "PathRecord",
+    "ExecutionTree",
+    "ExecutionTreeNode",
+]

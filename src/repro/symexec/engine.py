@@ -1,0 +1,366 @@
+"""The symbolic execution engine.
+
+The engine performs a stateless depth-first exploration of a procedure's CFG
+(the same regime as Symbolic PathFinder, see paper §4.1): it keeps no visited
+set, re-checks path-condition satisfiability every time a branch constraint is
+appended, and bounds loops/recursion with an optional depth bound on the
+number of branch decisions.
+
+The engine is shared between *full* symbolic execution and DiSE's *directed*
+symbolic execution: the latter only differs in the
+:class:`~repro.symexec.strategy.ExplorationStrategy` it plugs in.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.ir import FALSE_EDGE, TRUE_EDGE, CFGNode, NodeKind
+from repro.lang.ast_nodes import BoolLiteral, GlobalDecl, IntLiteral, Procedure, Program, UnaryOp
+from repro.solver.core import ConstraintSolver
+from repro.solver.simplify import simplify
+from repro.solver.terms import (
+    BOOL_SORT,
+    INT_SORT,
+    BoolConst,
+    IntConst,
+    Symbol,
+    Term,
+    negate,
+)
+from repro.symexec.evaluator import evaluate_expression
+from repro.symexec.state import PathCondition, SymbolicState
+from repro.symexec.strategy import ExplorationStrategy, ExploreEverything
+from repro.symexec.summary import MethodSummary, PathRecord
+from repro.symexec.tree import ExecutionTree, ExecutionTreeNode
+
+
+@dataclass
+class ExecutionStatistics:
+    """Metrics reported for one symbolic execution run (paper §4.2.2)."""
+
+    states_explored: int = 0
+    path_conditions: int = 0
+    error_paths: int = 0
+    infeasible_branches: int = 0
+    pruned_by_strategy: int = 0
+    depth_bound_hits: int = 0
+    elapsed_seconds: float = 0.0
+    solver_queries: int = 0
+    solver_cache_hits: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "states_explored": self.states_explored,
+            "path_conditions": self.path_conditions,
+            "error_paths": self.error_paths,
+            "infeasible_branches": self.infeasible_branches,
+            "pruned_by_strategy": self.pruned_by_strategy,
+            "depth_bound_hits": self.depth_bound_hits,
+            "elapsed_seconds": self.elapsed_seconds,
+            "solver_queries": self.solver_queries,
+            "solver_cache_hits": self.solver_cache_hits,
+        }
+
+
+@dataclass
+class ExecutionResult:
+    """Everything produced by one run: summary, statistics and optional tree."""
+
+    summary: MethodSummary
+    statistics: ExecutionStatistics
+    tree: Optional[ExecutionTree] = None
+
+    @property
+    def path_conditions(self) -> List[PathCondition]:
+        return self.summary.path_conditions
+
+
+class _Frame:
+    """One depth-first-search stack frame: a visited state and its successors."""
+
+    __slots__ = ("state", "successors", "index", "tree_node", "explored_any")
+
+    def __init__(
+        self,
+        state: SymbolicState,
+        successors: List[Tuple[SymbolicState, str]],
+        tree_node: Optional[ExecutionTreeNode],
+    ):
+        self.state = state
+        self.successors = successors
+        self.index = 0
+        self.tree_node = tree_node
+        self.explored_any = False
+
+    @property
+    def is_choice_point(self) -> bool:
+        """Strategies are consulted for the successors of branch nodes.
+
+        This mirrors the paper's Fig. 6, where ``AffectedLocIsReachable`` is
+        evaluated when symbolic execution is about to follow a conditional
+        branch outcome; straight-line transitions (assignments, entry/exit)
+        are always followed so that a path which has passed its last branch
+        runs to completion and reports a fully formed path condition.
+        """
+        return self.state.node.kind is NodeKind.BRANCH and len(self.successors) > 0
+
+
+class SymbolicExecutor:
+    """Full symbolic execution of one MiniLang procedure.
+
+    Args:
+        program: the program containing the procedure (supplies global
+            variable declarations).  May also be a bare :class:`Procedure`,
+            in which case there are no globals.
+        procedure_name: the procedure to execute symbolically (defaults to
+            the first procedure of the program).
+        cfg: an optional pre-built CFG for that procedure; built on demand.
+        solver: an optional shared constraint solver instance.
+        depth_bound: maximum number of branch decisions per path (``None``
+            means unbounded, which is safe only for loop-free procedures).
+        strategy: the exploration strategy (defaults to explore-everything).
+        build_tree: when True, materialise the symbolic execution tree.
+        tracked_variables: restrict the variables stored in tree nodes.
+    """
+
+    def __init__(
+        self,
+        program,
+        procedure_name: Optional[str] = None,
+        cfg: Optional[ControlFlowGraph] = None,
+        solver: Optional[ConstraintSolver] = None,
+        depth_bound: Optional[int] = None,
+        strategy: Optional[ExplorationStrategy] = None,
+        build_tree: bool = False,
+        tracked_variables: Optional[Sequence[str]] = None,
+    ):
+        if isinstance(program, Procedure):
+            self.program = Program(globals=[], procedures=[program])
+            self.procedure = program
+        elif isinstance(program, Program):
+            self.program = program
+            if procedure_name is None:
+                if not program.procedures:
+                    raise ValueError("Program has no procedures")
+                self.procedure = program.procedures[0]
+            else:
+                self.procedure = program.procedure(procedure_name)
+        else:
+            raise TypeError("program must be a Program or a Procedure")
+        self.cfg = cfg or build_cfg(self.procedure)
+        self.solver = solver or ConstraintSolver()
+        self.depth_bound = depth_bound
+        self.strategy = strategy or ExploreEverything()
+        self.build_tree = build_tree
+        self.tracked_variables = list(tracked_variables) if tracked_variables else None
+        self.statistics = ExecutionStatistics()
+
+    # -- initial state -------------------------------------------------------
+
+    def initial_environment(self) -> Dict[str, Term]:
+        """Symbolic inputs for parameters, constants/symbols for globals."""
+        environment: Dict[str, Term] = {}
+        for decl in self.program.globals:
+            environment[decl.name] = self._global_initial_value(decl)
+        for param in self.procedure.params:
+            sort = BOOL_SORT if param.type_name == "bool" else INT_SORT
+            environment[param.name] = Symbol(param.name, sort)
+        return environment
+
+    @staticmethod
+    def _global_initial_value(decl: GlobalDecl) -> Term:
+        if decl.init is None:
+            # Uninitialised globals are treated as symbolic inputs, matching
+            # the paper's testX example where the field y is symbolic.
+            sort = BOOL_SORT if decl.type_name == "bool" else INT_SORT
+            return Symbol(decl.name, sort)
+        init = decl.init
+        if isinstance(init, IntLiteral):
+            return IntConst(init.value)
+        if isinstance(init, BoolLiteral):
+            return BoolConst(init.value)
+        if isinstance(init, UnaryOp) and isinstance(init.operand, IntLiteral):
+            return IntConst(-init.operand.value)
+        raise ValueError(f"Unsupported global initialiser: {init}")
+
+    def initial_state(self) -> SymbolicState:
+        assert self.cfg.begin is not None
+        return SymbolicState.make(
+            node=self.cfg.begin,
+            environment=self.initial_environment(),
+            trace=(self.cfg.begin.node_id,),
+        )
+
+    # -- exploration ---------------------------------------------------------
+
+    def run(self) -> ExecutionResult:
+        """Explore the procedure and return summary + statistics (+ tree)."""
+        self.statistics = ExecutionStatistics()
+        summary = MethodSummary(self.procedure.name)
+        start_queries = self.solver.statistics.queries
+        start_hits = self.solver.statistics.cache_hits
+        started = time.perf_counter()
+
+        initial = self.initial_state()
+        self.strategy.on_run_start(initial)
+        tree_root: Optional[ExecutionTreeNode] = None
+        if self.build_tree:
+            tree_root = ExecutionTree.node_from_state(initial, self.tracked_variables)
+
+        # Iterative DFS that mirrors the recursive structure of Fig. 6: each
+        # stack frame lazily iterates a state's successors so that the
+        # strategy's should_explore sees set updates made while exploring
+        # earlier siblings' subtrees.  The strategy is consulted only at
+        # choice points (successors of branch nodes); if it rejects every
+        # choice it may ask for the first feasible one to be taken anyway so
+        # the current path still completes (should_force_completion).
+        first_successors = self._visit(initial, summary, tree_root)
+        stack: List[_Frame] = [_Frame(initial, list(first_successors), tree_root)]
+        while stack:
+            frame = stack[-1]
+            if frame.index >= len(frame.successors):
+                if (
+                    frame.is_choice_point
+                    and not frame.explored_any
+                    and frame.successors
+                    and self.strategy.should_force_completion(frame.state)
+                ):
+                    frame.explored_any = True
+                    successor, edge_label = frame.successors[0]
+                    stack.append(self._enter(successor, edge_label, frame, summary))
+                    continue
+                stack.pop()
+                continue
+            successor, edge_label = frame.successors[frame.index]
+            frame.index += 1
+            if frame.is_choice_point and not self.strategy.should_explore(successor):
+                self.statistics.pruned_by_strategy += 1
+                continue
+            frame.explored_any = True
+            stack.append(self._enter(successor, edge_label, frame, summary))
+
+        self.strategy.on_run_end()
+        self.statistics.elapsed_seconds = time.perf_counter() - started
+        self.statistics.path_conditions = len(summary)
+        self.statistics.solver_queries = self.solver.statistics.queries - start_queries
+        self.statistics.solver_cache_hits = self.solver.statistics.cache_hits - start_hits
+        tree = ExecutionTree(tree_root) if self.build_tree else None
+        return ExecutionResult(summary=summary, statistics=self.statistics, tree=tree)
+
+    def _enter(
+        self,
+        successor: SymbolicState,
+        edge_label: str,
+        parent_frame: "_Frame",
+        summary: MethodSummary,
+    ) -> "_Frame":
+        """Visit a successor state and create its DFS frame."""
+        child_tree: Optional[ExecutionTreeNode] = None
+        if self.build_tree and parent_frame.tree_node is not None:
+            child_tree = ExecutionTree.node_from_state(
+                successor, self.tracked_variables, edge_label
+            )
+            parent_frame.tree_node.add_child(child_tree)
+        next_successors = self._visit(successor, summary, child_tree)
+        return _Frame(successor, list(next_successors), child_tree)
+
+    # -- state processing ----------------------------------------------------
+
+    def _visit(
+        self,
+        state: SymbolicState,
+        summary: MethodSummary,
+        tree_node: Optional[ExecutionTreeNode],
+    ) -> List[Tuple[SymbolicState, str]]:
+        """Count, record and expand one state; returns its feasible successors."""
+        self.statistics.states_explored += 1
+        node = state.node
+
+        if self.depth_bound is not None and state.depth > self.depth_bound:
+            self.statistics.depth_bound_hits += 1
+            return []
+
+        self.strategy.on_state(state)
+
+        if node.kind is NodeKind.END:
+            summary.add(self._record(state, is_error=False))
+            self.strategy.on_path_complete(state, is_error=False)
+            return []
+        if node.kind is NodeKind.ERROR:
+            self.statistics.error_paths += 1
+            summary.add(self._record(state, is_error=True))
+            self.strategy.on_path_complete(state, is_error=True)
+            return []
+        return self._successors(state)
+
+    def _record(self, state: SymbolicState, is_error: bool) -> PathRecord:
+        return PathRecord(
+            path_condition=state.path_condition,
+            final_environment=state.environment,
+            trace=state.trace,
+            is_error=is_error,
+        )
+
+    def _successors(self, state: SymbolicState) -> List[Tuple[SymbolicState, str]]:
+        node = state.node
+        if node.kind is NodeKind.BRANCH:
+            return self._branch_successors(state, node)
+        successors = self.cfg.successors(node)
+        if not successors:
+            return []
+        target = successors[0]
+        if node.kind is NodeKind.ASSIGN:
+            value = evaluate_expression(node.expr, state.env_dict())
+            return [(state.with_assignment(target, node.target, value), "")]
+        return [(state.with_node(target), "")]
+
+    def _branch_successors(
+        self, state: SymbolicState, node: CFGNode
+    ) -> List[Tuple[SymbolicState, str]]:
+        condition = evaluate_expression(node.condition, state.env_dict())
+        true_target = self.cfg.successor_on(node, TRUE_EDGE)
+        false_target = self.cfg.successor_on(node, FALSE_EDGE)
+
+        condition = simplify(condition)
+        if isinstance(condition, BoolConst):
+            # Concrete branch: follow the only possible side without touching
+            # the path condition or the solver.
+            target = true_target if condition.value else false_target
+            return [(state.with_node(target), "true" if condition.value else "false")]
+
+        successors: List[Tuple[SymbolicState, str]] = []
+        for branch_condition, target, label in (
+            (condition, true_target, "true"),
+            (negate(condition), false_target, "false"),
+        ):
+            candidate = state.path_condition.extend(branch_condition)
+            if self.solver.is_satisfiable(candidate.constraints):
+                successors.append((state.with_constraint(target, branch_condition), label))
+            else:
+                self.statistics.infeasible_branches += 1
+        return successors
+
+
+def symbolic_execute(
+    program,
+    procedure_name: Optional[str] = None,
+    depth_bound: Optional[int] = None,
+    solver: Optional[ConstraintSolver] = None,
+    build_tree: bool = False,
+    tracked_variables: Optional[Sequence[str]] = None,
+) -> ExecutionResult:
+    """Run full symbolic execution on one procedure and return the result."""
+    executor = SymbolicExecutor(
+        program,
+        procedure_name=procedure_name,
+        depth_bound=depth_bound,
+        solver=solver,
+        build_tree=build_tree,
+        tracked_variables=tracked_variables,
+    )
+    return executor.run()

@@ -1,0 +1,63 @@
+"""Evaluation of MiniLang expressions into symbolic terms.
+
+Given a symbolic environment (variable name -> :class:`~repro.solver.terms.Term`),
+an AST expression is translated into the term it denotes.  This is the step
+that turns ``y = y + x`` into the symbolic value ``Y + X`` in Figure 1 of the
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.lang.ast_nodes import (
+    BinaryOp,
+    BoolLiteral,
+    Expr,
+    IntLiteral,
+    UnaryOp,
+    VarRef,
+)
+from repro.solver.simplify import simplify
+from repro.solver.terms import (
+    BinaryTerm,
+    BoolConst,
+    IntConst,
+    NegTerm,
+    NotTerm,
+    Term,
+)
+
+
+class UndefinedVariableError(Exception):
+    """Raised when an expression reads a variable with no symbolic value."""
+
+
+def evaluate_expression(expr: Expr, environment: Mapping[str, Term]) -> Term:
+    """Translate ``expr`` to a (simplified) symbolic term under ``environment``."""
+    return simplify(_translate(expr, environment))
+
+
+def _translate(expr: Expr, environment: Mapping[str, Term]) -> Term:
+    if isinstance(expr, IntLiteral):
+        return IntConst(expr.value)
+    if isinstance(expr, BoolLiteral):
+        return BoolConst(expr.value)
+    if isinstance(expr, VarRef):
+        if expr.name not in environment:
+            raise UndefinedVariableError(
+                f"Variable {expr.name!r} read before any definition (line {expr.line})"
+            )
+        return environment[expr.name]
+    if isinstance(expr, UnaryOp):
+        operand = _translate(expr.operand, environment)
+        if expr.op == "-":
+            return NegTerm(operand)
+        if expr.op == "!":
+            return NotTerm(operand)
+        raise ValueError(f"Unknown unary operator {expr.op!r}")
+    if isinstance(expr, BinaryOp):
+        left = _translate(expr.left, environment)
+        right = _translate(expr.right, environment)
+        return BinaryTerm(expr.op, left, right)
+    raise TypeError(f"Cannot evaluate expression of type {type(expr).__name__}")

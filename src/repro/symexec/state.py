@@ -1,0 +1,119 @@
+"""Symbolic program states and path conditions.
+
+A symbolic state (paper §2.1) contains a program location (a CFG node), a
+symbolic value for every program variable, and the path condition collected
+along the path that reached the state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.cfg.ir import CFGNode
+from repro.solver.simplify import simplify
+from repro.solver.terms import Assignment, Term, conjunction
+
+
+@dataclass(frozen=True)
+class PathCondition:
+    """An immutable conjunction of constraints over the symbolic inputs."""
+
+    constraints: Tuple[Term, ...] = ()
+
+    def extend(self, constraint: Term) -> "PathCondition":
+        """Return a new path condition with ``constraint`` appended."""
+        return PathCondition(self.constraints + (simplify(constraint),))
+
+    def as_term(self) -> Term:
+        """The path condition as a single conjunction term."""
+        return conjunction(self.constraints)
+
+    def holds(self, assignment: Assignment) -> bool:
+        """Evaluate the path condition under a concrete assignment."""
+        return all(bool(term.evaluate(assignment)) for term in self.constraints)
+
+    def __len__(self) -> int:
+        return len(self.constraints)
+
+    def __iter__(self):
+        return iter(self.constraints)
+
+    def __str__(self) -> str:
+        if not self.constraints:
+            return "true"
+        return " && ".join(str(term) for term in self.constraints)
+
+
+@dataclass(frozen=True)
+class SymbolicState:
+    """A symbolic execution state: location + symbolic environment + PC."""
+
+    node: CFGNode
+    environment: Tuple[Tuple[str, Term], ...]
+    path_condition: PathCondition = field(default_factory=PathCondition)
+    depth: int = 0
+    trace: Tuple[int, ...] = ()
+
+    @staticmethod
+    def make(
+        node: CFGNode,
+        environment: Dict[str, Term],
+        path_condition: Optional[PathCondition] = None,
+        depth: int = 0,
+        trace: Tuple[int, ...] = (),
+    ) -> "SymbolicState":
+        return SymbolicState(
+            node=node,
+            environment=tuple(sorted(environment.items())),
+            path_condition=path_condition or PathCondition(),
+            depth=depth,
+            trace=trace,
+        )
+
+    def env_dict(self) -> Dict[str, Term]:
+        """The symbolic environment as a mutable dictionary."""
+        return dict(self.environment)
+
+    def value_of(self, name: str) -> Term:
+        """The symbolic value of variable ``name``."""
+        for key, value in self.environment:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def with_node(self, node: CFGNode) -> "SymbolicState":
+        return SymbolicState(
+            node=node,
+            environment=self.environment,
+            path_condition=self.path_condition,
+            depth=self.depth,
+            trace=self.trace + (node.node_id,),
+        )
+
+    def with_assignment(self, node: CFGNode, name: str, value: Term) -> "SymbolicState":
+        env = self.env_dict()
+        env[name] = value
+        return SymbolicState.make(
+            node=node,
+            environment=env,
+            path_condition=self.path_condition,
+            depth=self.depth,
+            trace=self.trace + (node.node_id,),
+        )
+
+    def with_constraint(self, node: CFGNode, constraint: Term) -> "SymbolicState":
+        return SymbolicState(
+            node=node,
+            environment=self.environment,
+            path_condition=self.path_condition.extend(constraint),
+            depth=self.depth + 1,
+            trace=self.trace + (node.node_id,),
+        )
+
+    def describe(self) -> str:
+        env = ", ".join(f"{name}: {value}" for name, value in self.environment)
+        return f"Loc: {self.node.name}\n{env}\nPC: {self.path_condition}"
+
+    def __str__(self) -> str:
+        return f"<state at {self.node.name} depth={self.depth} PC={self.path_condition}>"

@@ -1,0 +1,54 @@
+"""Exploration strategies: hooks that let clients steer the symbolic executor.
+
+Full (traditional) symbolic execution uses :class:`ExploreEverything`.  The
+DiSE directed search (``repro.core.directed``) plugs in a strategy whose
+``should_explore`` implements ``AffectedLocIsReachable`` and whose
+``on_state`` implements ``UpdateExploredSet`` from Figure 6 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.symexec.state import SymbolicState
+
+
+class ExplorationStrategy:
+    """Base strategy: explore every feasible successor.
+
+    The engine consults ``should_explore`` only at *choice points*, i.e. for
+    the successors of conditional branch nodes, which mirrors an SPF-style
+    implementation where search strategies intercept choice generators.
+    Straight-line transitions (assignments, entry/exit nodes) are always
+    followed.
+    """
+
+    def on_run_start(self, initial_state: SymbolicState) -> None:
+        """Called once before exploration starts."""
+
+    def on_state(self, state: SymbolicState) -> None:
+        """Called when a state is visited (before its successors are generated)."""
+
+    def should_explore(self, successor: SymbolicState) -> bool:
+        """Decide whether a feasible branch successor should be explored."""
+        return True
+
+    def should_force_completion(self, state: SymbolicState) -> bool:
+        """Whether to explore one pruned successor when *all* were pruned.
+
+        Called when every feasible successor of a branch state was rejected by
+        ``should_explore``.  Returning True makes the engine follow the first
+        feasible successor anyway so the current path can run to completion
+        (DiSE uses this so that a path that has already covered affected nodes
+        still produces a fully formed path condition containing one feasible
+        instance of the remaining, unaffected branches).
+        """
+        return False
+
+    def on_path_complete(self, state: SymbolicState, is_error: bool) -> None:
+        """Called when a path terminates at the exit or at an error node."""
+
+    def on_run_end(self) -> None:
+        """Called once after exploration finishes."""
+
+
+class ExploreEverything(ExplorationStrategy):
+    """The strategy used by full symbolic execution: never prune."""

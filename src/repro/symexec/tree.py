@@ -1,0 +1,87 @@
+"""Symbolic execution trees (paper Figure 1).
+
+The tree is optional instrumentation: the engine only materialises it when
+asked, because full trees for the larger artifacts are huge.  The renderer
+produces the same node text as Figure 1: location, symbolic values of the
+tracked variables and the path condition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.solver.terms import Term
+from repro.symexec.state import SymbolicState
+
+
+@dataclass
+class ExecutionTreeNode:
+    """One node of a symbolic execution tree."""
+
+    location: str
+    environment: Dict[str, Term]
+    path_condition: str
+    children: List["ExecutionTreeNode"] = field(default_factory=list)
+    edge_label: str = ""
+
+    def add_child(self, child: "ExecutionTreeNode") -> None:
+        self.children.append(child)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def count(self) -> int:
+        """Total number of nodes in this subtree."""
+        return 1 + sum(child.count() for child in self.children)
+
+    def leaves(self) -> List["ExecutionTreeNode"]:
+        if self.is_leaf:
+            return [self]
+        result: List[ExecutionTreeNode] = []
+        for child in self.children:
+            result.extend(child.leaves())
+        return result
+
+
+class ExecutionTree:
+    """Container for the root of a symbolic execution tree."""
+
+    def __init__(self, root: Optional[ExecutionTreeNode] = None):
+        self.root = root
+
+    @staticmethod
+    def node_from_state(state: SymbolicState, variables: Optional[Sequence[str]] = None,
+                        edge_label: str = "") -> ExecutionTreeNode:
+        env = state.env_dict()
+        if variables is not None:
+            env = {name: env[name] for name in variables if name in env}
+        return ExecutionTreeNode(
+            location=state.node.name if state.node.line == 0 else f"Loc: {state.node.line}",
+            environment=env,
+            path_condition=str(state.path_condition),
+            edge_label=edge_label,
+        )
+
+    def count(self) -> int:
+        return self.root.count() if self.root else 0
+
+    def render(self) -> str:
+        """A textual rendering of the tree (used by the Figure 1 benchmark)."""
+        if self.root is None:
+            return "<empty tree>"
+        lines: List[str] = []
+        self._render_node(self.root, lines, prefix="", is_last=True)
+        return "\n".join(lines)
+
+    def _render_node(
+        self, node: ExecutionTreeNode, lines: List[str], prefix: str, is_last: bool
+    ) -> None:
+        connector = "`-- " if is_last else "|-- "
+        env = ", ".join(f"{name}: {value}" for name, value in sorted(node.environment.items()))
+        label = f"[{node.edge_label}] " if node.edge_label else ""
+        lines.append(f"{prefix}{connector}{label}{node.location}  {env}  PC: {node.path_condition}")
+        child_prefix = prefix + ("    " if is_last else "|   ")
+        for index, child in enumerate(node.children):
+            self._render_node(child, lines, child_prefix, index == len(node.children) - 1)

@@ -1,0 +1,107 @@
+"""Tests for control dependence (Definition 3.9)."""
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.control_dependence import ControlDependence
+from repro.lang.parser import parse_program
+
+
+@pytest.fixture
+def update_cd(update_modified_cfg):
+    return ControlDependence(update_modified_cfg)
+
+
+class TestUpdateExample:
+    """Control dependences used in the paper's affected-set computation."""
+
+    def test_n1_is_control_dependent_on_n0(self, update_modified_cfg, update_cd):
+        # "node n1 is control dependent on n0"
+        assert update_cd.is_control_dependent(
+            update_modified_cfg.node(0), update_modified_cfg.node(1)
+        )
+
+    def test_n2_is_control_dependent_on_n0(self, update_modified_cfg, update_cd):
+        assert update_cd.is_control_dependent(
+            update_modified_cfg.node(0), update_modified_cfg.node(2)
+        )
+
+    def test_n3_and_n4_depend_on_n2(self, update_modified_cfg, update_cd):
+        n2 = update_modified_cfg.node(2)
+        assert update_cd.is_control_dependent(n2, update_modified_cfg.node(3))
+        assert update_cd.is_control_dependent(n2, update_modified_cfg.node(4))
+
+    def test_n11_depends_on_n10_and_n13_n14_on_n12(self, update_modified_cfg, update_cd):
+        assert update_cd.is_control_dependent(
+            update_modified_cfg.node(10), update_modified_cfg.node(11)
+        )
+        assert update_cd.is_control_dependent(
+            update_modified_cfg.node(12), update_modified_cfg.node(13)
+        )
+        assert update_cd.is_control_dependent(
+            update_modified_cfg.node(12), update_modified_cfg.node(14)
+        )
+
+    def test_n5_is_not_control_dependent_on_n0(self, update_modified_cfg, update_cd):
+        # n5 executes on every path, so it depends on nothing.
+        assert not update_cd.is_control_dependent(
+            update_modified_cfg.node(0), update_modified_cfg.node(5)
+        )
+        assert update_cd.controllers_of(update_modified_cfg.node(5)) == frozenset()
+
+    def test_bswitch_chain_does_not_depend_on_pedal_chain(self, update_modified_cfg, update_cd):
+        assert not update_cd.is_control_dependent(
+            update_modified_cfg.node(0), update_modified_cfg.node(6)
+        )
+        assert not update_cd.is_control_dependent(
+            update_modified_cfg.node(0), update_modified_cfg.node(7)
+        )
+
+    def test_dependents_of_n0(self, update_modified_cfg, update_cd):
+        # Control dependence is not transitive: n3/n4 depend on n2, not on n0
+        # (the affected-set rules pick them up through n2, see Fig. 5(b)).
+        dependents = update_cd.dependents_of(update_modified_cfg.node(0))
+        assert dependents == frozenset({1, 2})
+
+
+class TestSmallGraphs:
+    def test_no_dependence_in_straight_line_code(self):
+        cfg = build_cfg(parse_program("proc f(int x) { x = 1; x = 2; }"))
+        cd = ControlDependence(cfg)
+        first, second = cfg.write_nodes()
+        assert not cd.is_control_dependent(first, second)
+
+    def test_loop_body_depends_on_loop_header(self):
+        cfg = build_cfg(parse_program("proc f(int x) { while (x > 0) { x = x - 1; } }"))
+        cd = ControlDependence(cfg)
+        header = cfg.branch_nodes()[0]
+        body = cfg.write_nodes()[0]
+        assert cd.is_control_dependent(header, body)
+
+    def test_statement_after_if_join_not_dependent(self):
+        cfg = build_cfg(
+            parse_program("proc f(int x) { if (x > 0) { x = 1; } else { x = 2; } x = 3; }")
+        )
+        cd = ControlDependence(cfg)
+        branch = cfg.branch_nodes()[0]
+        join_write = [n for n in cfg.write_nodes() if n.label == "x = 3"][0]
+        assert not cd.is_control_dependent(branch, join_write)
+
+    def test_nested_if_dependences(self):
+        cfg = build_cfg(
+            parse_program(
+                "proc f(int x) { if (x > 0) { if (x > 1) { x = 2; } } else { x = 3; } }"
+            )
+        )
+        cd = ControlDependence(cfg)
+        outer, inner = cfg.branch_nodes()
+        innermost_write = [n for n in cfg.write_nodes() if n.label == "x = 2"][0]
+        assert cd.is_control_dependent(outer, inner)
+        assert cd.is_control_dependent(inner, innermost_write)
+        assert not cd.is_control_dependent(outer, innermost_write)
+
+    def test_non_branch_nodes_have_no_dependents(self):
+        cfg = build_cfg(parse_program("proc f(int x) { x = 1; if (x > 0) { x = 2; } }"))
+        cd = ControlDependence(cfg)
+        write = cfg.write_nodes()[0]
+        assert cd.dependents_of(write) == frozenset()

@@ -1,0 +1,110 @@
+"""Tests for Def/Use maps, reachability and reaching definitions."""
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.dataflow import DefUse, Reachability, ReachingDefinitions
+from repro.lang.parser import parse_program
+
+
+class TestDefUseOnUpdateExample:
+    def test_def_of_write_nodes(self, update_modified_cfg):
+        def_use = DefUse(update_modified_cfg)
+        # Def(n9) = Meter (paper example, line 13 of Fig. 2(a))
+        assert def_use.definition(update_modified_cfg.node(9)) == "Meter"
+        assert def_use.definition(update_modified_cfg.node(1)) == "PedalCmd"
+
+    def test_def_of_branch_node_is_none(self, update_modified_cfg):
+        def_use = DefUse(update_modified_cfg)
+        assert def_use.definition(update_modified_cfg.node(10)) is None
+
+    def test_use_of_branch_node(self, update_modified_cfg):
+        def_use = DefUse(update_modified_cfg)
+        # Use(n10) = {PedalCmd} (paper example, line 15 of Fig. 2(a))
+        assert def_use.uses(update_modified_cfg.node(10)) == ("PedalCmd",)
+        assert def_use.uses(update_modified_cfg.node(0)) == ("PedalPos",)
+
+    def test_use_of_constant_write_is_empty(self, update_modified_cfg):
+        def_use = DefUse(update_modified_cfg)
+        assert def_use.uses(update_modified_cfg.node(7)) == ()
+
+    def test_nodes_defining_and_using(self, update_modified_cfg):
+        def_use = DefUse(update_modified_cfg)
+        defining = {n.node_id for n in def_use.nodes_defining("PedalCmd")}
+        assert defining == {1, 3, 4, 5}
+        using = {n.node_id for n in def_use.nodes_using("PedalCmd")}
+        assert using == {1, 3, 5, 10, 12}
+
+
+class TestReachability:
+    def test_matches_cfg_is_cfg_path(self, update_modified_cfg):
+        reach = Reachability(update_modified_cfg)
+        nodes = update_modified_cfg.nodes
+        for source in nodes:
+            for target in nodes:
+                assert reach.is_cfg_path(source, target) == update_modified_cfg.is_cfg_path(
+                    source, target
+                )
+
+    def test_reflexive(self, update_modified_cfg):
+        reach = Reachability(update_modified_cfg)
+        n5 = update_modified_cfg.node(5)
+        assert reach.is_cfg_path(n5, n5)
+
+    def test_no_backward_paths_in_loop_free_cfg(self, update_modified_cfg):
+        reach = Reachability(update_modified_cfg)
+        assert not reach.is_cfg_path(update_modified_cfg.node(10), update_modified_cfg.node(0))
+
+    def test_loop_allows_round_trip(self):
+        cfg = build_cfg(parse_program("proc f(int x) { while (x > 0) { x = x - 1; } }"))
+        reach = Reachability(cfg)
+        header = cfg.branch_nodes()[0]
+        body = cfg.write_nodes()[0]
+        assert reach.is_cfg_path(header, body)
+        assert reach.is_cfg_path(body, header)
+
+
+class TestReachingDefinitions:
+    def test_single_definition_reaches_use(self):
+        cfg = build_cfg(parse_program("proc f(int x) { int y = x; if (y > 0) { y = 1; } }"))
+        analysis = ReachingDefinitions(cfg)
+        branch = cfg.branch_nodes()[0]
+        defs = analysis.definitions_reaching_use(branch, "y")
+        assert [d.label for d in defs] == ["y = x"]
+
+    def test_definition_killed_by_redefinition(self):
+        cfg = build_cfg(parse_program("proc f(int x) { x = 1; x = 2; if (x > 0) { skip; } }"))
+        analysis = ReachingDefinitions(cfg)
+        branch = cfg.branch_nodes()[0]
+        defs = analysis.definitions_reaching_use(branch, "x")
+        assert [d.label for d in defs] == ["x = 2"]
+
+    def test_both_branch_definitions_reach_join(self):
+        cfg = build_cfg(
+            parse_program(
+                "proc f(int c) { int x = 0; if (c > 0) { x = 1; } else { x = 2; } if (x > 0) { skip; } }"
+            )
+        )
+        analysis = ReachingDefinitions(cfg)
+        final_branch = cfg.branch_nodes()[1]
+        labels = {d.label for d in analysis.definitions_reaching_use(final_branch, "x")}
+        assert labels == {"x = 1", "x = 2"}
+
+    def test_update_example_pedalcmd_definitions_reach_n10(self, update_modified_cfg):
+        analysis = ReachingDefinitions(update_modified_cfg)
+        n10 = update_modified_cfg.node(10)
+        defs = {d.node_id for d in analysis.definitions_reaching_use(n10, "PedalCmd")}
+        # only the line-8 redefinition (n5) survives; n1/n3/n4 are killed by it
+        assert defs == {5}
+
+    def test_parameter_has_no_reaching_definition(self, update_modified_cfg):
+        analysis = ReachingDefinitions(update_modified_cfg)
+        n0 = update_modified_cfg.node(0)
+        assert analysis.definitions_reaching_use(n0, "PedalPos") == []
+
+    def test_loop_definition_reaches_header(self):
+        cfg = build_cfg(parse_program("proc f(int x) { while (x > 0) { x = x - 1; } }"))
+        analysis = ReachingDefinitions(cfg)
+        header = cfg.branch_nodes()[0]
+        labels = {d.label for d in analysis.definitions_reaching_use(header, "x")}
+        assert labels == {"x = (x - 1)"}

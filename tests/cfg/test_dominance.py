@@ -1,0 +1,85 @@
+"""Tests for post-dominance (Definition 3.8)."""
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.dominance import PostDominance
+from repro.lang.parser import parse_program
+
+
+@pytest.fixture
+def update_pd(update_modified_cfg):
+    return PostDominance(update_modified_cfg)
+
+
+def node(cfg, node_id):
+    return cfg.node(node_id)
+
+
+class TestUpdateExample:
+    """Checks taken directly from the paper's running example."""
+
+    def test_n5_post_dominates_n0(self, update_modified_cfg, update_pd):
+        # "postDom(n0, n5) returns true because all paths from n0 to nend go through n5"
+        assert update_pd.post_dominates(node(update_modified_cfg, 0), node(update_modified_cfg, 5))
+
+    def test_post_dominance_is_reflexive(self, update_modified_cfg, update_pd):
+        # "postDom(n1, n1) is true"
+        n1 = node(update_modified_cfg, 1)
+        assert update_pd.post_dominates(n1, n1)
+
+    def test_n1_does_not_post_dominate_n2_branchside(self, update_modified_cfg, update_pd):
+        # "postDom(n1, n2) is false" (n2 is on the other side of the branch)
+        assert not update_pd.post_dominates(node(update_modified_cfg, 2), node(update_modified_cfg, 1))
+
+    def test_exit_post_dominates_everything(self, update_modified_cfg, update_pd):
+        for candidate in update_modified_cfg.nodes:
+            assert update_pd.post_dominates(candidate, update_modified_cfg.end)
+
+    def test_branch_targets_do_not_post_dominate_branch(self, update_modified_cfg, update_pd):
+        n0 = node(update_modified_cfg, 0)
+        assert not update_pd.post_dominates(n0, node(update_modified_cfg, 1))
+        assert not update_pd.post_dominates(n0, node(update_modified_cfg, 2))
+
+    def test_n10_post_dominates_whole_prefix(self, update_modified_cfg, update_pd):
+        n10 = node(update_modified_cfg, 10)
+        for source_id in (0, 1, 2, 3, 4, 5, 6, 7, 8, 9):
+            assert update_pd.post_dominates(node(update_modified_cfg, source_id), n10)
+
+
+class TestSmallGraphs:
+    def test_straight_line(self):
+        cfg = build_cfg(parse_program("proc f(int x) { x = 1; x = 2; }"))
+        pd = PostDominance(cfg)
+        first, second = cfg.write_nodes()
+        assert pd.post_dominates(first, second)
+        assert not pd.post_dominates(second, first)
+
+    def test_loop_body_does_not_post_dominate_header(self):
+        cfg = build_cfg(parse_program("proc f(int x) { while (x > 0) { x = x - 1; } }"))
+        pd = PostDominance(cfg)
+        header = cfg.branch_nodes()[0]
+        body = cfg.write_nodes()[0]
+        assert not pd.post_dominates(header, body)
+        assert pd.post_dominates(body, header)
+
+    def test_immediate_post_dominator_of_branch_is_join(self):
+        cfg = build_cfg(
+            parse_program("proc f(int x) { if (x > 0) { x = 1; } else { x = 2; } x = 3; }")
+        )
+        pd = PostDominance(cfg)
+        branch = cfg.branch_nodes()[0]
+        ipdom = pd.immediate_post_dominator(branch)
+        assert ipdom is not None and ipdom.label == "x = 3"
+
+    def test_immediate_post_dominator_of_exit_is_none(self, update_modified_cfg, update_pd=None):
+        pd = PostDominance(update_modified_cfg)
+        assert pd.immediate_post_dominator(update_modified_cfg.end) is None
+
+    def test_post_dominators_set_contains_self_and_exit(self):
+        cfg = build_cfg(parse_program("proc f(int x) { if (x > 0) { x = 1; } }"))
+        pd = PostDominance(cfg)
+        branch = cfg.branch_nodes()[0]
+        dominators = pd.post_dominators(branch)
+        assert branch.node_id in dominators
+        assert cfg.end.node_id in dominators

@@ -1,0 +1,37 @@
+"""Tests for the Graphviz DOT export."""
+
+from repro.cfg.dot import cfg_to_dot
+
+
+class TestDotExport:
+    def test_contains_all_nodes_and_edges(self, update_modified_cfg):
+        dot = cfg_to_dot(update_modified_cfg)
+        assert dot.startswith("digraph cfg {")
+        assert dot.rstrip().endswith("}")
+        for node in update_modified_cfg.nodes:
+            assert f'"{node.name}"' in dot
+        assert dot.count("->") == len(update_modified_cfg.edges)
+
+    def test_branch_nodes_are_diamonds(self, update_modified_cfg):
+        dot = cfg_to_dot(update_modified_cfg)
+        assert "shape=diamond" in dot
+
+    def test_edge_labels_present(self, update_modified_cfg):
+        dot = cfg_to_dot(update_modified_cfg)
+        assert 'label="true"' in dot
+        assert 'label="false"' in dot
+
+    def test_highlight_and_changed_styling(self, update_modified_cfg):
+        affected = [update_modified_cfg.node(0), update_modified_cfg.node(1)]
+        changed = [update_modified_cfg.node(0)]
+        dot = cfg_to_dot(update_modified_cfg, highlight=affected, changed=changed)
+        assert "fillcolor=lightgoldenrod" in dot
+        assert "color=red" in dot
+
+    def test_custom_title(self, update_modified_cfg):
+        dot = cfg_to_dot(update_modified_cfg, title="Figure 2(b)")
+        assert 'label="Figure 2(b)"' in dot
+
+    def test_quotes_are_escaped(self, update_modified_cfg):
+        dot = cfg_to_dot(update_modified_cfg, title='a "quoted" title')
+        assert '\\"quoted\\"' in dot

@@ -1,0 +1,122 @@
+"""Tests for the ControlFlowGraph data structure."""
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.ir import FALLTHROUGH_EDGE, NodeKind
+from repro.lang.parser import parse_program
+
+
+@pytest.fixture
+def diamond():
+    """begin -> branch -> (a | b) -> join -> end"""
+    cfg = ControlFlowGraph("diamond")
+    begin = cfg.new_node(NodeKind.BEGIN, label="begin")
+    branch = cfg.new_node(NodeKind.BRANCH, label="cond")
+    a = cfg.new_node(NodeKind.ASSIGN, label="a", target="x")
+    b = cfg.new_node(NodeKind.ASSIGN, label="b", target="x")
+    join = cfg.new_node(NodeKind.NOP, label="join")
+    end = cfg.new_node(NodeKind.END, label="end")
+    cfg.add_edge(begin, branch)
+    cfg.add_edge(branch, a, "true")
+    cfg.add_edge(branch, b, "false")
+    cfg.add_edge(a, join)
+    cfg.add_edge(b, join)
+    cfg.add_edge(join, end)
+    return cfg
+
+
+class TestGraphBasics:
+    def test_node_ordering_begin_first_end_last(self, diamond):
+        names = [n.name for n in diamond.nodes]
+        assert names[0] == "nbegin"
+        assert names[-1] == "nend"
+
+    def test_len_counts_all_nodes(self, diamond):
+        assert len(diamond) == 6
+
+    def test_successors_and_predecessors(self, diamond):
+        branch = diamond.node(0)
+        assert [n.label for n in diamond.successors(branch)] == ["a", "b"]
+        join = diamond.node(3)
+        assert {n.label for n in diamond.predecessors(join)} == {"a", "b"}
+
+    def test_successor_on_labels(self, diamond):
+        branch = diamond.node(0)
+        assert diamond.successor_on(branch, "true").label == "a"
+        assert diamond.successor_on(branch, "false").label == "b"
+
+    def test_successor_on_missing_label_raises(self, diamond):
+        with pytest.raises(KeyError):
+            diamond.successor_on(diamond.node(1), "true")
+
+    def test_contains(self, diamond):
+        assert diamond.node(0) in diamond
+
+    def test_reachability_is_reflexive(self, diamond):
+        node = diamond.node(1)
+        assert diamond.is_cfg_path(node, node)
+
+    def test_reachability_forward_only(self, diamond):
+        a = diamond.node(1)
+        branch = diamond.node(0)
+        assert diamond.is_cfg_path(branch, a)
+        assert not diamond.is_cfg_path(a, branch)
+
+    def test_branch_nodes_and_write_nodes(self, diamond):
+        assert [n.label for n in diamond.branch_nodes()] == ["cond"]
+        assert [n.label for n in diamond.write_nodes()] == ["a", "b"]
+
+    def test_well_formed_accepts_diamond(self, diamond):
+        diamond.check_well_formed()
+
+    def test_well_formed_rejects_unreachable_node(self):
+        cfg = ControlFlowGraph("broken")
+        begin = cfg.new_node(NodeKind.BEGIN)
+        end = cfg.new_node(NodeKind.END)
+        cfg.new_node(NodeKind.ASSIGN, label="orphan", target="x")
+        cfg.add_edge(begin, end)
+        with pytest.raises(ValueError):
+            cfg.check_well_formed()
+
+    def test_well_formed_rejects_missing_exit_path(self):
+        cfg = ControlFlowGraph("broken")
+        begin = cfg.new_node(NodeKind.BEGIN)
+        trap = cfg.new_node(NodeKind.ASSIGN, label="trap", target="x")
+        end = cfg.new_node(NodeKind.END)
+        cfg.add_edge(begin, trap)
+        cfg.add_edge(begin, end)
+        with pytest.raises(ValueError):
+            cfg.check_well_formed()
+
+    def test_describe_lists_every_node(self, diamond):
+        text = diamond.describe()
+        for node in diamond.nodes:
+            assert node.name in text
+
+    def test_edges_property(self, diamond):
+        assert len(diamond.edges) == 6
+        labels = {e.label for e in diamond.edges}
+        assert labels == {FALLTHROUGH_EDGE, "true", "false"}
+
+
+class TestNodeHelpers:
+    def test_defined_and_used_variables(self):
+        cfg = build_cfg(parse_program("proc f(int x) { int y = x + 1; if (y > 0) { y = 0; } }"))
+        decl = cfg.write_nodes()[0]
+        assert decl.defined_variable() == "y"
+        assert decl.used_variables() == ("x",)
+        branch = cfg.branch_nodes()[0]
+        assert branch.defined_variable() is None
+        assert branch.used_variables() == ("y",)
+
+    def test_structural_key_distinguishes_kinds(self):
+        cfg = build_cfg(parse_program("proc f(int x) { x = 1; if (x > 0) { skip; } }"))
+        write_key = cfg.write_nodes()[0].structural_key()
+        branch_key = cfg.branch_nodes()[0].structural_key()
+        assert write_key[0] == "assign"
+        assert branch_key[0] == "branch"
+
+    def test_node_str(self, diamond):
+        assert str(diamond.node(0)) == "n0: cond"

@@ -1,0 +1,96 @@
+"""Tests for SCC / loop detection used by CheckLoops."""
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.scc import SCCAnalysis
+from repro.lang.parser import parse_program
+
+
+def analysis_for(source):
+    cfg = build_cfg(parse_program(source))
+    return cfg, SCCAnalysis(cfg)
+
+
+class TestLoopFreeGraphs:
+    def test_every_component_is_singleton(self, update_modified_cfg):
+        scc = SCCAnalysis(update_modified_cfg)
+        assert all(len(c) == 1 for c in scc.components())
+        assert scc.loop_nodes() == frozenset()
+
+    def test_no_loop_entries(self, update_modified_cfg):
+        scc = SCCAnalysis(update_modified_cfg)
+        assert not any(scc.is_loop_entry(n) for n in update_modified_cfg.nodes)
+
+
+class TestSingleLoop:
+    SOURCE = "proc f(int x) { x = 0; while (x < 10) { x = x + 1; } x = 99; }"
+
+    def test_loop_nodes_form_one_scc(self):
+        cfg, scc = analysis_for(self.SOURCE)
+        header = cfg.branch_nodes()[0]
+        body = [n for n in cfg.write_nodes() if n.label == "x = (x + 1)"][0]
+        assert scc.scc_of(header) == scc.scc_of(body)
+        assert scc.is_in_loop(header) and scc.is_in_loop(body)
+
+    def test_header_is_loop_entry(self):
+        cfg, scc = analysis_for(self.SOURCE)
+        header = cfg.branch_nodes()[0]
+        assert scc.is_loop_entry(header)
+
+    def test_statements_outside_loop_are_not_loop_members(self):
+        cfg, scc = analysis_for(self.SOURCE)
+        prologue = [n for n in cfg.write_nodes() if n.label == "x = 0"][0]
+        epilogue = [n for n in cfg.write_nodes() if n.label == "x = 99"][0]
+        assert not scc.is_in_loop(prologue)
+        assert not scc.is_in_loop(epilogue)
+
+    def test_get_scc_returns_all_members(self):
+        cfg, scc = analysis_for(self.SOURCE)
+        header = cfg.branch_nodes()[0]
+        members = scc.scc_of(header)
+        assert len(members) == 2
+
+
+class TestNestedLoops:
+    SOURCE = (
+        "proc f(int x, int y) {"
+        "  while (x > 0) {"
+        "    y = x;"
+        "    while (y > 0) { y = y - 1; }"
+        "    x = x - 1;"
+        "  }"
+        "}"
+    )
+
+    def test_nested_loops_collapse_into_one_scc(self):
+        cfg, scc = analysis_for(self.SOURCE)
+        outer = cfg.branch_nodes()[0]
+        inner = cfg.branch_nodes()[1]
+        # inner loop nodes are reachable from the outer header and back
+        assert scc.scc_of(outer) == scc.scc_of(inner)
+
+    def test_loop_entry_detection_for_outer_header(self):
+        cfg, scc = analysis_for(self.SOURCE)
+        outer = cfg.branch_nodes()[0]
+        assert scc.is_loop_entry(outer)
+
+    def test_loop_nodes_cover_bodies(self):
+        cfg, scc = analysis_for(self.SOURCE)
+        loop_ids = scc.loop_nodes()
+        labels = {cfg.node(i).label for i in loop_ids}
+        assert "y = (y - 1)" in labels
+        assert "x = (x - 1)" in labels
+
+
+class TestSequentialLoops:
+    SOURCE = (
+        "proc f(int x, int y) {"
+        "  while (x > 0) { x = x - 1; }"
+        "  while (y > 0) { y = y - 1; }"
+        "}"
+    )
+
+    def test_two_separate_loop_components(self):
+        cfg, scc = analysis_for(self.SOURCE)
+        first, second = cfg.branch_nodes()
+        assert scc.scc_of(first) != scc.scc_of(second)
+        assert scc.is_loop_entry(first) and scc.is_loop_entry(second)

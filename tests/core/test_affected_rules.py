@@ -1,0 +1,133 @@
+"""Rule-level tests for the affected-location analysis on small programs."""
+
+from repro.cfg.builder import build_cfg
+from repro.core.affected import AffectedLocationAnalysis, compute_affected_sets
+from repro.lang.parser import parse_program
+
+
+def affected_for(source, seed_labels, forward_writes=True, apply_rule4=True):
+    cfg = build_cfg(parse_program(source))
+    seeds_cond, seeds_write = [], []
+    for node in cfg.nodes:
+        if node.label in seed_labels:
+            (seeds_cond if node.is_branch else seeds_write).append(node)
+    analysis = AffectedLocationAnalysis(cfg, apply_rule4=apply_rule4, forward_writes=forward_writes)
+    return cfg, analysis.compute(seeds_cond, seeds_write)
+
+
+def labels(cfg, ids):
+    return {cfg.node(i).label for i in ids}
+
+
+class TestRule1And2ControlDependence:
+    SOURCE = (
+        "proc f(int a, int b) {"
+        "  if (a > 0) {"
+        "    b = 1;"
+        "    if (b > 0) { b = 2; }"
+        "  }"
+        "}"
+    )
+
+    def test_changed_conditional_pulls_in_dependents(self):
+        cfg, sets = affected_for(self.SOURCE, {"(a > 0)"})
+        assert "(b > 0)" in labels(cfg, sets.acn)
+        assert {"b = 1", "b = 2"} <= labels(cfg, sets.awn)
+
+    def test_nested_write_found_via_transitive_control_dependence(self):
+        cfg, sets = affected_for(self.SOURCE, {"(a > 0)"})
+        # b = 2 is control dependent on (b > 0) which is control dependent on (a > 0)
+        assert "b = 2" in labels(cfg, sets.awn)
+
+
+class TestRule3DataFlowToConditionals:
+    SOURCE = (
+        "proc f(int a, int c) {"
+        "  int b = 0;"
+        "  if (a > 0) { b = 1; }"
+        "  if (b > 0) { c = 1; }"
+        "  if (c > 0) { c = 2; }"
+        "}"
+    )
+
+    def test_write_seeds_conditional_that_reads_it(self):
+        cfg, sets = affected_for(self.SOURCE, {"b = 1"})
+        assert "(b > 0)" in labels(cfg, sets.acn)
+
+    def test_affectedness_does_not_flow_backwards(self):
+        cfg, sets = affected_for(self.SOURCE, {"c = 1"})
+        assert "(a > 0)" not in labels(cfg, sets.acn)
+        assert "(b > 0)" not in labels(cfg, sets.acn)
+
+    def test_transitive_conditional_chain(self):
+        cfg, sets = affected_for(self.SOURCE, {"b = 1"})
+        # (b > 0) affected -> c = 1 affected (rule 2) -> (c > 0) affected (rule 3)
+        assert "(c > 0)" in labels(cfg, sets.acn)
+
+
+class TestRule4ReachingDefinitions:
+    SOURCE = (
+        "proc f(int a, int b) {"
+        "  b = a;"
+        "  if (a > 0) { b = 1; }"
+        "  if (b > 0) { a = 2; }"
+        "}"
+    )
+
+    def test_definitions_feeding_affected_conditional_are_added(self):
+        cfg, sets = affected_for(self.SOURCE, {"(b > 0)"})
+        assert {"b = a", "b = 1"} <= labels(cfg, sets.awn)
+
+    def test_rule4_can_be_disabled(self):
+        cfg, sets = affected_for(self.SOURCE, {"(b > 0)"}, apply_rule4=False)
+        assert "b = a" not in labels(cfg, sets.awn)
+
+
+class TestForwardWriteClosure:
+    SOURCE = (
+        "proc f(int a, int c) {"
+        "  int b = a;"
+        "  int d = b;"
+        "  if (d > 0) { c = 1; }"
+        "}"
+    )
+
+    def test_extension_rule_propagates_through_write_chains(self):
+        cfg, sets = affected_for(self.SOURCE, {"b = a"})
+        assert "d = b" in labels(cfg, sets.awn)
+        assert "(d > 0)" in labels(cfg, sets.acn)
+
+    def test_strict_paper_rules_stop_at_first_write(self):
+        cfg, sets = affected_for(self.SOURCE, {"b = a"}, forward_writes=False)
+        assert "d = b" not in labels(cfg, sets.awn)
+        assert "(d > 0)" not in labels(cfg, sets.acn)
+
+
+class TestFixedPointBehaviour:
+    def test_loops_do_not_prevent_termination(self):
+        source = (
+            "proc f(int n) {"
+            "  int i = 0;"
+            "  while (i < n) { i = i + 1; }"
+            "  if (i > 0) { n = 0; }"
+            "}"
+        )
+        cfg, sets = affected_for(source, {"i = 0"})
+        assert "(i < n)" in labels(cfg, sets.acn)
+        assert "(i > 0)" in labels(cfg, sets.acn)
+
+    def test_seeds_are_retained_in_final_sets(self, update_modified_cfg):
+        sets = compute_affected_sets(update_modified_cfg, seed_conditionals=[update_modified_cfg.node(0)])
+        assert 0 in sets.acn
+
+    def test_result_is_independent_of_seed_order(self, update_modified_cfg):
+        n0 = update_modified_cfg.node(0)
+        n12 = update_modified_cfg.node(12)
+        first = compute_affected_sets(update_modified_cfg, seed_conditionals=[n0, n12])
+        second = compute_affected_sets(update_modified_cfg, seed_conditionals=[n12, n0])
+        assert first.names() == second.names()
+
+    def test_describe_and_contains(self, update_modified_cfg):
+        sets = compute_affected_sets(update_modified_cfg, seed_conditionals=[update_modified_cfg.node(0)])
+        assert sets.contains(update_modified_cfg.node(0))
+        assert "ACN" in sets.describe()

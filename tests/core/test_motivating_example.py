@@ -1,0 +1,125 @@
+"""End-to-end reproduction of the paper's motivating example (§2.2, Table 1).
+
+The paper reports 7 affected path conditions for DiSE versus 21 for full
+symbolic execution on its Java variant of ``update``.  The MiniLang
+re-creation (integer pressure codes instead of the paper's rational
+constants) has 24 full paths and 8 affected ones -- the same one-third ratio,
+because DiSE collapses the unaffected BSwitch sub-structure to a single
+feasible instance per affected behaviour.
+"""
+
+import pytest
+
+from repro.core.dise import DiSE, run_dise
+from repro.symexec.engine import symbolic_execute
+
+
+@pytest.fixture(scope="module")
+def dise_result():
+    from repro.artifacts.simple import update_base_program, update_modified_program
+
+    return run_dise(
+        update_base_program(), update_modified_program(), procedure="update", record_trace=True
+    )
+
+
+@pytest.fixture(scope="module")
+def full_result():
+    from repro.artifacts.simple import update_modified_program
+
+    return symbolic_execute(update_modified_program(), "update")
+
+
+class TestHeadlineNumbers:
+    def test_full_symbolic_execution_path_count(self, full_result):
+        assert len(full_result.path_conditions) == 24
+
+    def test_dise_path_count(self, dise_result):
+        assert len(dise_result.path_conditions) == 8
+
+    def test_dise_explores_fewer_states(self, dise_result, full_result):
+        assert dise_result.states_explored < full_result.statistics.states_explored
+
+    def test_changed_and_affected_node_counts(self, dise_result):
+        assert dise_result.changed_node_count == 1
+        assert dise_result.affected_node_count == 11
+
+    def test_dise_prunes_paths(self, dise_result):
+        assert dise_result.execution.statistics.pruned_by_strategy > 0
+
+
+class TestPathConditionContent:
+    def test_dise_conditions_are_subset_of_full(self, dise_result, full_result):
+        full_set = {str(pc) for pc in full_result.path_conditions}
+        dise_set = {str(pc) for pc in dise_result.path_conditions}
+        assert dise_set <= full_set
+
+    def test_every_dise_condition_mentions_the_changed_variable(self, dise_result):
+        for condition in dise_result.path_conditions:
+            assert "PedalPos" in str(condition)
+
+    def test_unaffected_bswitch_structure_is_collapsed(self, dise_result):
+        # Each affected behaviour appears with exactly one BSwitch instance.
+        bswitch_fragments = {
+            tuple(c for c in str(pc).split(" && ") if "BSwitch" in c)
+            for pc in dise_result.path_conditions
+        }
+        assert bswitch_fragments == {("(BSwitch == 0)",)}
+
+    def test_affected_behaviours_cover_all_pedal_outcomes(self, dise_result):
+        texts = [str(pc) for pc in dise_result.path_conditions]
+        assert any("(PedalPos <= 0)" in t for t in texts)
+        assert any("(PedalPos == 1)" in t for t in texts)
+        assert any("(PedalPos != 1)" in t for t in texts)
+
+
+class TestTable1Trace:
+    def test_initial_unexplored_sets_are_the_affected_sets(self, dise_result):
+        first = dise_result.strategy.trace_rows[0]
+        assert first.unex_cond == ("n0", "n2", "n10", "n12")
+        assert first.unex_write == ("n1", "n3", "n4", "n5", "n11", "n13", "n14")
+        assert first.ex_cond == () and first.ex_write == ()
+
+    def test_paper_prefix_of_trace(self, dise_result):
+        """Rows 2-6 of Table 1: the first explored path and its set updates."""
+        rows = dise_result.strategy.trace_rows
+        assert rows[1].trace == ("n0",) and rows[1].ex_cond == ("n0",)
+        assert rows[2].trace == ("n0", "n1") and rows[2].ex_write == ("n1",)
+        assert rows[3].trace == ("n0", "n1", "n5")
+        assert rows[4].trace == ("n0", "n1", "n5", "n6", "n7", "n10")
+        assert rows[4].ex_cond == ("n0", "n10")
+        assert rows[5].trace == ("n0", "n1", "n5", "n6", "n7", "n10", "n11")
+
+    def test_bswitch_false_branch_is_pruned(self, dise_result):
+        """Row 10 of Table 1: <n0, n1, n5, n6, n8> has no path to unexplored nodes."""
+        pruned = [row for row in dise_result.strategy.trace_rows if row.pruned]
+        assert ("n0", "n1", "n5", "n6", "n8") in {row.trace for row in pruned}
+
+    def test_reset_when_second_pedal_branch_is_entered(self, dise_result):
+        """Row 11 of Table 1: exploring n2 moves explored nodes back to unexplored."""
+        rows = dise_result.strategy.trace_rows
+        n2_rows = [row for row in rows if row.trace == ("n0", "n2")]
+        assert n2_rows, "expected a trace row for the path <n0, n2>"
+        row = n2_rows[0]
+        assert row.ex_cond == ("n0", "n2")
+        assert "n10" in row.unex_cond and "n12" in row.unex_cond
+        assert "n5" in row.unex_write and "n11" in row.unex_write
+
+
+class TestExtensionMode:
+    def test_complete_covered_paths_reports_conservative_superset(self):
+        from repro.artifacts.simple import update_base_program, update_modified_program
+
+        default = run_dise(
+            update_base_program(), update_modified_program(), procedure="update"
+        )
+        extended = DiSE(
+            update_base_program(),
+            update_modified_program(),
+            procedure_name="update",
+            complete_covered_paths=True,
+        ).run()
+        default_set = {str(pc) for pc in default.path_conditions}
+        extended_set = {str(pc) for pc in extended.path_conditions}
+        assert default_set <= extended_set
+        assert len(extended_set) >= len(default_set)

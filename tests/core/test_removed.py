@@ -1,0 +1,71 @@
+"""Tests for the removed-instruction handling (Fig. 5(a))."""
+
+from repro.core.dise import DiSE, run_dise
+from repro.core.removed import compute_removed_node_effects
+from repro.diff.diff_map import build_diff_map
+from repro.lang.parser import parse_procedure, parse_program
+
+
+def effects_for(base_source, mod_source):
+    base = parse_procedure(base_source)
+    modified = parse_procedure(mod_source)
+    return compute_removed_node_effects(build_diff_map(base, modified))
+
+
+class TestRemovedNodeEffects:
+    def test_no_removals_means_no_effects(self, update_base_source, update_modified_source):
+        effects = effects_for(update_base_source, update_modified_source)
+        assert effects.is_empty()
+
+    def test_removed_write_marks_surviving_conditional(self):
+        effects = effects_for(
+            "proc f(int a, int b) { b = 1; b = a; if (b > 0) { a = 0; } }",
+            "proc f(int a, int b) { b = 1; if (b > 0) { a = 0; } }",
+        )
+        assert [n.label for n in effects.mod_conditionals] == ["(b > 0)"]
+
+    def test_removed_node_itself_is_dropped_by_update_sets(self):
+        effects = effects_for(
+            "proc f(int a, int b) { b = a; if (b > 0) { a = 0; } }",
+            "proc f(int a, int b) { if (b > 0) { a = 0; } }",
+        )
+        # The removed write maps to nothing; only surviving nodes appear.
+        labels = {n.label for n in effects.mod_conditionals + effects.mod_writes}
+        assert "b = a" not in labels
+
+    def test_removed_conditional_affects_its_dependents_in_base(self):
+        effects = effects_for(
+            "proc f(int a, int b) { if (a > 0) { b = 1; } if (b > 0) { b = 2; } }",
+            "proc f(int a, int b) { b = 1; if (b > 0) { b = 2; } }",
+        )
+        base_acn, base_awn = effects.base_affected.names()
+        assert len(base_acn) >= 1
+        # the surviving second conditional is affected in the modified CFG
+        assert "(b > 0)" in {n.label for n in effects.mod_conditionals}
+
+
+class TestEndToEndWithRemovals:
+    def test_dise_detects_effect_of_removed_statement(self):
+        base = parse_program(
+            "global int out = 0;"
+            "proc f(int a, int b) { b = b + 1; if (b > 0) { out = 1; } else { out = 2; } }"
+        )
+        modified = parse_program(
+            "global int out = 0;"
+            "proc f(int a, int b) { if (b > 0) { out = 1; } else { out = 2; } }"
+        )
+        result = run_dise(base, modified, procedure="f")
+        assert result.changed_node_count == 1
+        assert result.affected_node_count >= 1
+        assert len(result.path_conditions) == 2
+
+    def test_pure_removal_version_of_asw_artifact(self):
+        from repro.artifacts import asw_artifact
+
+        artifact = asw_artifact()
+        base = artifact.base_program()
+        modified = artifact.version_program("v9")  # removes the reset blocking statement
+        dise = DiSE(base, modified, procedure_name=artifact.procedure_name)
+        static = dise.compute_affected()
+        assert len(static.diff_map.removed_base_nodes()) == 1
+        assert not static.affected.is_empty()

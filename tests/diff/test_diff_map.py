@@ -1,0 +1,85 @@
+"""Tests for lifting AST diffs onto CFG nodes (DiffMap)."""
+
+from repro.diff.ast_diff import ChangeKind
+from repro.diff.diff_map import build_diff_map
+from repro.lang.parser import parse_procedure
+
+
+def diff_map_for(base_source, mod_source, name=None):
+    base = parse_procedure(base_source, name)
+    modified = parse_procedure(mod_source, name)
+    return build_diff_map(base, modified)
+
+
+class TestUpdateExample:
+    def test_changed_node_is_n0(self, update_base_source, update_modified_source):
+        diff_map = diff_map_for(update_base_source, update_modified_source, "update")
+        changed = diff_map.changed_or_added_mod_nodes()
+        assert [n.name for n in changed] == ["n0"]
+        assert diff_map.count_changed_nodes() == 1
+
+    def test_all_other_nodes_unchanged(self, update_base_source, update_modified_source):
+        diff_map = diff_map_for(update_base_source, update_modified_source, "update")
+        unchanged = [
+            n
+            for n in diff_map.cfg_mod.nodes
+            if n.node_id >= 0 and diff_map.mark_of_mod_node(n) is ChangeKind.UNCHANGED
+        ]
+        assert len(unchanged) == 14
+
+    def test_get_maps_base_nodes_to_mod_nodes(self, update_base_source, update_modified_source):
+        diff_map = diff_map_for(update_base_source, update_modified_source, "update")
+        for base_node in diff_map.cfg_base.nodes:
+            if base_node.node_id < 0:
+                continue
+            mapped = diff_map.get(base_node)
+            assert mapped is not None
+            assert mapped.node_id == base_node.node_id  # same structure, same numbering
+
+    def test_describe_mentions_changed_node(self, update_base_source, update_modified_source):
+        diff_map = diff_map_for(update_base_source, update_modified_source, "update")
+        assert "n0" in diff_map.describe()
+
+
+class TestAddRemove:
+    def test_added_statement_marks_added_node(self):
+        diff_map = diff_map_for(
+            "proc f(int x) { x = 1; }",
+            "proc f(int x) { x = 1; x = 2; }",
+        )
+        added = diff_map.added_mod_nodes()
+        assert len(added) == 1
+        assert added[0].label == "x = 2"
+
+    def test_removed_statement_marks_removed_base_node(self):
+        diff_map = diff_map_for(
+            "proc f(int x) { x = 1; x = 2; }",
+            "proc f(int x) { x = 1; }",
+        )
+        removed = diff_map.removed_base_nodes()
+        assert len(removed) == 1
+        assert removed[0].label == "x = 2"
+        assert diff_map.get(removed[0]) is None
+
+    def test_count_changed_nodes_includes_removed(self):
+        diff_map = diff_map_for(
+            "proc f(int x) { x = 1; x = 2; }",
+            "proc f(int x) { x = 3; }",
+        )
+        # one changed node (x=1 -> x=3) and one removed node
+        assert diff_map.count_changed_nodes() == 2
+
+    def test_identical_versions_have_no_marks(self, update_base_source):
+        diff_map = diff_map_for(update_base_source, update_base_source, "update")
+        assert diff_map.count_changed_nodes() == 0
+        assert diff_map.changed_mod_nodes() == []
+        assert diff_map.removed_base_nodes() == []
+
+    def test_changed_assert_maps_both_generated_nodes(self):
+        diff_map = diff_map_for(
+            "proc f(int x) { assert x > 0; }",
+            "proc f(int x) { assert x >= 0; }",
+        )
+        changed = diff_map.changed_mod_nodes()
+        # assert lowers to a branch plus an error node; both map as changed
+        assert len(changed) == 2

@@ -1,0 +1,48 @@
+"""Tests for the line-based source diff."""
+
+from repro.diff.source_diff import diff_procedure_sources, diff_source
+from repro.lang.parser import parse_procedure
+
+
+class TestSourceDiff:
+    def test_identical_sources(self):
+        diff = diff_source("a\nb\nc", "a\nb\nc")
+        assert not diff.has_changes()
+
+    def test_changed_line_detected(self):
+        diff = diff_source("a\nb\nc", "a\nX\nc")
+        assert diff.changed_base_lines == {2}
+        assert diff.changed_modified_lines == {2}
+
+    def test_added_line_detected(self):
+        diff = diff_source("a\nc", "a\nb\nc")
+        assert diff.changed_modified_lines == {2}
+        assert diff.changed_base_lines == set()
+
+    def test_removed_line_detected(self):
+        diff = diff_source("a\nb\nc", "a\nc")
+        assert diff.changed_base_lines == {2}
+
+    def test_unified_rendering(self):
+        diff = diff_source("a\nb", "a\nc")
+        text = diff.unified()
+        assert "-b" in text and "+c" in text
+
+    def test_procedure_source_diff_agrees_with_ast_diff(
+        self, update_base_source, update_modified_source
+    ):
+        base = parse_procedure(update_base_source, "update")
+        modified = parse_procedure(update_modified_source, "update")
+        diff = diff_procedure_sources(base, modified)
+        assert len(diff.changed_modified_lines) == 1
+        (line,) = diff.changed_modified_lines
+        assert "PedalPos <= 0" in diff.modified_lines[line - 1]
+
+    def test_artifact_versions_have_line_changes(self):
+        from repro.artifacts import all_artifacts
+
+        for artifact in all_artifacts():
+            base = artifact.base_program().procedure(artifact.procedure_name)
+            spec = artifact.versions[0]
+            modified = artifact.version_program(spec.name).procedure(artifact.procedure_name)
+            assert diff_procedure_sources(base, modified).has_changes()

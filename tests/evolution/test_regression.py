@@ -1,0 +1,72 @@
+"""Tests for regression test selection and augmentation (Table 3 workflow)."""
+
+from repro.evolution.regression import regression_analysis, select_and_augment
+from repro.evolution.testgen import TestCase, TestSuite
+
+
+def suite_with(name, *argument_tuples):
+    suite = TestSuite(name)
+    for arguments in argument_tuples:
+        suite.add(TestCase(name, arguments))
+    return suite
+
+
+class TestSelectAndAugment:
+    def test_all_tests_already_exist(self):
+        existing = suite_with("f", (1,), (2,), (3,))
+        dise = suite_with("f", (1,), (3,))
+        report = select_and_augment(existing, dise, version="v1", changes=1)
+        assert report.selected_count == 2
+        assert report.added_count == 0
+        assert report.total == 2
+
+    def test_new_tests_are_added(self):
+        existing = suite_with("f", (1,))
+        dise = suite_with("f", (1,), (9,))
+        report = select_and_augment(existing, dise)
+        assert report.selected == ["f(1)"]
+        assert report.added == ["f(9)"]
+
+    def test_empty_dise_suite_means_no_tests_needed(self):
+        existing = suite_with("f", (1,), (2,))
+        report = select_and_augment(existing, TestSuite("f"), version="v2", changes=1)
+        assert report.total == 0
+        assert report.as_dict()["version"] == "v2"
+
+    def test_report_dictionary_shape(self):
+        report = select_and_augment(TestSuite("f"), suite_with("f", (5,)), "v3", 2)
+        assert report.as_dict() == {
+            "version": "v3",
+            "changes": 2,
+            "selected": 0,
+            "added": 1,
+            "total": 1,
+        }
+
+
+class TestEndToEndRegressionAnalysis:
+    def test_motivating_example_workflow(self, update_base, update_modified):
+        report = regression_analysis(
+            update_base, update_modified, procedure="update", version="v1", changes=1
+        )
+        # DiSE found affected behaviours, so some tests are needed, and every
+        # test is classified as either selected or added.
+        assert report.total == report.selected_count + report.added_count
+        assert report.total >= 1
+
+    def test_unchanged_version_needs_no_tests(self, update_base):
+        report = regression_analysis(update_base, update_base, procedure="update")
+        assert report.total == 0
+
+    def test_output_only_change_needs_no_tests(self):
+        from repro.artifacts import asw_artifact
+
+        artifact = asw_artifact()
+        report = regression_analysis(
+            artifact.base_program(),
+            artifact.version_program("v7"),
+            procedure=artifact.procedure_name,
+            version="v7",
+            changes=1,
+        )
+        assert report.total == 0

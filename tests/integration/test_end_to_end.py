@@ -1,0 +1,130 @@
+"""Integration tests spanning the whole pipeline on the evaluation artifacts.
+
+These are the programmatic counterparts of the benchmark harness: they check
+the *relational* claims of the paper's Table 2 and Table 3 (DiSE states and
+path conditions never exceed full symbolic execution; localised changes give
+large reductions; changes that do not influence any branch give zero affected
+path conditions) on a subset of versions small enough for the unit-test run.
+"""
+
+import pytest
+
+from repro.artifacts import asw_artifact, oae_artifact, wbs_artifact
+from repro.core.dise import compare_dise_with_full, run_dise
+from repro.evolution.regression import regression_analysis
+from repro.evolution.testgen import generate_tests
+from repro.symexec.engine import symbolic_execute
+
+
+class TestPublicApiSurface:
+    def test_top_level_imports(self):
+        import repro
+
+        assert callable(repro.parse_program)
+        assert callable(repro.run_dise)
+        assert callable(repro.symbolic_execute)
+        assert callable(repro.generate_tests)
+
+    def test_quickstart_flow(self):
+        from repro import parse_program, run_dise
+
+        base = parse_program("proc f(int x) { if (x == 0) { x = 1; } else { x = 2; } }")
+        modified = parse_program("proc f(int x) { if (x <= 0) { x = 1; } else { x = 2; } }")
+        result = run_dise(base, modified, procedure="f")
+        assert len(result.path_conditions) == 2
+
+
+@pytest.mark.parametrize(
+    "artifact,version",
+    [
+        (asw_artifact(), "v2"),
+        (asw_artifact(), "v5"),
+        (wbs_artifact(), "v5"),
+        (oae_artifact(), "v2"),
+    ],
+    ids=lambda value: value if isinstance(value, str) else value.name,
+)
+class TestTable2Relations:
+    def test_dise_is_never_worse_than_full(self, artifact, version):
+        row = compare_dise_with_full(
+            artifact.base_program(),
+            artifact.version_program(version),
+            procedure=artifact.procedure_name,
+            version_label=version,
+        )
+        assert row.dise_path_conditions <= row.full_path_conditions
+        assert row.dise_states <= row.full_states
+
+    def test_dise_conditions_are_full_conditions(self, artifact, version):
+        modified = artifact.version_program(version)
+        dise_result = run_dise(
+            artifact.base_program(), modified, procedure=artifact.procedure_name
+        )
+        full_result = symbolic_execute(modified, artifact.procedure_name)
+        full_set = {str(pc) for pc in full_result.path_conditions}
+        assert {str(pc) for pc in dise_result.path_conditions} <= full_set
+
+
+class TestLocalisedVersusGlobalChanges:
+    def test_output_only_asw_change_yields_zero_affected_paths(self):
+        artifact = asw_artifact()
+        result = run_dise(
+            artifact.base_program(),
+            artifact.version_program("v7"),
+            procedure=artifact.procedure_name,
+        )
+        assert len(result.path_conditions) == 0
+
+    def test_guard_change_yields_large_reduction_in_asw(self):
+        artifact = asw_artifact()
+        row = compare_dise_with_full(
+            artifact.base_program(),
+            artifact.version_program("v2"),
+            procedure=artifact.procedure_name,
+        )
+        assert row.dise_path_conditions * 10 <= row.full_path_conditions
+
+    def test_broad_oae_change_affects_most_paths(self):
+        artifact = oae_artifact()
+        row = compare_dise_with_full(
+            artifact.base_program(),
+            artifact.version_program("v6"),
+            procedure=artifact.procedure_name,
+        )
+        assert row.dise_path_conditions >= row.full_path_conditions // 2
+
+
+class TestTable3Workflow:
+    def test_regression_workflow_on_wbs_version(self):
+        artifact = wbs_artifact()
+        report = regression_analysis(
+            artifact.base_program(),
+            artifact.version_program("v5"),
+            procedure=artifact.procedure_name,
+            version="v5",
+            changes=artifact.version("v5").change_count,
+        )
+        base_suite = generate_tests(
+            symbolic_execute(artifact.base_program(), artifact.procedure_name).summary,
+            artifact.base_program().procedure(artifact.procedure_name),
+        )
+        assert report.total <= len(base_suite) + report.added_count
+        assert report.selected_count <= len(base_suite)
+
+    def test_selected_tests_really_exist_in_base_suite(self):
+        artifact = asw_artifact()
+        version = "v4"
+        report = regression_analysis(
+            artifact.base_program(),
+            artifact.version_program(version),
+            procedure=artifact.procedure_name,
+            version=version,
+            changes=1,
+        )
+        base_suite = generate_tests(
+            symbolic_execute(artifact.base_program(), artifact.procedure_name).summary,
+            artifact.base_program().procedure(artifact.procedure_name),
+        )
+        base_calls = set(base_suite.call_strings())
+        assert set(report.selected) <= base_calls
+        assert not (set(report.added) & base_calls)

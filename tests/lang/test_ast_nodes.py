@@ -1,0 +1,73 @@
+"""Tests for AST node helpers (structural keys, variable collection, walking)."""
+
+from repro.lang.ast_nodes import (
+    Assign,
+    BinaryOp,
+    If,
+    IntLiteral,
+    VarRef,
+    walk_statements,
+)
+from repro.lang.parser import parse_procedure, parse_program
+
+
+class TestStructuralKeys:
+    def test_identical_sources_have_equal_keys(self):
+        a = parse_program("proc f(int x) { x = x + 1; }")
+        b = parse_program("proc   f( int x )  {  x = x+1 ; }")
+        assert a.structural_key() == b.structural_key()
+
+    def test_keys_ignore_line_numbers(self):
+        a = parse_program("proc f(int x) { x = 1; }")
+        b = parse_program("proc f(int x) {\n\n\n    x = 1;\n}")
+        assert a.structural_key() == b.structural_key()
+
+    def test_keys_differ_on_operator_change(self):
+        a = parse_program("proc f(int x) { if (x == 0) { skip; } }")
+        b = parse_program("proc f(int x) { if (x <= 0) { skip; } }")
+        assert a.structural_key() != b.structural_key()
+
+    def test_keys_differ_on_constant_change(self):
+        a = parse_program("proc f(int x) { x = 1; }")
+        b = parse_program("proc f(int x) { x = 2; }")
+        assert a.structural_key() != b.structural_key()
+
+    def test_keys_differ_on_variable_rename(self):
+        a = parse_program("proc f(int x) { x = x; }")
+        b = parse_program("proc f(int y) { y = y; }")
+        assert a.structural_key() != b.structural_key()
+
+
+class TestExpressionHelpers:
+    def test_variables_of_nested_expression(self):
+        expr = BinaryOp("+", VarRef("a"), BinaryOp("*", VarRef("b"), VarRef("a")))
+        assert expr.variables() == ("a", "b")
+
+    def test_literal_has_no_variables(self):
+        assert IntLiteral(3).variables() == ()
+
+    def test_str_rendering(self):
+        expr = BinaryOp("+", VarRef("x"), IntLiteral(1))
+        assert str(expr) == "(x + 1)"
+
+
+class TestWalkStatements:
+    def test_walk_visits_nested_statements(self):
+        procedure = parse_procedure(
+            "proc f(int x) { if (x > 0) { x = 1; if (x > 1) { x = 2; } } else { x = 3; } }"
+        )
+        visited = list(walk_statements(procedure.body))
+        assigns = [s for s in visited if isinstance(s, Assign)]
+        ifs = [s for s in visited if isinstance(s, If)]
+        assert len(assigns) == 3
+        assert len(ifs) == 2
+
+    def test_walk_visits_while_bodies(self):
+        procedure = parse_procedure("proc f(int x) { while (x > 0) { x = x - 1; } }")
+        visited = list(walk_statements(procedure.body))
+        assert any(isinstance(s, Assign) for s in visited)
+
+    def test_update_statement_count(self, update_modified):
+        procedure = update_modified.procedure("update")
+        # 4 branch statements + 9 assignments + 2 nested chain ifs = 15 nodes total
+        assert len(list(walk_statements(procedure.body))) == 15

@@ -1,0 +1,74 @@
+"""Tests for semantic validation."""
+
+import pytest
+
+from repro.lang.errors import SemanticError
+from repro.lang.parser import parse_program
+from repro.lang.validate import validate_program
+
+
+def validate_source(source):
+    validate_program(parse_program(source))
+
+
+class TestValidPrograms:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "proc f(int x) { x = x + 1; }",
+            "proc f(int x) { int y = x; y = y * 2; }",
+            "proc f(bool b) { if (b) { skip; } }",
+            "proc f(int x) { if (x > 0 && x < 10) { x = 0; } }",
+            "global int g = 1; proc f() { g = g + 1; }",
+            "global int g; proc f() { g = 2; }",
+            "proc f(int x) { while (x != 0) { x = x - 1; } }",
+            "proc f(int x) { assert x >= 0; }",
+            "proc f(bool a, bool b) { if (a == b) { skip; } }",
+            "proc f(int x) { return x + 1; }",
+        ],
+    )
+    def test_accepted(self, source):
+        validate_source(source)
+
+    def test_paper_examples_validate(self, testx_source, update_base_source, update_modified_source):
+        for source in (testx_source, update_base_source, update_modified_source):
+            validate_source(source)
+
+    def test_artifact_programs_validate(self):
+        from repro.artifacts import all_artifacts
+
+        for artifact in all_artifacts():
+            validate_source(artifact.base_source)
+            for spec in artifact.versions:
+                validate_source(artifact.version_source(spec.name))
+
+
+class TestRejectedPrograms:
+    @pytest.mark.parametrize(
+        "source,fragment",
+        [
+            ("proc f() { x = 1; }", "not declared"),
+            ("proc f(int x) { int x = 1; }", "declared twice"),
+            ("proc f(int x) { if (x) { skip; } }", "bool"),
+            ("proc f(bool b) { b = b + 1; }", "int operands"),
+            ("proc f(int x) { bool b = x; }", "initialise"),
+            ("proc f(int x, bool b) { x = b; }", "assign"),
+            ("proc f(bool b) { if (b > true) { skip; } }", "Ordering"),
+            ("proc f(int x) { while (x + 1) { skip; } }", "bool"),
+            ("proc f(int x) { assert x + 1; }", "bool"),
+            ("global int g; global int g; proc f() { skip; }", "twice"),
+            ("proc f() { skip; } proc f() { skip; }", "twice"),
+            ("global int g = true; proc f() { skip; }", "initialised"),
+            ("proc f(int x, bool b) { if (x == b) { skip; } }", "same type"),
+            ("proc f(bool b) { int y = 1 && 2; }", "bool operands"),
+        ],
+    )
+    def test_rejected(self, source, fragment):
+        with pytest.raises(SemanticError) as excinfo:
+            validate_source(source)
+        assert fragment.lower() in str(excinfo.value).lower()
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(SemanticError) as excinfo:
+            validate_source("proc f() {\n    skip;\n    y = 1;\n}")
+        assert excinfo.value.line == 3

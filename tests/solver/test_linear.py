@@ -1,0 +1,123 @@
+"""Tests for linearisation of terms into normal-form atoms."""
+
+import pytest
+
+from repro.solver.linear import (
+    EQ,
+    LE,
+    NE,
+    LinearAtom,
+    LinearExpr,
+    NonLinearError,
+    linearize_comparison,
+    linearize_int,
+)
+from repro.solver.terms import BinaryTerm, BoolConst, IntConst, NegTerm, int_symbol
+
+X = int_symbol("x")
+Y = int_symbol("y")
+
+
+class TestLinearExpr:
+    def test_from_dict_drops_zero_coefficients(self):
+        expr = LinearExpr.from_dict({"x": 0, "y": 2}, 1)
+        assert expr.coeffs == (("y", 2),)
+
+    def test_add_and_subtract(self):
+        a = LinearExpr.from_dict({"x": 1, "y": 2}, 3)
+        b = LinearExpr.from_dict({"x": 1, "y": -2}, 1)
+        assert a.add(b).coefficient_map() == {"x": 2}
+        assert a.add(b).constant == 4
+        assert a.subtract(a).is_constant()
+
+    def test_scale_and_negate(self):
+        expr = LinearExpr.from_dict({"x": 2}, -1)
+        assert expr.scale(3).coefficient_map() == {"x": 6}
+        assert expr.negate().constant == 1
+
+    def test_evaluate(self):
+        expr = LinearExpr.from_dict({"x": 2, "y": -1}, 5)
+        assert expr.evaluate({"x": 3, "y": 4}) == 7
+
+    def test_str_rendering(self):
+        expr = LinearExpr.from_dict({"x": 1, "y": -2}, 3)
+        text = str(expr)
+        assert "x" in text and "y" in text and "3" in text
+
+
+class TestLinearizeInt:
+    def test_constant_and_symbol(self):
+        assert linearize_int(IntConst(4)).constant == 4
+        assert linearize_int(X).coefficient_map() == {"x": 1}
+
+    def test_addition_and_subtraction(self):
+        expr = linearize_int(BinaryTerm("-", BinaryTerm("+", X, Y), X))
+        assert expr.coefficient_map() == {"y": 1}
+
+    def test_multiplication_by_constant(self):
+        expr = linearize_int(BinaryTerm("*", IntConst(3), X))
+        assert expr.coefficient_map() == {"x": 3}
+        expr = linearize_int(BinaryTerm("*", X, IntConst(-2)))
+        assert expr.coefficient_map() == {"x": -2}
+
+    def test_negation(self):
+        expr = linearize_int(NegTerm(BinaryTerm("+", X, IntConst(1))))
+        assert expr.coefficient_map() == {"x": -1}
+        assert expr.constant == -1
+
+    def test_constant_division_folds(self):
+        expr = linearize_int(BinaryTerm("/", IntConst(7), IntConst(2)))
+        assert expr.constant == 3
+
+    @pytest.mark.parametrize(
+        "term",
+        [
+            BinaryTerm("*", X, Y),
+            BinaryTerm("/", X, IntConst(2)),
+            BinaryTerm("%", X, IntConst(2)),
+            BoolConst(True),
+        ],
+    )
+    def test_nonlinear_terms_raise(self, term):
+        with pytest.raises(NonLinearError):
+            linearize_int(term)
+
+
+class TestLinearizeComparison:
+    def test_less_than_uses_integer_shift(self):
+        atom = linearize_comparison("<", X, IntConst(5))
+        # x < 5 over ints becomes x - 5 + 1 <= 0
+        assert atom.op == LE
+        assert atom.expr.constant == -4
+
+    def test_greater_than(self):
+        atom = linearize_comparison(">", X, IntConst(0))
+        assert atom.op == LE
+        assert atom.holds({"x": 1})
+        assert not atom.holds({"x": 0})
+
+    def test_equality_and_disequality(self):
+        assert linearize_comparison("==", X, Y).op == EQ
+        assert linearize_comparison("!=", X, Y).op == NE
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "==", "!="])
+    @pytest.mark.parametrize("x", [-3, 0, 2, 5])
+    def test_atom_agrees_with_python_semantics(self, op, x):
+        atom = linearize_comparison(op, X, IntConst(2))
+        expected = {
+            "<": x < 2,
+            "<=": x <= 2,
+            ">": x > 2,
+            ">=": x >= 2,
+            "==": x == 2,
+            "!=": x != 2,
+        }[op]
+        assert atom.holds({"x": x}) == expected
+
+    def test_trivially_true_and_false(self):
+        assert linearize_comparison("<", IntConst(1), IntConst(2)).is_trivially_true()
+        assert linearize_comparison(">", IntConst(1), IntConst(2)).is_trivially_false()
+
+    def test_variables(self):
+        atom = linearize_comparison("==", BinaryTerm("+", X, Y), IntConst(0))
+        assert atom.variables() == frozenset({"x", "y"})

@@ -1,0 +1,100 @@
+"""Property-based tests for the constraint solver.
+
+The decision procedure is cross-checked against brute-force enumeration over a
+small integer box: for randomly generated conjunctions of linear constraints
+the solver must agree with enumeration on satisfiability, and any model it
+returns must actually satisfy the constraints.
+"""
+
+from itertools import product
+
+from hypothesis import given, settings, strategies as st
+
+from repro.solver.core import ConstraintSolver
+from repro.solver.terms import BinaryTerm, IntConst, bool_symbol, int_symbol, negate
+
+X = int_symbol("x")
+Y = int_symbol("y")
+B = bool_symbol("b")
+
+COMPARISONS = ["<", "<=", ">", ">=", "==", "!="]
+
+
+@st.composite
+def linear_atoms(draw):
+    """a*x + b*y + c OP 0 with small coefficients."""
+    a = draw(st.integers(min_value=-3, max_value=3))
+    b = draw(st.integers(min_value=-3, max_value=3))
+    c = draw(st.integers(min_value=-6, max_value=6))
+    op = draw(st.sampled_from(COMPARISONS))
+    left = BinaryTerm(
+        "+",
+        BinaryTerm("+", BinaryTerm("*", IntConst(a), X), BinaryTerm("*", IntConst(b), Y)),
+        IntConst(c),
+    )
+    return BinaryTerm(op, left, IntConst(0))
+
+
+@st.composite
+def constraint_sets(draw):
+    atoms = draw(st.lists(linear_atoms(), min_size=1, max_size=4))
+    negate_flags = draw(st.lists(st.booleans(), min_size=len(atoms), max_size=len(atoms)))
+    return [negate(a) if flag else a for a, flag in zip(atoms, negate_flags)]
+
+
+def brute_force_satisfiable(constraints, bound=8):
+    for x, y in product(range(-bound, bound + 1), repeat=2):
+        env = {"x": x, "y": y}
+        if all(bool(term.evaluate(env)) for term in constraints):
+            return True
+    return False
+
+
+class TestSolverAgainstBruteForce:
+    @given(constraint_sets())
+    @settings(max_examples=120, deadline=None)
+    def test_sat_agrees_with_enumeration_when_bruteforce_finds_model(self, constraints):
+        # A brute-force witness inside the small box implies the solver must say SAT.
+        solver = ConstraintSolver()
+        if brute_force_satisfiable(constraints):
+            assert solver.is_satisfiable(constraints)
+
+    @given(constraint_sets())
+    @settings(max_examples=120, deadline=None)
+    def test_models_actually_satisfy_constraints(self, constraints):
+        solver = ConstraintSolver()
+        result = solver.check(constraints)
+        if result.satisfiable:
+            model = dict(result.model)
+            env = {"x": model.get("x", 0), "y": model.get("y", 0)}
+            assert all(bool(term.evaluate(env)) for term in constraints)
+
+    @given(constraint_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_unsat_has_no_small_witness(self, constraints):
+        # If the solver says UNSAT there must be no model in the small box either.
+        solver = ConstraintSolver()
+        if not solver.is_satisfiable(constraints):
+            assert not brute_force_satisfiable(constraints, bound=6)
+
+    @given(constraint_sets(), st.booleans())
+    @settings(max_examples=60, deadline=None)
+    def test_adding_bool_symbol_keeps_consistency(self, constraints, positive):
+        solver = ConstraintSolver()
+        literal = B if positive else negate(B)
+        extended = constraints + [literal]
+        result = solver.check(extended)
+        if result.satisfiable:
+            assert result.model.get("b") == (1 if positive else 0)
+
+    @given(linear_atoms())
+    @settings(max_examples=80, deadline=None)
+    def test_atom_and_its_negation_cannot_both_hold(self, atom):
+        solver = ConstraintSolver()
+        assert not solver.is_satisfiable([atom, negate(atom)])
+
+    @given(linear_atoms())
+    @settings(max_examples=80, deadline=None)
+    def test_atom_or_negation_is_satisfiable(self, atom):
+        solver = ConstraintSolver()
+        assert solver.is_satisfiable([atom]) or solver.is_satisfiable([negate(atom)])

@@ -1,0 +1,107 @@
+"""Tests for term simplification."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.solver.simplify import simplify
+from repro.solver.terms import (
+    FALSE,
+    TRUE,
+    BinaryTerm,
+    BoolConst,
+    IntConst,
+    NegTerm,
+    NotTerm,
+    int_symbol,
+)
+
+X = int_symbol("x")
+Y = int_symbol("y")
+
+
+class TestConstantFolding:
+    def test_arithmetic_folding(self):
+        assert simplify(BinaryTerm("+", IntConst(2), IntConst(3))) == IntConst(5)
+        assert simplify(BinaryTerm("*", IntConst(4), IntConst(5))) == IntConst(20)
+
+    def test_comparison_folding(self):
+        assert simplify(BinaryTerm("<", IntConst(1), IntConst(2))) == TRUE
+        assert simplify(BinaryTerm("==", IntConst(1), IntConst(2))) == FALSE
+
+    def test_boolean_folding(self):
+        assert simplify(BinaryTerm("&&", TRUE, FALSE)) == FALSE
+
+    def test_division_by_zero_not_folded(self):
+        term = BinaryTerm("/", IntConst(1), IntConst(0))
+        assert simplify(term) == term
+
+    def test_nested_folding(self):
+        term = BinaryTerm("+", BinaryTerm("*", IntConst(2), IntConst(3)), IntConst(1))
+        assert simplify(term) == IntConst(7)
+
+
+class TestAlgebraicIdentities:
+    def test_add_zero(self):
+        assert simplify(BinaryTerm("+", X, IntConst(0))) == X
+        assert simplify(BinaryTerm("+", IntConst(0), X)) == X
+
+    def test_subtract_zero_and_self(self):
+        assert simplify(BinaryTerm("-", X, IntConst(0))) == X
+        assert simplify(BinaryTerm("-", X, X)) == IntConst(0)
+
+    def test_multiply_by_zero_and_one(self):
+        assert simplify(BinaryTerm("*", X, IntConst(0))) == IntConst(0)
+        assert simplify(BinaryTerm("*", IntConst(1), X)) == X
+
+    def test_divide_by_one(self):
+        assert simplify(BinaryTerm("/", X, IntConst(1))) == X
+
+    def test_logical_identities(self):
+        cmp_term = BinaryTerm(">", X, IntConst(0))
+        assert simplify(BinaryTerm("&&", TRUE, cmp_term)) == cmp_term
+        assert simplify(BinaryTerm("&&", FALSE, cmp_term)) == FALSE
+        assert simplify(BinaryTerm("||", FALSE, cmp_term)) == cmp_term
+        assert simplify(BinaryTerm("||", TRUE, cmp_term)) == TRUE
+
+    def test_comparison_of_equal_terms(self):
+        assert simplify(BinaryTerm("==", X, X)) == TRUE
+        assert simplify(BinaryTerm("<", X, X)) == FALSE
+        assert simplify(BinaryTerm("<=", X, X)) == TRUE
+
+    def test_double_not(self):
+        assert simplify(NotTerm(NotTerm(X))) == X
+
+    def test_double_negation(self):
+        assert simplify(NegTerm(NegTerm(X))) == X
+
+    def test_negation_of_constant(self):
+        assert simplify(NegTerm(IntConst(4))) == IntConst(-4)
+
+
+@st.composite
+def arithmetic_terms(draw, depth=0):
+    """Random integer terms over x and y with small constants."""
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.integers(min_value=0, max_value=2))
+        if choice == 0:
+            return IntConst(draw(st.integers(min_value=-10, max_value=10)))
+        return X if choice == 1 else Y
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(arithmetic_terms(depth=depth + 1))
+    right = draw(arithmetic_terms(depth=depth + 1))
+    return BinaryTerm(op, left, right)
+
+
+class TestSimplifyPreservesSemantics:
+    @given(arithmetic_terms(), st.integers(-5, 5), st.integers(-5, 5))
+    @settings(max_examples=150, deadline=None)
+    def test_simplified_term_evaluates_identically(self, term, x, y):
+        env = {"x": x, "y": y}
+        assert simplify(term).evaluate(env) == term.evaluate(env)
+
+    @given(arithmetic_terms(), arithmetic_terms(), st.sampled_from(["<", "<=", "==", "!=", ">", ">="]),
+           st.integers(-5, 5), st.integers(-5, 5))
+    @settings(max_examples=150, deadline=None)
+    def test_simplified_comparison_evaluates_identically(self, left, right, op, x, y):
+        term = BinaryTerm(op, left, right)
+        env = {"x": x, "y": y}
+        assert simplify(term).evaluate(env) == term.evaluate(env)

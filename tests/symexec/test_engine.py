@@ -1,0 +1,200 @@
+"""Tests for the full symbolic execution engine."""
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.solver.core import ConstraintSolver
+from repro.symexec.engine import SymbolicExecutor, symbolic_execute
+from repro.symexec.strategy import ExplorationStrategy
+
+
+def run(source, name=None, **kwargs):
+    return symbolic_execute(parse_program(source), procedure_name=name, **kwargs)
+
+
+class TestFigure1Example:
+    def test_two_feasible_paths(self, testx):
+        result = symbolic_execute(testx, "testX")
+        assert len(result.path_conditions) == 2
+        conditions = {str(pc) for pc in result.path_conditions}
+        assert conditions == {"(x > 0)", "(x <= 0)"}
+
+    def test_symbolic_final_values(self, testx):
+        result = symbolic_execute(testx, "testX")
+        finals = {str(pc): record.environment()["y"] for pc, record in
+                  zip(result.path_conditions, result.summary.records)}
+        assert str(finals["(x > 0)"]) == "(y + x)"
+        assert str(finals["(x <= 0)"]) == "(y - x)"
+
+    def test_execution_tree_shape(self, testx):
+        result = symbolic_execute(testx, "testX", build_tree=True)
+        tree = result.tree
+        assert tree is not None
+        # begin -> branch -> {then, else} -> {end, end}: 6 states
+        assert tree.count() == result.statistics.states_explored
+        assert len(tree.root.leaves()) == 2
+
+
+class TestBranchingAndFeasibility:
+    def test_infeasible_path_is_pruned(self):
+        result = run(
+            "proc f(int x) { if (x > 0) { if (x < 0) { x = 1; } else { x = 2; } } }"
+        )
+        # the x<0 branch under x>0 is infeasible
+        assert result.statistics.infeasible_branches == 1
+        assert len(result.path_conditions) == 2
+
+    def test_concrete_branch_takes_single_side(self):
+        result = run("proc f(int x) { int y = 1; if (y > 0) { x = 1; } else { x = 2; } }")
+        assert len(result.path_conditions) == 1
+        # concrete conditions add no constraints
+        assert str(result.path_conditions[0]) == "true"
+
+    def test_else_if_chain_path_count(self):
+        result = run(
+            "proc f(int x) {"
+            " if (x == 0) { x = 0; } else if (x == 1) { x = 1; } else { x = 2; } }"
+        )
+        assert len(result.path_conditions) == 3
+
+    def test_independent_branches_multiply(self):
+        result = run(
+            "proc f(int a, int b) { if (a > 0) { skip; } if (b > 0) { skip; } }"
+        )
+        assert len(result.path_conditions) == 4
+
+    def test_boolean_parameter_branches(self):
+        result = run("proc f(bool b) { if (b) { skip; } else { skip; } }")
+        assert len(result.path_conditions) == 2
+
+    def test_update_full_execution_counts(self, update_modified):
+        result = symbolic_execute(update_modified, "update")
+        assert len(result.path_conditions) == 24
+        assert result.statistics.infeasible_branches > 0
+
+    def test_path_conditions_are_mutually_exclusive_models(self, update_modified, solver):
+        result = symbolic_execute(update_modified, "update", solver=solver)
+        # Each PC must be satisfiable (the engine already checked) and a model
+        # of one PC must violate every other PC (paths partition the inputs).
+        models = [solver.model(list(pc)) for pc in result.path_conditions]
+        for index, model in enumerate(models):
+            assert model is not None
+            env = {name: model.get(name, 0) for name in ("PedalPos", "BSwitch", "PedalCmd")}
+            satisfied = [pc for pc in result.path_conditions if pc.holds(env)]
+            assert len(satisfied) == 1
+
+
+class TestAssertionsAndErrors:
+    def test_failing_assertion_creates_error_path(self):
+        result = run("proc f(int x) { assert x > 0; x = 1; }")
+        assert result.statistics.error_paths == 1
+        errors = result.summary.error_records
+        assert len(errors) == 1
+        assert str(errors[0].path_condition) == "(x <= 0)"
+
+    def test_assertion_that_cannot_fail(self):
+        result = run("proc f(int x) { if (x > 0) { assert x >= 1; } }")
+        assert result.statistics.error_paths == 0
+
+    def test_error_paths_counted_in_path_conditions(self):
+        result = run("proc f(int x) { assert x != 0; }")
+        assert len(result.path_conditions) == 2
+
+
+class TestLoopsAndDepthBounds:
+    def test_loop_requires_depth_bound(self):
+        result = run(
+            "proc f(int n) { int i = 0; while (i < n) { i = i + 1; } }",
+            depth_bound=5,
+        )
+        assert result.statistics.depth_bound_hits > 0
+        assert len(result.path_conditions) >= 1
+
+    def test_loop_unrolling_counts(self):
+        result = run(
+            "proc f(int n) { int i = 0; while (i < n) { i = i + 1; } }",
+            depth_bound=4,
+        )
+        # paths: n<=0, n==1, n==2, n==3 complete within the bound
+        assert len(result.path_conditions) == 4
+
+    def test_concrete_loop_terminates_without_bound(self):
+        result = run("proc f() { int i = 0; while (i < 3) { i = i + 1; } }")
+        assert len(result.path_conditions) == 1
+
+
+class TestGlobalsAndInitialState:
+    def test_initialised_globals_are_concrete(self):
+        result = run("global int g = 5; proc f(int x) { if (g > 0) { x = 1; } }")
+        assert len(result.path_conditions) == 1
+        assert str(result.path_conditions[0]) == "true"
+
+    def test_uninitialised_globals_are_symbolic(self):
+        result = run("global int g; proc f(int x) { if (g > 0) { x = 1; } }")
+        assert len(result.path_conditions) == 2
+
+    def test_initial_environment_contains_params_and_globals(self, update_modified):
+        executor = SymbolicExecutor(update_modified, "update")
+        env = executor.initial_environment()
+        assert set(env) == {"AltPress", "Meter", "PedalPos", "BSwitch", "PedalCmd"}
+        assert str(env["AltPress"]) == "0"
+        assert str(env["PedalPos"]) == "PedalPos"
+
+
+class TestStrategyHooks:
+    class CountingStrategy(ExplorationStrategy):
+        def __init__(self):
+            self.visited = 0
+            self.asked = 0
+
+        def on_state(self, state):
+            self.visited += 1
+
+        def should_explore(self, successor):
+            self.asked += 1
+            return True
+
+    class PruneEverythingStrategy(ExplorationStrategy):
+        def should_explore(self, successor):
+            return False
+
+    def test_on_state_called_for_every_state(self, update_modified):
+        strategy = self.CountingStrategy()
+        executor = SymbolicExecutor(update_modified, "update", strategy=strategy)
+        result = executor.run()
+        assert strategy.visited == result.statistics.states_explored
+
+    def test_should_explore_called_only_at_branch_successors(self):
+        strategy = self.CountingStrategy()
+        program = parse_program("proc f(int x) { x = 1; x = 2; if (x > 0) { x = 3; } }")
+        executor = SymbolicExecutor(program, strategy=strategy)
+        executor.run()
+        # straight-line transitions are never submitted to the strategy; the
+        # single (concrete) branch contributes exactly one consultation
+        assert strategy.asked == 1
+
+    def test_pruning_strategy_blocks_branch_exploration(self, update_modified):
+        executor = SymbolicExecutor(
+            update_modified, "update", strategy=self.PruneEverythingStrategy()
+        )
+        result = executor.run()
+        assert len(result.path_conditions) == 0
+        assert result.statistics.pruned_by_strategy > 0
+
+
+class TestErrorsAndMisuse:
+    def test_rejects_non_program_input(self):
+        with pytest.raises(TypeError):
+            SymbolicExecutor(42)
+
+    def test_rejects_empty_program(self):
+        with pytest.raises(ValueError):
+            SymbolicExecutor(parse_program("global int g;"))
+
+    def test_shared_solver_statistics_are_scoped_per_run(self, update_modified):
+        solver = ConstraintSolver()
+        first = symbolic_execute(update_modified, "update", solver=solver)
+        second = symbolic_execute(update_modified, "update", solver=solver)
+        assert first.statistics.solver_queries > 0
+        # second run reuses the cache, so it answers entirely from cache hits
+        assert second.statistics.solver_cache_hits == second.statistics.solver_queries

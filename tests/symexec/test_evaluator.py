@@ -1,0 +1,61 @@
+"""Tests for translating AST expressions into symbolic terms."""
+
+import pytest
+
+from repro.lang.parser import parse_procedure
+from repro.lang.ast_nodes import Assign
+from repro.solver.terms import BinaryTerm, IntConst, Symbol, int_symbol
+from repro.symexec.evaluator import UndefinedVariableError, evaluate_expression
+
+
+def expression_from(source_expr, declared="int x, int y"):
+    procedure = parse_procedure(f"proc p({declared}) {{ x = {source_expr}; }}")
+    stmt = procedure.body[0]
+    assert isinstance(stmt, Assign)
+    return stmt.value
+
+
+class TestEvaluation:
+    def test_literal(self):
+        term = evaluate_expression(expression_from("5"), {})
+        assert term == IntConst(5)
+
+    def test_variable_lookup(self):
+        env = {"x": int_symbol("X"), "y": IntConst(3)}
+        term = evaluate_expression(expression_from("y"), env)
+        assert term == IntConst(3)
+
+    def test_symbolic_addition(self):
+        env = {"x": int_symbol("x"), "y": int_symbol("y")}
+        term = evaluate_expression(expression_from("x + y"), env)
+        assert term == BinaryTerm("+", Symbol("x"), Symbol("y"))
+
+    def test_concrete_folding(self):
+        env = {"x": IntConst(2), "y": IntConst(3)}
+        assert evaluate_expression(expression_from("x * y + 1"), env) == IntConst(7)
+
+    def test_partial_folding(self):
+        env = {"x": int_symbol("x"), "y": IntConst(0)}
+        # x + 0 simplifies to x
+        assert evaluate_expression(expression_from("x + y"), env) == Symbol("x")
+
+    def test_unary_operators(self):
+        env = {"x": IntConst(4), "y": IntConst(0)}
+        assert evaluate_expression(expression_from("-x"), env) == IntConst(-4)
+
+    def test_comparison_expression(self):
+        env = {"x": int_symbol("x"), "y": IntConst(1)}
+        procedure = parse_procedure("proc p(int x, int y, bool b) { b = x > y; }")
+        term = evaluate_expression(procedure.body[0].value, env)
+        assert term == BinaryTerm(">", Symbol("x"), IntConst(1))
+
+    def test_undefined_variable_raises(self):
+        with pytest.raises(UndefinedVariableError):
+            evaluate_expression(expression_from("x + y"), {"x": IntConst(1)})
+
+    def test_paper_figure1_symbolic_value(self):
+        """y = y + x with symbolic Y and X produces the Figure 1 value Y + X."""
+        env = {"y": int_symbol("y"), "x": int_symbol("x")}
+        procedure = parse_procedure("proc t(int x, int y) { y = y + x; }")
+        term = evaluate_expression(procedure.body[0].value, env)
+        assert str(term) == "(y + x)"

@@ -1,0 +1,85 @@
+"""Tests for symbolic states and path conditions."""
+
+from repro.cfg.builder import build_cfg
+from repro.lang.parser import parse_program
+from repro.solver.terms import BinaryTerm, IntConst, int_symbol
+from repro.symexec.state import PathCondition, SymbolicState
+
+
+X = int_symbol("x")
+
+
+def small_cfg():
+    return build_cfg(parse_program("proc f(int x) { if (x > 0) { x = 1; } else { x = 2; } }"))
+
+
+class TestPathCondition:
+    def test_empty_is_true(self):
+        assert str(PathCondition()) == "true"
+        assert len(PathCondition()) == 0
+
+    def test_extend_is_persistent(self):
+        base = PathCondition()
+        extended = base.extend(BinaryTerm(">", X, IntConst(0)))
+        assert len(base) == 0
+        assert len(extended) == 1
+
+    def test_extend_simplifies(self):
+        extended = PathCondition().extend(BinaryTerm("<", IntConst(1), IntConst(2)))
+        assert str(extended) == "true"
+
+    def test_holds_under_assignment(self):
+        condition = PathCondition().extend(BinaryTerm(">", X, IntConst(0)))
+        assert condition.holds({"x": 1})
+        assert not condition.holds({"x": 0})
+
+    def test_as_term_conjunction(self):
+        condition = (
+            PathCondition()
+            .extend(BinaryTerm(">", X, IntConst(0)))
+            .extend(BinaryTerm("<", X, IntConst(5)))
+        )
+        term = condition.as_term()
+        assert term.evaluate({"x": 3}) is True
+        assert term.evaluate({"x": 7}) is False
+
+    def test_str_rendering(self):
+        condition = PathCondition().extend(BinaryTerm(">", X, IntConst(0)))
+        assert str(condition) == "(x > 0)"
+
+
+class TestSymbolicState:
+    def test_make_and_lookup(self):
+        cfg = small_cfg()
+        state = SymbolicState.make(cfg.begin, {"x": X})
+        assert state.value_of("x") == X
+        assert state.depth == 0
+
+    def test_with_assignment_does_not_mutate(self):
+        cfg = small_cfg()
+        state = SymbolicState.make(cfg.begin, {"x": X})
+        new_state = state.with_assignment(cfg.node(0), "x", IntConst(1))
+        assert state.value_of("x") == X
+        assert new_state.value_of("x") == IntConst(1)
+        assert new_state.trace[-1] == 0
+
+    def test_with_constraint_increments_depth(self):
+        cfg = small_cfg()
+        state = SymbolicState.make(cfg.begin, {"x": X})
+        new_state = state.with_constraint(cfg.node(0), BinaryTerm(">", X, IntConst(0)))
+        assert new_state.depth == state.depth + 1
+        assert len(new_state.path_condition) == 1
+
+    def test_with_node_extends_trace_only(self):
+        cfg = small_cfg()
+        state = SymbolicState.make(cfg.begin, {"x": X}, trace=(cfg.begin.node_id,))
+        moved = state.with_node(cfg.node(0))
+        assert moved.environment == state.environment
+        assert moved.trace == (cfg.begin.node_id, 0)
+
+    def test_describe_contains_location_and_pc(self):
+        cfg = small_cfg()
+        state = SymbolicState.make(cfg.begin, {"x": X})
+        text = state.describe()
+        assert "Loc: nbegin" in text
+        assert "PC: true" in text

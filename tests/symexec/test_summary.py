@@ -1,0 +1,56 @@
+"""Tests for method summaries and path records."""
+
+from repro.symexec.engine import symbolic_execute
+from repro.symexec.summary import MethodSummary, PathRecord
+from repro.symexec.state import PathCondition
+from repro.solver.terms import BinaryTerm, IntConst, int_symbol
+
+X = int_symbol("x")
+
+
+def record(op, value, is_error=False):
+    condition = PathCondition().extend(BinaryTerm(op, X, IntConst(value)))
+    return PathRecord(condition, (("x", X),), trace=(0,), is_error=is_error)
+
+
+class TestMethodSummary:
+    def test_add_and_len(self):
+        summary = MethodSummary("f")
+        summary.add(record(">", 0))
+        summary.add(record("<=", 0))
+        assert len(summary) == 2
+        assert len(summary.path_conditions) == 2
+
+    def test_error_records_filter(self):
+        summary = MethodSummary("f")
+        summary.add(record(">", 0))
+        summary.add(record("<=", 0, is_error=True))
+        assert len(summary.error_records) == 1
+
+    def test_distinct_path_conditions(self):
+        summary = MethodSummary("f")
+        summary.add(record(">", 0))
+        summary.add(record(">", 0))
+        summary.add(record("<", 0))
+        assert len(summary.distinct_path_conditions()) == 2
+
+    def test_describe_with_limit(self):
+        summary = MethodSummary("f")
+        for value in range(5):
+            summary.add(record("==", value))
+        text = summary.describe(limit=2)
+        assert "5 path conditions" in text
+        assert "3 more" in text
+
+    def test_record_environment_accessor(self):
+        rec = record(">", 0)
+        assert str(rec.environment()["x"]) == "x"
+
+    def test_summary_from_real_run(self, update_modified):
+        result = symbolic_execute(update_modified, "update")
+        summary = result.summary
+        assert summary.procedure_name == "update"
+        # every record's trace starts at the begin node and ends at the end node
+        for rec in summary:
+            assert rec.trace[0] == -1
+            assert rec.trace[-1] == -2

@@ -1,0 +1,40 @@
+"""Tests for the symbolic execution tree (Figure 1)."""
+
+from repro.symexec.engine import symbolic_execute
+from repro.symexec.tree import ExecutionTree, ExecutionTreeNode
+
+
+class TestExecutionTree:
+    def test_empty_tree(self):
+        tree = ExecutionTree()
+        assert tree.count() == 0
+        assert tree.render() == "<empty tree>"
+
+    def test_manual_tree_construction(self):
+        root = ExecutionTreeNode("Loc: 1", {}, "true")
+        child = ExecutionTreeNode("Loc: 2", {}, "(x > 0)", edge_label="true")
+        root.add_child(child)
+        tree = ExecutionTree(root)
+        assert tree.count() == 2
+        assert root.leaves() == [child]
+
+    def test_figure1_tree_rendering(self, testx):
+        result = symbolic_execute(testx, "testX", build_tree=True,
+                                  tracked_variables=["x", "y"])
+        rendering = result.tree.render()
+        assert "PC: (x > 0)" in rendering
+        assert "PC: (x <= 0)" in rendering
+        assert "y: (y + x)" in rendering
+        assert "y: (y - x)" in rendering
+
+    def test_tree_matches_state_count(self, update_modified):
+        result = symbolic_execute(update_modified, "update", build_tree=True)
+        assert result.tree.count() == result.statistics.states_explored
+
+    def test_leaf_count_equals_terminal_states(self, testx):
+        result = symbolic_execute(testx, "testX", build_tree=True)
+        assert len(result.tree.root.leaves()) == len(result.path_conditions)
+
+    def test_tracked_variables_limit_environment(self, testx):
+        result = symbolic_execute(testx, "testX", build_tree=True, tracked_variables=["y"])
+        assert set(result.tree.root.environment) == {"y"}
