@@ -1,0 +1,125 @@
+"""Micro-benchmark for the incremental solver path (ours, not a paper table).
+
+Measures the DiSE hot path -- branch-feasibility checks along a DFS -- in
+three workloads and writes ``BENCH_solver.json`` next to this file so future
+PRs have a perf trajectory to regress against:
+
+* ``chain``: push a deep constraint prefix once, then probe many sibling
+  branch constraints against it (the pure prefix-reuse regime);
+* ``update_full``: full symbolic execution of the §2.2 ``update`` method;
+* ``update_dise``: the directed run of the motivating example.
+
+Reported per workload: wall clock, solver queries (full solves), incremental
+hits, prefix reuses, and the derived ``prefix_reuse_ratio`` /
+``incremental_hit_ratio`` / ``checks_per_second``.
+"""
+
+import json
+import os
+import time
+
+from repro.artifacts.simple import update_base_program, update_modified_program
+from repro.core.dise import run_dise
+from repro.solver.context import SolverContext
+from repro.solver.core import ConstraintSolver
+from repro.solver.terms import BinaryTerm, IntConst, int_symbol
+from repro.symexec.engine import symbolic_execute
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "BENCH_solver.json")
+
+CHAIN_DEPTH = 40
+CHAIN_PROBES = 400
+
+
+def _snapshot(solver):
+    stats = solver.statistics
+    return (stats.queries, stats.incremental_hits, stats.prefix_reuses)
+
+
+def _delta(solver, before, elapsed, checks):
+    queries, hits, reuses = (now - then for now, then in zip(_snapshot(solver), before))
+    total = queries + hits
+    return {
+        "elapsed_seconds": round(elapsed, 6),
+        "checks": checks,
+        "solver_queries": queries,
+        "incremental_hits": hits,
+        "prefix_reuses": reuses,
+        "prefix_reuse_ratio": round(reuses / max(1, reuses + queries), 4),
+        "incremental_hit_ratio": round(hits / max(1, total), 4),
+        "checks_per_second": round(checks / elapsed, 1) if elapsed > 0 else None,
+    }
+
+
+def bench_chain(solver):
+    """Deep prefix + many sibling probes: the shape of a DFS branch frontier."""
+    xs = [int_symbol(f"v{i}") for i in range(CHAIN_DEPTH)]
+    context = SolverContext(solver)
+    before = _snapshot(solver)
+    started = time.perf_counter()
+    for i, symbol in enumerate(xs):
+        context.push(BinaryTerm(">", symbol, IntConst(i)))
+    checks = 0
+    for probe in range(CHAIN_PROBES):
+        symbol = xs[probe % CHAIN_DEPTH]
+        context.assume_is_satisfiable(BinaryTerm("==", symbol, IntConst(probe + CHAIN_DEPTH)))
+        checks += 1
+    elapsed = time.perf_counter() - started
+    return _delta(solver, before, elapsed, checks)
+
+
+def bench_update_full(solver):
+    before = _snapshot(solver)
+    started = time.perf_counter()
+    result = symbolic_execute(update_modified_program(), "update", solver=solver)
+    elapsed = time.perf_counter() - started
+    assert len(result.path_conditions) == 24
+    payload = _delta(solver, before, elapsed, result.statistics.states_explored)
+    payload["path_conditions"] = len(result.path_conditions)
+    return payload
+
+
+def bench_update_dise(solver):
+    before = _snapshot(solver)
+    started = time.perf_counter()
+    result = run_dise(
+        update_base_program(), update_modified_program(), procedure="update", solver=solver
+    )
+    elapsed = time.perf_counter() - started
+    assert len(result.path_conditions) == 8
+    payload = _delta(solver, before, elapsed, result.states_explored)
+    payload["path_conditions"] = len(result.path_conditions)
+    return payload
+
+
+def run_solver_benchmarks():
+    """Run the three workloads on one shared solver and persist the report."""
+    solver = ConstraintSolver()
+    report = {
+        "chain": bench_chain(solver),
+        "update_full": bench_update_full(solver),
+        "update_dise": bench_update_dise(solver),
+        "totals": solver.statistics.as_dict(),
+    }
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def test_solver_incremental(run_once):
+    report = run_once(run_solver_benchmarks)
+    print()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    # The incremental layer must demonstrably carry the load: sibling probes
+    # against a shared prefix reuse it, and most chain checks never reach a
+    # full solve.
+    assert report["chain"]["prefix_reuse_ratio"] > 0.5
+    assert report["chain"]["incremental_hit_ratio"] > 0.5
+    assert report["update_dise"]["prefix_reuses"] > 0
+    assert report["totals"]["interned_terms"] > 0
+    assert os.path.exists(RESULTS_PATH)
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_solver_benchmarks(), indent=2, sort_keys=True))

@@ -1,0 +1,331 @@
+"""The three evaluation artifacts (ASW, WBS, OAE) and their version histories.
+
+Each :class:`Artifact` mirrors the paper's §4.2 set-up: a base program plus a
+sequence of modified versions, each described by a :class:`VersionSpec`
+carrying the number of AST changes (the "Changes" column of Tables 2/3).
+The MiniLang re-creations keep the control structure and change *kinds* of
+the paper's Java artifacts at a size the bundled solver decides quickly:
+
+* **ASW** (altitude switch): a guarded alarm region followed by a display
+  cascade -- localised guard changes show the large DiSE reductions,
+  display/output-only changes show the zero-affected-path rows;
+* **WBS** (wheel brake system): a pedal-pressure pipeline where every guard
+  after the pedal region reads the computed pressure, so most changes affect
+  every path condition (the paper's DiSE == full rows);
+* **OAE** (onboard abort executive): a mode selector followed by a chain of
+  independent checks, large enough that a broad change produces hundreds of
+  affected path conditions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.lang.ast_nodes import Program
+from repro.lang.parser import parse_program
+
+
+@dataclass(frozen=True)
+class VersionSpec:
+    """One modified version of an artifact."""
+
+    name: str
+    source: str
+    change_count: int
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """A base program plus its sequence of modified versions."""
+
+    name: str
+    procedure_name: str
+    base_source: str
+    versions: Tuple[VersionSpec, ...]
+    description: str = ""
+
+    def base_program(self) -> Program:
+        return parse_program(self.base_source)
+
+    def version(self, name: str) -> VersionSpec:
+        for spec in self.versions:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"{self.name} has no version {name!r}")
+
+    def version_source(self, name: str) -> str:
+        return self.version(name).source
+
+    def version_program(self, name: str) -> Program:
+        return parse_program(self.version(name).source)
+
+    def version_names(self) -> List[str]:
+        return [spec.name for spec in self.versions]
+
+
+def _versions(base_source: str, edits) -> Tuple[VersionSpec, ...]:
+    """Build VersionSpecs by textual substitution on the base source.
+
+    Each edit is ``(name, replacements, change_count, description)`` where
+    ``replacements`` is a list of ``(old, new)`` pairs applied in order; every
+    ``old`` must occur in the source exactly once so versions stay reviewable.
+    """
+    specs: List[VersionSpec] = []
+    for name, replacements, change_count, description in edits:
+        source = base_source
+        for old, new in replacements:
+            if source.count(old) != 1:
+                raise ValueError(f"{name}: pattern {old!r} occurs {source.count(old)} times")
+            source = source.replace(old, new)
+        specs.append(VersionSpec(name, source, change_count, description))
+    return tuple(specs)
+
+
+# -- ASW: altitude switch ------------------------------------------------------
+
+ASW_BASE_SOURCE = """\
+global int alarm = 0;
+global int display = 0;
+global int alarmOut = 0;
+
+proc altitude(int alt, int thresh, int inhibit, int f1, int f2, int f3, int f4) {
+    if (alt < thresh) {
+        if (inhibit == 0) {
+            alarm = 1;
+        } else {
+            alarm = 2;
+        }
+    } else {
+        alarm = 0;
+    }
+    if (f1 > 0) {
+        display = 1;
+    } else {
+        display = 2;
+    }
+    if (display + f2 > 2) {
+        display = display + 10;
+    } else {
+        display = display + 20;
+    }
+    if (display + f3 > 12) {
+        display = display + 100;
+    } else {
+        display = display + 200;
+    }
+    if (display + f4 > 112) {
+        display = display + 1000;
+    } else {
+        display = display + 2000;
+    }
+    alarmOut = alarm;
+}
+"""
+
+_ASW_EDITS = [
+    ("v1", [("inhibit == 0", "inhibit <= 0")], 1, "inner alarm guard relaxed"),
+    ("v2", [("alt < thresh", "alt <= thresh")], 1, "alarm guard boundary change"),
+    ("v3", [("alarm = 1;", "alarm = 3;")], 1, "alarm code changed"),
+    ("v4", [("alarm = 2;", "alarm = 4;")], 1, "inhibited alarm code changed"),
+    ("v5", [("alt < thresh", "alt > thresh")], 1, "alarm guard inverted"),
+    ("v6", [("display = 1;", "display = 3;")], 1, "display seed changed (cascades broadly)"),
+    ("v7", [("alarmOut = alarm;", "alarmOut = alarm + 1;")], 1, "output-only change"),
+    (
+        "v8",
+        [("    alarmOut = alarm;", "    alarmOut = alarm;\n    alarmOut = alarmOut + 1;")],
+        1,
+        "new trailing statement",
+    ),
+    ("v9", [("        alarm = 1;\n", "")], 1, "alarm write removed"),
+    ("v10", [("display + 10;", "display + 11;")], 1, "display-only change"),
+    ("v11", [("display + f2 > 2", "display + f2 >= 2")], 1, "display guard boundary change"),
+    ("v12", [("        alarm = 0;", "        alarm = 9;")], 1, "default alarm code changed"),
+    (
+        "v13",
+        [("alt < thresh", "alt <= thresh"), ("display = 1;", "display = 3;")],
+        2,
+        "alarm guard and display seed changed (broad)",
+    ),
+    ("v14", [("display + f3 > 12", "display + f3 >= 12")], 1, "display guard boundary change"),
+    ("v15", [("alarm = 2;", "alarm = 7;")], 1, "inhibited alarm code changed"),
+]
+
+
+def asw_artifact() -> Artifact:
+    return Artifact(
+        "ASW",
+        "altitude",
+        ASW_BASE_SOURCE,
+        _versions(ASW_BASE_SOURCE, _ASW_EDITS),
+        description="altitude switch",
+    )
+
+
+# -- WBS: wheel brake system ---------------------------------------------------
+
+# Every conditional after the pedal region reads ``press``, so guard and
+# pressure-code changes ripple through the whole procedure (the paper's WBS
+# rows where DiSE generates as many path conditions as full symbolic
+# execution); the ``meter`` writes are pure outputs, giving the zero rows.
+WBS_BASE_SOURCE = """\
+global int press = 0;
+global int meter = 0;
+
+proc wbs(int pedal, int skid, int autobrake) {
+    if (pedal == 0) {
+        press = 0;
+    } else {
+        if (pedal == 1) {
+            press = 1;
+        } else {
+            press = 2;
+        }
+    }
+    if (press + skid > 1) {
+        press = press + 1;
+        meter = 1;
+    } else {
+        meter = 2;
+    }
+    if (press + autobrake > 2) {
+        press = press + 10;
+    } else {
+        press = press + 20;
+    }
+}
+"""
+
+_WBS_EDITS = [
+    ("v1", [("pedal == 0", "pedal <= 0")], 1, "the §2.2-style pedal guard change"),
+    ("v2", [("pedal == 1", "pedal >= 1")], 1, "second pedal guard relaxed"),
+    ("v3", [("        press = 1;", "        press = 3;")], 1, "pedal pressure code changed"),
+    ("v4", [("press + skid > 1", "press + skid > 0")], 1, "skid guard relaxed"),
+    ("v5", [("press = press + 1;", "press = press + 2;")], 1, "skid pressure increment changed"),
+    ("v6", [("press + autobrake > 2", "press + autobrake > 1")], 1, "autobrake guard relaxed"),
+    ("v7", [("meter = 1;", "meter = 3;")], 1, "meter-only change"),
+    ("v8", [("meter = 2;", "meter = 4;")], 1, "meter-only change"),
+    (
+        "v9",
+        [("    if (press + skid > 1)", "    press = press + 1;\n    if (press + skid > 1)")],
+        1,
+        "new write before the skid guard",
+    ),
+    ("v10", [("        press = 2;", "        press = 4;")], 1, "default pressure code changed"),
+    ("v11", [("pedal == 0", "pedal < 0")], 1, "first pedal guard changed"),
+    ("v12", [("press = press + 10;", "press = press + 11;")], 1, "autobrake pressure changed"),
+    ("v13", [("press = press + 20;", "press = press + 21;")], 1, "autobrake pressure changed"),
+    (
+        "v14",
+        [("pedal == 0", "pedal <= 0"), ("press + autobrake > 2", "press + autobrake > 1")],
+        2,
+        "pedal and autobrake guards changed",
+    ),
+    ("v15", [("        press = 0;", "        press = 5;")], 1, "released pressure code changed"),
+    (
+        "v16",
+        [("    if (press + autobrake > 2)", "    meter = meter + 1;\n    if (press + autobrake > 2)")],
+        1,
+        "new meter write (output only)",
+    ),
+]
+
+
+def wbs_artifact() -> Artifact:
+    return Artifact(
+        "WBS",
+        "wbs",
+        WBS_BASE_SOURCE,
+        _versions(WBS_BASE_SOURCE, _WBS_EDITS),
+        description="wheel brake system",
+    )
+
+
+# -- OAE: onboard abort executive ----------------------------------------------
+
+OAE_BASE_SOURCE = """\
+global int stage = 0;
+global int out = 0;
+
+proc oae(int mode, int c1, int c2, int c3, int c4, int c5, int c6, int c7) {
+    if (mode < 0) {
+        stage = 1;
+    } else {
+        stage = 2;
+    }
+    if (c1 > 0) {
+        out = out + 1;
+    } else {
+        out = out - 1;
+    }
+    if (c2 > 0) {
+        out = out + 2;
+    } else {
+        out = out - 2;
+    }
+    if (c3 > 0) {
+        out = out + 4;
+    } else {
+        out = out - 4;
+    }
+    if (c4 > 0) {
+        out = out + 8;
+    } else {
+        out = out - 8;
+    }
+    if (c5 > 0) {
+        out = out + 16;
+    } else {
+        out = out - 16;
+    }
+    if (c6 > 0) {
+        out = out + 32;
+    } else {
+        out = out - 32;
+    }
+    if (c7 > 0) {
+        out = out + 64;
+    } else {
+        out = out - 64;
+    }
+    out = out + stage;
+}
+"""
+
+_OAE_EDITS = [
+    ("v1", [("out = out + 1;", "out = out + 3;")], 1, "output-only change"),
+    ("v2", [("stage = 1;", "stage = 3;")], 1, "abort stage code changed (output only)"),
+    ("v3", [("out = out + stage", "out = out + stage + 1")], 1, "final formula changed (output only)"),
+    ("v4", [("out = out + 2;", "out = out + 5;")], 1, "output-only change"),
+    ("v5", [("stage = 2;", "stage = 4;")], 1, "nominal stage code changed (output only)"),
+    ("v6", [("mode < 0", "mode <= 0")], 1, "mode guard boundary change (broad)"),
+    ("v7", [("out = out - 64;", "out = out - 65;")], 1, "output-only change"),
+    (
+        "v8",
+        [("    out = out + stage;", "    out = out + stage;\n    stage = stage + out;")],
+        1,
+        "new trailing statement",
+    ),
+    (
+        "v9",
+        [("mode < 0", "mode <= 0"), ("stage = 1;", "stage = 3;")],
+        2,
+        "mode guard and stage code changed",
+    ),
+]
+
+
+def oae_artifact() -> Artifact:
+    return Artifact(
+        "OAE",
+        "oae",
+        OAE_BASE_SOURCE,
+        _versions(OAE_BASE_SOURCE, _OAE_EDITS),
+        description="onboard abort executive",
+    )
+
+
+def all_artifacts() -> List[Artifact]:
+    """The three artifacts in the order of the paper's tables."""
+    return [asw_artifact(), wbs_artifact(), oae_artifact()]

@@ -1,0 +1,80 @@
+"""The paper's two worked examples as MiniLang sources (Figures 1 and 2).
+
+``testX`` is the Figure 1 example used to illustrate symbolic execution
+itself; ``update`` is the §2.2 motivating example whose single-character
+change (``PedalPos == 0`` to ``PedalPos <= 0``) drives the Table 1 trace and
+the affected-location computation of Figure 5.  The update re-creation uses
+integer pressure codes instead of the paper's rational constants; see
+``tests/core/test_motivating_example.py`` for the resulting path counts.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import Program
+from repro.lang.parser import parse_program
+
+TESTX_SOURCE = """\
+global int y;
+
+proc testX(int x) {
+    if (x > 0) {
+        y = y + x;
+    } else {
+        y = y - x;
+    }
+}
+"""
+
+_UPDATE_BODY = """\
+    if (PedalPos {OP} 0) {{
+        PedalCmd = PedalCmd + 1;
+    }} else {{
+        if (PedalPos == 1) {{
+            PedalCmd = PedalCmd + 2;
+        }} else {{
+            PedalCmd = PedalPos;
+        }}
+    }}
+    PedalCmd = PedalCmd + 1;
+    if (BSwitch == 0) {{
+        Meter = 1;
+    }} else {{
+        if (BSwitch == 1) {{
+            Meter = 2;
+        }}
+    }}
+    if (PedalCmd == 2) {{
+        AltPress = 0;
+    }}
+    if (PedalCmd == 3) {{
+        AltPress = 1;
+        AltPress = 2;
+    }}
+"""
+
+_UPDATE_TEMPLATE = (
+    "global int Meter = 0;\n"
+    "global int AltPress = 0;\n"
+    "\n"
+    "proc update(int PedalPos, int BSwitch, int PedalCmd) {{\n"
+    "{body}"
+    "}}\n"
+)
+
+UPDATE_BASE_SOURCE = _UPDATE_TEMPLATE.format(body=_UPDATE_BODY.format(OP="=="))
+UPDATE_MODIFIED_SOURCE = _UPDATE_TEMPLATE.format(body=_UPDATE_BODY.format(OP="<="))
+
+
+def testx_program() -> Program:
+    """The Figure 1 ``testX`` example."""
+    return parse_program(TESTX_SOURCE)
+
+
+def update_base_program() -> Program:
+    """The base version of the §2.2 ``update`` example."""
+    return parse_program(UPDATE_BASE_SOURCE)
+
+
+def update_modified_program() -> Program:
+    """The modified version of the §2.2 ``update`` example."""
+    return parse_program(UPDATE_MODIFIED_SOURCE)

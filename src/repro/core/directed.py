@@ -27,6 +27,8 @@ from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.ir import CFGNode, NodeKind
 from repro.cfg.scc import SCCAnalysis
 from repro.core.affected import AffectedSets
+from repro.core.lookahead import FeasibleReachability
+from repro.solver.core import ConstraintSolver
 from repro.symexec.state import SymbolicState
 from repro.symexec.strategy import ExplorationStrategy
 
@@ -64,6 +66,17 @@ class DirectedExplorationStrategy(ExplorationStrategy):
             (ablation only -- this breaks the coverage guarantee).
         enable_pruning: when False, ``should_explore`` always returns True
             (ablation only -- directed execution degenerates to full SE).
+        solver: constraint solver backing the feasibility lookahead (shared
+            with the executor when the DiSE pipeline constructs the strategy,
+            so lookahead queries hit the same caches and incremental
+            contexts); a private solver is created when omitted.
+        feasibility_lookahead: when True (default), ``AffectedLocIsReachable``
+            checks that some *feasible* path -- not merely a CFG path --
+            reaches an unexplored affected node before exploring a successor.
+            Static reachability alone explores branches whose every path to an
+            affected node contradicts the current path condition, generating
+            spurious affected path conditions (see
+            :mod:`repro.core.lookahead`).
         complete_covered_paths: an extension beyond the paper's pseudocode.
             When True, a path that already covered affected nodes but whose
             every remaining branch choice was pruned is still driven to the
@@ -81,6 +94,8 @@ class DirectedExplorationStrategy(ExplorationStrategy):
         record_trace: bool = False,
         enable_reset: bool = True,
         enable_pruning: bool = True,
+        solver: Optional[ConstraintSolver] = None,
+        feasibility_lookahead: bool = True,
         complete_covered_paths: bool = False,
     ):
         self.cfg = cfg
@@ -92,6 +107,9 @@ class DirectedExplorationStrategy(ExplorationStrategy):
 
         self.reachability = Reachability(cfg)
         self.scc = SCCAnalysis(cfg)
+        self.lookahead: Optional[FeasibleReachability] = (
+            FeasibleReachability(cfg, solver=solver) if feasibility_lookahead else None
+        )
 
         # The four global sets of Fig. 6 (initialised in on_run_start).
         self.ex_cond: Set[int] = set()
@@ -164,18 +182,23 @@ class DirectedExplorationStrategy(ExplorationStrategy):
         self._check_loops(node)
         unexplored = self.unex_write | self.unex_cond
         explored = self.ex_write | self.ex_cond
-        is_reachable = False
-        for unexplored_id in sorted(unexplored):
-            target = self.cfg.node(unexplored_id)
-            if not self.reachability.is_cfg_path(node, target):
-                continue
-            is_reachable = True
-            if not self.enable_reset:
-                continue
-            for explored_id in sorted(explored):
-                if not self.reachability.is_cfg_path(target, self.cfg.node(explored_id)):
-                    continue
-                self._reset_unexplored(explored_id)
+        statically_reachable = {
+            unexplored_id
+            for unexplored_id in unexplored
+            if self.reachability.is_cfg_path(node, self.cfg.node(unexplored_id))
+        }
+        if self.lookahead is not None and statically_reachable:
+            coverable = self.lookahead.reachable_targets(successor, statically_reachable)
+        else:
+            coverable = statically_reachable
+        is_reachable = bool(coverable)
+        if self.enable_reset:
+            for unexplored_id in sorted(coverable):
+                target = self.cfg.node(unexplored_id)
+                for explored_id in sorted(explored):
+                    if not self.reachability.is_cfg_path(target, self.cfg.node(explored_id)):
+                        continue
+                    self._reset_unexplored(explored_id)
         if not is_reachable:
             self.prune_count += 1
             if self.record_trace:

@@ -1,0 +1,167 @@
+"""Feasibility-aware reachability lookahead for the directed search.
+
+``AffectedLocIsReachable`` (paper Fig. 6) asks whether an unexplored affected
+location can still be covered from the current state.  Pure CFG reachability
+over-approximates that badly: a target can be statically reachable while
+every CFG path to it is infeasible under the current path condition (in the
+§2.2 example, ``AltPress = 0`` is guarded by ``PedalCmd == 2``, which the
+``PedalPos != 1`` branch can never satisfy).  Exploring such states burns
+solver time and reports path conditions for behaviours the affected sets do
+not actually cover.
+
+:class:`FeasibleReachability` therefore walks the CFG forward from the
+candidate state, carrying the symbolic environment and pushing each branch
+guard onto an incremental :class:`~repro.solver.context.SolverContext`; a
+target counts as reachable only if some guard-consistent path reaches it.
+The walk shares the state's path-condition prefix across all probed branches
+-- exactly the prefix-reuse regime the incremental context is built for.
+
+The analysis is *conservative*: on loops, evaluation failures, non-linear
+guards or budget exhaustion it falls back to static reachability (explore
+rather than prune), which keeps the paper's coverage guarantee intact.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.ir import FALSE_EDGE, TRUE_EDGE, CFGNode, NodeKind
+from repro.solver.context import SolverContext
+from repro.solver.core import ConstraintSolver, SolverError
+from repro.solver.simplify import simplify
+from repro.solver.terms import BoolConst, EvaluationError, Term, negate
+from repro.symexec.evaluator import UndefinedVariableError, evaluate_expression
+from repro.symexec.state import SymbolicState
+
+#: Upper bound on CFG-node expansions per query before giving up and
+#: answering conservatively.
+DEFAULT_BUDGET = 4096
+
+
+class FeasibleReachability:
+    """Solver-backed lookahead deciding which targets a state can still cover."""
+
+    def __init__(
+        self,
+        cfg: ControlFlowGraph,
+        solver: Optional[ConstraintSolver] = None,
+        budget: int = DEFAULT_BUDGET,
+    ):
+        self.cfg = cfg
+        self.solver = solver or ConstraintSolver()
+        self.budget = budget
+
+    def reachable_targets(self, state: SymbolicState, target_ids: Iterable[int]) -> Set[int]:
+        """The subset of ``target_ids`` coverable on a feasible path from ``state``.
+
+        ``target_ids`` should already be filtered to statically reachable
+        nodes; whatever cannot be decided exactly (loops, budget, evaluation
+        errors) is returned as reachable, never silently dropped.
+        """
+        targets = set(target_ids)
+        if not targets:
+            return set()
+        context = SolverContext(self.solver)
+        for constraint in state.path_condition:
+            context.push(constraint)
+        if len(context) and not context.is_satisfiable():
+            # The state itself is infeasible; nothing ahead can be covered.
+            return set()
+        found: Set[int] = set()
+        walk = _Walk(self, context, targets, found)
+        try:
+            walk.visit(state.node, state.env_dict(), on_path=set())
+        except (_Inexact, RecursionError):
+            # Conservative completion: the caller guarantees every target is
+            # statically reachable, so whatever the walk could not decide
+            # exactly (loop, budget, evaluation failure, or a CFG deep enough
+            # to exhaust the interpreter stack) counts as coverable.
+            return set(targets)
+        return found
+
+
+class _Inexact(Exception):
+    """Raised when the walk cannot stay exact (loop/budget/evaluation error)."""
+
+
+class _Walk:
+    """One lookahead traversal: DFS with guard pushes and env tracking."""
+
+    def __init__(
+        self,
+        owner: FeasibleReachability,
+        context: SolverContext,
+        targets: Set[int],
+        found: Set[int],
+    ):
+        self.owner = owner
+        self.context = context
+        self.targets = targets
+        self.found = found
+        self.steps = 0
+
+    def visit(self, node: CFGNode, env: Dict[str, Term], on_path: Set[int]) -> None:
+        cfg = self.owner.cfg
+        while True:
+            if self.found >= self.targets:
+                return
+            self.steps += 1
+            if self.steps > self.owner.budget:
+                raise _Inexact()
+            if node.node_id in self.targets:
+                self.found.add(node.node_id)
+                if self.found >= self.targets:
+                    return
+            if node.kind in (NodeKind.END, NodeKind.ERROR):
+                return
+            if node.node_id in on_path:
+                # Back edge: deciding coverage across further loop iterations
+                # exactly would need bounded unrolling; stay conservative.
+                raise _Inexact()
+            on_path = on_path | {node.node_id}
+            if node.kind is NodeKind.BRANCH:
+                self._visit_branch(node, env, on_path)
+                return
+            if node.kind is NodeKind.ASSIGN:
+                try:
+                    value = evaluate_expression(node.expr, env)
+                except (UndefinedVariableError, EvaluationError, TypeError, ValueError):
+                    raise _Inexact()
+                env = dict(env)
+                env[node.target] = value
+            successors = cfg.successors(node)
+            if not successors:
+                return
+            if len(successors) > 1:
+                for successor in successors[1:]:
+                    self.visit(successor, env, on_path)
+                    if self.found >= self.targets:
+                        return
+            node = successors[0]
+
+    def _visit_branch(self, node: CFGNode, env: Dict[str, Term], on_path: Set[int]) -> None:
+        cfg = self.owner.cfg
+        try:
+            condition = simplify(evaluate_expression(node.condition, env))
+        except (UndefinedVariableError, EvaluationError, TypeError, ValueError):
+            raise _Inexact()
+        true_target = cfg.successor_on(node, TRUE_EDGE)
+        false_target = cfg.successor_on(node, FALSE_EDGE)
+        if isinstance(condition, BoolConst):
+            target = true_target if condition.value else false_target
+            self.visit(target, env, on_path)
+            return
+        for guard, target in ((condition, true_target), (negate(condition), false_target)):
+            if self.found >= self.targets:
+                return
+            self.context.push(guard)
+            try:
+                try:
+                    feasible = self.context.is_satisfiable()
+                except SolverError:
+                    raise _Inexact()
+                if feasible:
+                    self.visit(target, env, on_path)
+            finally:
+                self.context.pop()

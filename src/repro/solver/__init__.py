@@ -5,6 +5,7 @@ implementation: checking path conditions for satisfiability during symbolic
 execution and producing concrete models used for test input generation.
 """
 
+from repro.solver.context import SolverContext
 from repro.solver.core import (
     ConstraintSolver,
     SolverError,
@@ -40,10 +41,14 @@ from repro.solver.terms import (
     bool_symbol,
     conjunction,
     int_symbol,
+    intern_term,
+    interned_count,
     negate,
+    term_key,
 )
 
 __all__ = [
+    "SolverContext",
     "ConstraintSolver",
     "SolverError",
     "SolverResult",
@@ -77,5 +82,8 @@ __all__ = [
     "bool_symbol",
     "int_symbol",
     "conjunction",
+    "intern_term",
+    "interned_count",
     "negate",
+    "term_key",
 ]

@@ -1,0 +1,266 @@
+"""Incremental solver contexts: push/pop solving along the DFS path.
+
+Symbolic execution appends one branch constraint at a time and backtracks in
+LIFO order, yet a stateless solver re-examines the *entire* path condition at
+every branch.  A :class:`SolverContext` mirrors the executor's DFS stack:
+``push(constraint)`` linearises only the new constraint and re-propagates
+interval domains starting from the already-narrowed domains of the prefix,
+and ``pop()`` restores the parent frame in O(1).  This is the incremental
+regime Pinaka-style solvers exploit (see PAPERS.md, "Symbolic Execution
+meets Incremental Solving").
+
+Soundness/completeness split:
+
+* if delta propagation empties a domain, the conjunction is UNSAT -- final,
+  no full solve needed (an *incremental hit*);
+* if every active atom is definitely satisfied over the narrowed box and no
+  deferred (disjunctive / boolean-equality) term is pending, the conjunction
+  is SAT with a model read off the box (also an incremental hit);
+* otherwise the context falls back to the shared
+  :class:`~repro.solver.core.ConstraintSolver`, whose result cache is keyed
+  by interned term ids, so even fallbacks are cheap for repeated prefixes.
+
+The statistics land in the shared solver's
+:class:`~repro.solver.core.SolverStatistics` (``incremental_hits``,
+``prefix_reuses``, ``context_fallbacks``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.solver.core import ConstraintSolver, SolverResult
+from repro.solver.intervals import Domains, Interval, atom_definitely_satisfied, propagate
+from repro.solver.linear import (
+    EQ,
+    LinearAtom,
+    LinearExpr,
+    NonLinearError,
+    linearize_comparison,
+)
+from repro.solver.simplify import simplify
+from repro.solver.terms import (
+    BOOL_SORT,
+    COMPARISON_OPS,
+    BinaryTerm,
+    BoolConst,
+    NotTerm,
+    Symbol,
+    Term,
+    negate,
+)
+
+
+@dataclass
+class _Frame:
+    """One pushed constraint: its delta atoms and the resulting domains."""
+
+    constraint: Term
+    #: Linear atoms contributed by this constraint (conjunctive fragment).
+    atoms: Tuple[LinearAtom, ...]
+    #: Constraint fragments the incremental layer cannot decide (disjunctions,
+    #: boolean equalities, non-linear leftovers); their presence disables the
+    #: fast SAT path but never the fast UNSAT path.
+    deferred: Tuple[Term, ...]
+    #: Narrowed domains for the whole prefix, or None when propagation
+    #: detected a conflict (frame is definitely UNSAT).
+    domains: Optional[Domains]
+    #: True when the conjunction up to this frame is proven unsatisfiable.
+    unsat: bool
+
+
+class SolverContext:
+    """A push/pop satisfiability context sharing one :class:`ConstraintSolver`.
+
+    Args:
+        solver: the underlying complete solver (shared across contexts so its
+            result cache and statistics accumulate); a fresh one is created
+            when omitted.
+    """
+
+    def __init__(self, solver: Optional[ConstraintSolver] = None):
+        self.solver = solver or ConstraintSolver()
+        self._frames: List[_Frame] = []
+
+    # -- stack discipline -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    def constraints(self) -> Tuple[Term, ...]:
+        """The pushed constraints, oldest first (simplified, interned)."""
+        return tuple(frame.constraint for frame in self._frames)
+
+    def current_domains(self) -> Domains:
+        """A copy of the narrowed interval domains of the current prefix.
+
+        Empty for an empty context; also empty when the prefix is already
+        known to be unsatisfiable (there is no box left to describe).
+        """
+        if not self._frames:
+            return {}
+        top = self._frames[-1]
+        return dict(top.domains) if top.domains is not None else {}
+
+    def push(self, constraint: Term) -> None:
+        """Append one constraint, linearising only the delta.
+
+        Propagation re-examines the prefix's atoms, but starts from the
+        already-narrowed parent domains, so it usually converges in a round
+        or two (a variable-indexed worklist is on the ROADMAP).
+        """
+        term = simplify(constraint)
+        parent = self._frames[-1] if self._frames else None
+        if parent is not None and parent.unsat:
+            # Anything conjoined to an unsatisfiable prefix stays unsatisfiable.
+            self._frames.append(_Frame(term, (), (), None, True))
+            return
+
+        atoms, deferred, definitely_false = _linearize_delta(term)
+        if definitely_false:
+            self._frames.append(_Frame(term, (), (), None, True))
+            return
+
+        base_domains: Domains = dict(parent.domains) if parent is not None else {}
+        for atom in atoms:
+            for name in atom.variables():
+                if name not in base_domains:
+                    bound = self.solver.bound
+                    base_domains[name] = Interval(-bound, bound)
+        active_atoms = self._active_atoms() + list(atoms)
+        if atoms:
+            narrowed = propagate(active_atoms, base_domains)
+        else:
+            narrowed = base_domains
+        if narrowed is None:
+            self._frames.append(_Frame(term, tuple(atoms), tuple(deferred), None, True))
+            return
+        self._frames.append(_Frame(term, tuple(atoms), tuple(deferred), narrowed, False))
+
+    def pop(self) -> None:
+        """Drop the most recent constraint, restoring the parent frame."""
+        if not self._frames:
+            raise IndexError("pop from an empty SolverContext")
+        self._frames.pop()
+
+    def pop_to(self, depth: int) -> None:
+        """Pop frames until the context holds exactly ``depth`` constraints."""
+        while len(self._frames) > depth:
+            self._frames.pop()
+
+    # -- queries --------------------------------------------------------------
+
+    def is_satisfiable(self) -> bool:
+        return self.check().satisfiable
+
+    def check(self) -> SolverResult:
+        """Decide the conjunction of all pushed constraints."""
+        if not self._frames:
+            return SolverResult(True, {})
+        top = self._frames[-1]
+        if top.unsat:
+            self.solver.statistics.incremental_hits += 1
+            return SolverResult(False)
+        if not self._has_deferred():
+            atoms = self._active_atoms()
+            domains = top.domains or {}
+            if all(atom_definitely_satisfied(atom, domains) for atom in atoms):
+                model = {
+                    name: _closest_to_zero(interval) for name, interval in domains.items()
+                }
+                self.solver.statistics.incremental_hits += 1
+                return SolverResult(True, model)
+        self.solver.statistics.context_fallbacks += 1
+        return self.solver.check(self.constraints())
+
+    def assume(self, constraint: Term) -> SolverResult:
+        """Check ``conjunction(stack + [constraint])`` without growing the stack."""
+        # Every frame below the probe is prefix work the probe did not redo.
+        self.solver.statistics.prefix_reuses += len(self._frames)
+        self.push(constraint)
+        try:
+            return self.check()
+        finally:
+            self.pop()
+
+    def assume_is_satisfiable(self, constraint: Term) -> bool:
+        return self.assume(constraint).satisfiable
+
+    # -- internals -------------------------------------------------------------
+
+    def _active_atoms(self) -> List[LinearAtom]:
+        atoms: List[LinearAtom] = []
+        for frame in self._frames:
+            atoms.extend(frame.atoms)
+        return atoms
+
+    def _has_deferred(self) -> bool:
+        return any(frame.deferred for frame in self._frames)
+
+
+def _linearize_delta(term: Term) -> Tuple[List[LinearAtom], List[Term], bool]:
+    """Split one constraint into linear atoms plus deferred residue.
+
+    Returns ``(atoms, deferred, definitely_false)``.  Only the purely
+    conjunctive integer fragment becomes atoms; anything requiring case
+    splitting is deferred to the complete solver.
+    """
+    atoms: List[LinearAtom] = []
+    deferred: List[Term] = []
+    work = [term]
+    while work:
+        current = work.pop()
+        if isinstance(current, BoolConst):
+            if current.value:
+                continue
+            return [], [], True
+        if isinstance(current, Symbol):
+            if current.sort != BOOL_SORT:
+                deferred.append(current)
+                continue
+            atoms.append(LinearAtom(LinearExpr(((current.name, 1),), -1), EQ))
+            continue
+        if isinstance(current, NotTerm):
+            inner = current.operand
+            if isinstance(inner, Symbol) and inner.sort == BOOL_SORT:
+                atoms.append(LinearAtom(LinearExpr(((inner.name, 1),), 0), EQ))
+                continue
+            work.append(negate(inner))
+            continue
+        if isinstance(current, BinaryTerm):
+            if current.op == "&&":
+                work.append(current.left)
+                work.append(current.right)
+                continue
+            if current.op in COMPARISON_OPS:
+                left, right = current.left, current.right
+                if left.sort == BOOL_SORT or right.sort == BOOL_SORT:
+                    deferred.append(current)
+                    continue
+                try:
+                    atom = linearize_comparison(current.op, left, right)
+                except NonLinearError:
+                    deferred.append(current)
+                    continue
+                if atom.is_trivially_false():
+                    return [], [], True
+                if atom.is_trivially_true():
+                    continue
+                atoms.append(atom)
+                continue
+            # disjunctions and anything else: complete solver's business
+            deferred.append(current)
+            continue
+        deferred.append(current)
+    return atoms, deferred, False
+
+
+def _closest_to_zero(interval: Interval) -> int:
+    if interval.low <= 0 <= interval.high:
+        return 0
+    return interval.low if interval.low > 0 else interval.high

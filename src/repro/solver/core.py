@@ -14,6 +14,11 @@ integer arithmetic, boolean symbols and the logical connectives:
 
 Models are returned for satisfiable queries and every model is re-checked
 against the original constraints before being returned.
+
+Result caching keys on the intern ids of the (simplified, hash-consed)
+constraint terms -- a tuple of small integers -- instead of the sorted string
+rendering the first version of this module used; building a key is O(number
+of constraints), not O(total term size).
 """
 
 from __future__ import annotations
@@ -52,7 +57,9 @@ from repro.solver.terms import (
     NotTerm,
     Symbol,
     Term,
+    interned_count,
     negate,
+    term_key,
 )
 
 
@@ -62,7 +69,12 @@ class SolverError(Exception):
 
 @dataclass
 class SolverStatistics:
-    """Counters describing the work a :class:`ConstraintSolver` has done."""
+    """Counters describing the work a :class:`ConstraintSolver` has done.
+
+    The ``incremental_*`` counters are filled in by
+    :class:`~repro.solver.context.SolverContext` instances sharing this
+    solver; they quantify how much work the incremental layer saved.
+    """
 
     queries: int = 0
     cache_hits: int = 0
@@ -71,6 +83,16 @@ class SolverStatistics:
     case_splits: int = 0
     propagations: int = 0
     branch_steps: int = 0
+    incremental_hits: int = 0
+    #: Number of already-propagated prefix frames retained across queries
+    #: (by context syncs and ``assume`` probes) instead of being rebuilt.
+    prefix_reuses: int = 0
+    context_fallbacks: int = 0
+
+    @property
+    def interned_terms(self) -> int:
+        """Number of distinct hash-consed terms alive in the intern table."""
+        return interned_count()
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -81,6 +103,10 @@ class SolverStatistics:
             "case_splits": self.case_splits,
             "propagations": self.propagations,
             "branch_steps": self.branch_steps,
+            "incremental_hits": self.incremental_hits,
+            "prefix_reuses": self.prefix_reuses,
+            "context_fallbacks": self.context_fallbacks,
+            "interned_terms": self.interned_terms,
         }
 
 
@@ -102,7 +128,7 @@ class ConstraintSolver:
         self.bound = bound
         self.max_branch_steps = max_branch_steps
         self.statistics = SolverStatistics()
-        self._cache: Dict[Tuple[str, ...], SolverResult] = {}
+        self._cache: Dict[Tuple[int, ...], SolverResult] = {}
 
     # -- public API ----------------------------------------------------------
 
@@ -110,11 +136,11 @@ class ConstraintSolver:
         """Decide the conjunction of ``constraints``; returns sat/unsat + model."""
         self.statistics.queries += 1
         simplified = [simplify(term) for term in constraints]
-        key = tuple(sorted(str(term) for term in simplified))
+        key = tuple(sorted(term_key(term) for term in simplified))
         if key in self._cache:
             self.statistics.cache_hits += 1
             return self._cache[key]
-        result = self._solve(list(simplified))
+        result = self._solve(simplified)
         if result.satisfiable and result.model is not None:
             self._verify_model(simplified, result.model)
         if result.satisfiable:
@@ -140,13 +166,19 @@ class ConstraintSolver:
 
     # -- boolean structure ---------------------------------------------------
 
-    def _solve(self, pending: List[Term]) -> SolverResult:
-        atoms: List[LinearAtom] = []
-        bool_symbols: Dict[str, str] = {}
+    def _solve(
+        self, pending: List[Term], seed_atoms: Optional[List[LinearAtom]] = None
+    ) -> SolverResult:
+        """Decide ``pending`` (already simplified) plus previously collected atoms.
+
+        ``seed_atoms`` carries the linear atoms accumulated before a ``||``
+        case split so that alternatives do not round-trip atoms through term
+        form and re-linearise them on every split level.
+        """
+        atoms: List[LinearAtom] = list(seed_atoms) if seed_atoms else []
         work = list(pending)
         while work:
             term = work.pop()
-            term = simplify(term)
             if isinstance(term, BoolConst):
                 if term.value:
                     continue
@@ -154,16 +186,16 @@ class ConstraintSolver:
             if isinstance(term, Symbol):
                 if term.sort != BOOL_SORT:
                     raise SolverError(f"Integer symbol {term} used as a constraint")
-                bool_symbols[term.name] = BOOL_SORT
                 atoms.append(self._bool_symbol_atom(term.name, True))
                 continue
             if isinstance(term, NotTerm):
                 inner = term.operand
                 if isinstance(inner, Symbol) and inner.sort == BOOL_SORT:
-                    bool_symbols[inner.name] = BOOL_SORT
                     atoms.append(self._bool_symbol_atom(inner.name, False))
                     continue
-                work.append(negate(inner))
+                # negate() can expose new simplification opportunities, so this
+                # synthesized term is the one place the loop still simplifies.
+                work.append(simplify(negate(inner)))
                 continue
             if isinstance(term, BinaryTerm):
                 if term.op == "&&":
@@ -172,10 +204,10 @@ class ConstraintSolver:
                     continue
                 if term.op == "||":
                     self.statistics.case_splits += 1
-                    left_result = self._solve(work + atoms_to_terms(atoms) + [term.left])
+                    left_result = self._solve(work + [term.left], seed_atoms=atoms)
                     if left_result.satisfiable:
                         return left_result
-                    return self._solve(work + atoms_to_terms(atoms) + [term.right])
+                    return self._solve(work + [term.right], seed_atoms=atoms)
                 if term.op in COMPARISON_OPS:
                     converted = self._comparison_to_atoms(term)
                     if converted is None:
@@ -207,7 +239,7 @@ class ConstraintSolver:
                 BinaryTerm("&&", negate(left), negate(right)),
             )
             residual = equal if term.op == "==" else negate(equal)
-            return [], [residual]
+            return [], [simplify(residual)]
         try:
             atom = linearize_comparison(term.op, left, right)
         except NonLinearError:
@@ -338,7 +370,7 @@ def _value_closest_to_zero(interval: Interval) -> int:
 
 
 def atoms_to_terms(atoms: List[LinearAtom]) -> List[Term]:
-    """Convert linear atoms back to terms (used when re-entering the splitter)."""
+    """Convert linear atoms back to terms (kept for clients and debugging)."""
     terms: List[Term] = []
     for atom in atoms:
         expr_term: Term = IntConst(atom.expr.constant)

@@ -3,9 +3,18 @@
 Keeping symbolic values small is important for two reasons: the solver
 linearises fewer operators, and printed path conditions stay readable (the
 paper prints conditions such as ``PedalPos + 1 == 2``).
+
+Simplification is *memoized over interned terms*: :func:`simplify` interns
+its argument, looks the result up in a table keyed by the term's intern id,
+and guarantees the idempotence identity ``simplify(t) is simplify(t)`` (and
+``simplify(simplify(t)) is simplify(t)``).  The symbolic executor simplifies
+every branch constraint and every assigned value, so the same subterms come
+back constantly; the memo turns those repeat visits into dictionary hits.
 """
 
 from __future__ import annotations
+
+from typing import Dict
 
 from repro.solver.terms import (
     ARITHMETIC_OPS,
@@ -19,11 +28,44 @@ from repro.solver.terms import (
     NegTerm,
     NotTerm,
     Term,
+    intern_term,
+    mk_binary,
+    mk_bool,
+    mk_int,
+    mk_neg,
+    mk_not,
 )
+
+#: intern id of a term -> its (interned) simplified form.
+_MEMO: Dict[int, Term] = {}
+
+
+def simplify_cache_info() -> Dict[str, int]:
+    """Size of the simplification memo (reported by solver statistics)."""
+    return {"entries": len(_MEMO)}
+
+
+def clear_simplify_cache() -> None:
+    """Drop all memoized simplifications (test isolation helper)."""
+    _MEMO.clear()
 
 
 def simplify(term: Term) -> Term:
-    """Return an equivalent, usually smaller, term."""
+    """Return an equivalent, usually smaller, interned term (memoized)."""
+    interned = intern_term(term)
+    term_id = interned.__dict__["term_id"]
+    cached = _MEMO.get(term_id)
+    if cached is not None:
+        return cached
+    result = intern_term(_simplify(interned))
+    _MEMO[term_id] = result
+    # simplify is idempotent: fixing the result's entry now makes
+    # ``simplify(simplify(t))`` a guaranteed table hit.
+    _MEMO.setdefault(result.__dict__["term_id"], result)
+    return result
+
+
+def _simplify(term: Term) -> Term:
     if isinstance(term, BinaryTerm):
         left = simplify(term.left)
         right = simplify(term.right)
@@ -31,17 +73,17 @@ def simplify(term: Term) -> Term:
     if isinstance(term, NotTerm):
         operand = simplify(term.operand)
         if isinstance(operand, BoolConst):
-            return BoolConst(not operand.value)
+            return mk_bool(not operand.value)
         if isinstance(operand, NotTerm):
             return operand.operand
-        return NotTerm(operand)
+        return mk_not(operand)
     if isinstance(term, NegTerm):
         operand = simplify(term.operand)
         if isinstance(operand, IntConst):
-            return IntConst(-operand.value)
+            return mk_int(-operand.value)
         if isinstance(operand, NegTerm):
             return operand.operand
-        return NegTerm(operand)
+        return mk_neg(operand)
     return term
 
 
@@ -55,7 +97,7 @@ def _simplify_binary(op: str, left: Term, right: Term) -> Term:
         return _simplify_logical(op, left, right)
     if op in COMPARISON_OPS:
         return _simplify_comparison(op, left, right)
-    return BinaryTerm(op, left, right)
+    return mk_binary(op, left, right)
 
 
 def _fold_constants(op: str, left: Term, right: Term) -> Term:
@@ -67,8 +109,8 @@ def _fold_constants(op: str, left: Term, right: Term) -> Term:
         return None  # leave division by zero to the evaluator / error paths
     value = BinaryTerm(op, left, right).evaluate({})
     if isinstance(value, bool):
-        return BoolConst(value)
-    return IntConst(value)
+        return mk_bool(value)
+    return mk_int(value)
 
 
 def _simplify_arithmetic(op: str, left: Term, right: Term) -> Term:
@@ -81,18 +123,18 @@ def _simplify_arithmetic(op: str, left: Term, right: Term) -> Term:
         if isinstance(right, IntConst) and right.value == 0:
             return left
         if left == right:
-            return IntConst(0)
+            return mk_int(0)
     elif op == "*":
         for constant, other in ((left, right), (right, left)):
             if isinstance(constant, IntConst):
                 if constant.value == 0:
-                    return IntConst(0)
+                    return mk_int(0)
                 if constant.value == 1:
                     return other
     elif op == "/":
         if isinstance(right, IntConst) and right.value == 1:
             return left
-    return BinaryTerm(op, left, right)
+    return mk_binary(op, left, right)
 
 
 def _simplify_logical(op: str, left: Term, right: Term) -> Term:
@@ -112,7 +154,7 @@ def _simplify_logical(op: str, left: Term, right: Term) -> Term:
             return left
     if left == right:
         return left
-    return BinaryTerm(op, left, right)
+    return mk_binary(op, left, right)
 
 
 def _simplify_comparison(op: str, left: Term, right: Term) -> Term:
@@ -121,4 +163,4 @@ def _simplify_comparison(op: str, left: Term, right: Term) -> Term:
             return TRUE
         if op in ("!=", "<", ">"):
             return FALSE
-    return BinaryTerm(op, left, right)
+    return mk_binary(op, left, right)

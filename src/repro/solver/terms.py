@@ -4,12 +4,25 @@ A :class:`Term` is an immutable expression tree over integer and boolean
 symbols, constants and operators.  Path conditions are conjunctions of
 boolean-sorted terms.  The same representation is used for the symbolic
 values stored in symbolic states (e.g. ``Y + X`` in Figure 1 of the paper).
+
+Terms are *hash-consable*: :func:`intern_term` (and the ``mk_*`` factory
+functions) return a canonical instance per structurally-distinct term, so
+
+* equality between two interned terms is a pointer comparison,
+* every term's structural hash is computed once and cached, and
+* caches throughout the solver can key on small integer ``term_id`` values
+  instead of sorted string renderings.
+
+Plain dataclass construction (``BinaryTerm("+", x, y)``) still works and
+still compares structurally, so client code and tests are unaffected; the
+hot paths (path-condition extension, solver cache keys, memoized
+simplification) all funnel through the interning constructors.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Union
+from typing import Dict, FrozenSet, Tuple, Union
 
 INT_SORT = "int"
 BOOL_SORT = "bool"
@@ -22,9 +35,14 @@ class EvaluationError(Exception):
     """Raised when a term cannot be evaluated under a given assignment."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Term:
-    """Base class of all symbolic terms."""
+    """Base class of all symbolic terms.
+
+    Equality is structural with an identity fast path; hashes are cached on
+    first use.  Interned terms (see :func:`intern_term`) additionally carry a
+    small integer ``term_id`` and compare equal iff they are the same object.
+    """
 
     @property
     def sort(self) -> str:
@@ -42,6 +60,38 @@ class Term:
         """Replace symbols by terms according to ``mapping``."""
         raise NotImplementedError
 
+    def _fields(self) -> tuple:
+        """The tuple of dataclass field values (used for structural equality)."""
+        raise NotImplementedError
+
+    # -- hash consing ---------------------------------------------------------
+
+    @property
+    def is_interned(self) -> bool:
+        return "term_id" in self.__dict__
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not self.__class__:
+            return NotImplemented
+        # Child comparisons short-circuit on identity for interned subterms,
+        # so the structural fallback is cheap in practice.
+        return self._fields() == other._fields()
+
+    def __ne__(self, other) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.__class__.__name__,) + self._fields())
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
     # Convenience constructors so engine code reads naturally.
 
     def __add__(self, other: "Term") -> "Term":
@@ -54,7 +104,7 @@ class Term:
         return BinaryTerm("*", self, _as_term(other))
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class IntConst(Term):
     """An integer constant."""
 
@@ -73,11 +123,14 @@ class IntConst(Term):
     def substitute(self, mapping: Dict[str, Term]) -> Term:
         return self
 
+    def _fields(self) -> tuple:
+        return (self.value,)
+
     def __str__(self) -> str:
         return str(self.value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class BoolConst(Term):
     """A boolean constant."""
 
@@ -96,15 +149,14 @@ class BoolConst(Term):
     def substitute(self, mapping: Dict[str, Term]) -> Term:
         return self
 
+    def _fields(self) -> tuple:
+        return (self.value,)
+
     def __str__(self) -> str:
         return "true" if self.value else "false"
 
 
-TRUE = BoolConst(True)
-FALSE = BoolConst(False)
-
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class Symbol(Term):
     """A symbolic input variable, e.g. the ``X`` standing for argument ``x``."""
 
@@ -126,6 +178,9 @@ class Symbol(Term):
     def substitute(self, mapping: Dict[str, Term]) -> Term:
         return mapping.get(self.name, self)
 
+    def _fields(self) -> tuple:
+        return (self.name, self.symbol_sort)
+
     def __str__(self) -> str:
         return self.name
 
@@ -145,7 +200,7 @@ _NEGATED_COMPARISON = {
 }
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class BinaryTerm(Term):
     """A binary operation over two terms."""
 
@@ -200,11 +255,14 @@ class BinaryTerm(Term):
     def substitute(self, mapping: Dict[str, Term]) -> Term:
         return BinaryTerm(self.op, self.left.substitute(mapping), self.right.substitute(mapping))
 
+    def _fields(self) -> tuple:
+        return (self.op, self.left, self.right)
+
     def __str__(self) -> str:
         return f"({self.left} {self.op} {self.right})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class NotTerm(Term):
     """Boolean negation."""
 
@@ -223,11 +281,14 @@ class NotTerm(Term):
     def substitute(self, mapping: Dict[str, Term]) -> Term:
         return NotTerm(self.operand.substitute(mapping))
 
+    def _fields(self) -> tuple:
+        return (self.operand,)
+
     def __str__(self) -> str:
         return f"!({self.operand})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class NegTerm(Term):
     """Integer negation."""
 
@@ -246,8 +307,125 @@ class NegTerm(Term):
     def substitute(self, mapping: Dict[str, Term]) -> Term:
         return NegTerm(self.operand.substitute(mapping))
 
+    def _fields(self) -> tuple:
+        return (self.operand,)
+
     def __str__(self) -> str:
         return f"-({self.operand})"
+
+
+# -- interning ----------------------------------------------------------------
+
+#: Canonical instance per structural key.  Keys use the ``id`` of interned
+#: children, so building one is O(1) instead of O(term size).
+_INTERN_TABLE: Dict[tuple, Term] = {}
+_NEXT_TERM_ID = 0
+
+
+def _register(key: tuple, term: Term) -> Term:
+    global _NEXT_TERM_ID
+    existing = _INTERN_TABLE.get(key)
+    if existing is not None:
+        return existing
+    object.__setattr__(term, "term_id", _NEXT_TERM_ID)
+    _NEXT_TERM_ID += 1
+    _INTERN_TABLE[key] = term
+    return term
+
+
+def interned_count() -> int:
+    """Number of distinct terms currently interned (a solver statistic)."""
+    return len(_INTERN_TABLE)
+
+
+def clear_intern_table() -> None:
+    """Drop all interned terms (test isolation helper).
+
+    Safe at any time: already-constructed terms keep behaving correctly, they
+    merely stop being the canonical instance for new constructions.
+    """
+    _INTERN_TABLE.clear()
+
+
+def mk_int(value: int) -> IntConst:
+    key = ("i", value)
+    term = _INTERN_TABLE.get(key)
+    if term is None:
+        term = _register(key, IntConst(value))
+    return term
+
+
+def mk_bool(value: bool) -> BoolConst:
+    key = ("b", value)
+    term = _INTERN_TABLE.get(key)
+    if term is None:
+        term = _register(key, BoolConst(value))
+    return term
+
+
+def mk_symbol(name: str, sort: str = INT_SORT) -> Symbol:
+    key = ("s", name, sort)
+    term = _INTERN_TABLE.get(key)
+    if term is None:
+        term = _register(key, Symbol(name, sort))
+    return term
+
+
+def mk_binary(op: str, left: Term, right: Term) -> BinaryTerm:
+    left = intern_term(left)
+    right = intern_term(right)
+    key = ("o", op, id(left), id(right))
+    term = _INTERN_TABLE.get(key)
+    if term is None:
+        term = _register(key, BinaryTerm(op, left, right))
+    return term
+
+
+def mk_not(operand: Term) -> NotTerm:
+    operand = intern_term(operand)
+    key = ("n", id(operand))
+    term = _INTERN_TABLE.get(key)
+    if term is None:
+        term = _register(key, NotTerm(operand))
+    return term
+
+
+def mk_neg(operand: Term) -> NegTerm:
+    operand = intern_term(operand)
+    key = ("m", id(operand))
+    term = _INTERN_TABLE.get(key)
+    if term is None:
+        term = _register(key, NegTerm(operand))
+    return term
+
+
+def intern_term(term: Term) -> Term:
+    """Return the canonical instance structurally equal to ``term``."""
+    if "term_id" in term.__dict__:
+        return term
+    if isinstance(term, IntConst):
+        return mk_int(term.value)
+    if isinstance(term, BoolConst):
+        return mk_bool(term.value)
+    if isinstance(term, Symbol):
+        return mk_symbol(term.name, term.symbol_sort)
+    if isinstance(term, BinaryTerm):
+        return mk_binary(term.op, term.left, term.right)
+    if isinstance(term, NotTerm):
+        return mk_not(term.operand)
+    if isinstance(term, NegTerm):
+        return mk_neg(term.operand)
+    raise TypeError(f"Cannot intern term of type {type(term).__name__}")
+
+
+def term_key(term: Term) -> int:
+    """A small, hashable, order-stable cache key for ``term`` (its intern id)."""
+    interned = intern_term(term)
+    return interned.__dict__["term_id"]
+
+
+TRUE = mk_bool(True)
+FALSE = mk_bool(False)
 
 
 def _as_term(value) -> Term:
@@ -275,12 +453,12 @@ def _java_mod(left: int, right: int) -> int:
 
 def int_symbol(name: str) -> Symbol:
     """Create an integer-sorted symbolic variable."""
-    return Symbol(name, INT_SORT)
+    return mk_symbol(name, INT_SORT)
 
 
 def bool_symbol(name: str) -> Symbol:
     """Create a boolean-sorted symbolic variable."""
-    return Symbol(name, BOOL_SORT)
+    return mk_symbol(name, BOOL_SORT)
 
 
 def negate(term: Term) -> Term:
@@ -291,16 +469,16 @@ def negate(term: Term) -> Term:
     a term terminates.
     """
     if isinstance(term, BoolConst):
-        return BoolConst(not term.value)
+        return mk_bool(not term.value)
     if isinstance(term, NotTerm):
         return term.operand
     if isinstance(term, BinaryTerm) and term.op in _NEGATED_COMPARISON:
-        return BinaryTerm(_NEGATED_COMPARISON[term.op], term.left, term.right)
+        return mk_binary(_NEGATED_COMPARISON[term.op], term.left, term.right)
     if isinstance(term, BinaryTerm) and term.op == "&&":
-        return BinaryTerm("||", negate(term.left), negate(term.right))
+        return mk_binary("||", negate(term.left), negate(term.right))
     if isinstance(term, BinaryTerm) and term.op == "||":
-        return BinaryTerm("&&", negate(term.left), negate(term.right))
-    return NotTerm(term)
+        return mk_binary("&&", negate(term.left), negate(term.right))
+    return mk_not(term)
 
 
 def conjunction(terms) -> Term:
@@ -312,5 +490,5 @@ def conjunction(terms) -> Term:
             result = term
             first = False
         else:
-            result = BinaryTerm("&&", result, term)
+            result = mk_binary("&&", result, term)
     return result

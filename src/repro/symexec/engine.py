@@ -21,6 +21,7 @@ from repro.cfg.builder import build_cfg
 from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.ir import FALSE_EDGE, TRUE_EDGE, CFGNode, NodeKind
 from repro.lang.ast_nodes import BoolLiteral, GlobalDecl, IntLiteral, Procedure, Program, UnaryOp
+from repro.solver.context import SolverContext
 from repro.solver.core import ConstraintSolver
 from repro.solver.simplify import simplify
 from repro.solver.terms import (
@@ -52,6 +53,8 @@ class ExecutionStatistics:
     elapsed_seconds: float = 0.0
     solver_queries: int = 0
     solver_cache_hits: int = 0
+    incremental_hits: int = 0
+    prefix_reuses: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -64,6 +67,8 @@ class ExecutionStatistics:
             "elapsed_seconds": self.elapsed_seconds,
             "solver_queries": self.solver_queries,
             "solver_cache_hits": self.solver_cache_hits,
+            "incremental_hits": self.incremental_hits,
+            "prefix_reuses": self.prefix_reuses,
         }
 
 
@@ -154,6 +159,10 @@ class SymbolicExecutor:
             raise TypeError("program must be a Program or a Procedure")
         self.cfg = cfg or build_cfg(self.procedure)
         self.solver = solver or ConstraintSolver()
+        #: Incremental context mirroring the DFS branch stack: at every branch
+        #: only the delta constraint is linearised and propagated, instead of
+        #: re-solving the whole path condition from scratch.
+        self.context = SolverContext(self.solver)
         self.depth_bound = depth_bound
         self.strategy = strategy or ExploreEverything()
         self.build_tree = build_tree
@@ -204,6 +213,8 @@ class SymbolicExecutor:
         summary = MethodSummary(self.procedure.name)
         start_queries = self.solver.statistics.queries
         start_hits = self.solver.statistics.cache_hits
+        start_incremental = self.solver.statistics.incremental_hits
+        start_prefix = self.solver.statistics.prefix_reuses
         started = time.perf_counter()
 
         initial = self.initial_state()
@@ -249,6 +260,10 @@ class SymbolicExecutor:
         self.statistics.path_conditions = len(summary)
         self.statistics.solver_queries = self.solver.statistics.queries - start_queries
         self.statistics.solver_cache_hits = self.solver.statistics.cache_hits - start_hits
+        self.statistics.incremental_hits = (
+            self.solver.statistics.incremental_hits - start_incremental
+        )
+        self.statistics.prefix_reuses = self.solver.statistics.prefix_reuses - start_prefix
         tree = ExecutionTree(tree_root) if self.build_tree else None
         return ExecutionResult(summary=summary, statistics=self.statistics, tree=tree)
 
@@ -315,14 +330,36 @@ class SymbolicExecutor:
             return []
         target = successors[0]
         if node.kind is NodeKind.ASSIGN:
-            value = evaluate_expression(node.expr, state.env_dict())
+            value = evaluate_expression(node.expr, state.env_map())
             return [(state.with_assignment(target, node.target, value), "")]
         return [(state.with_node(target), "")]
+
+    def _sync_context(self, state: SymbolicState) -> None:
+        """Align the incremental context with ``state``'s path condition.
+
+        The DFS visits states in stack order, so the context usually shares
+        all but the last constraint with the previous query: backtracking is a
+        handful of pops, descending pushes only the delta.
+        """
+        target = state.path_condition.constraints
+        current = self.context.constraints()
+        common = 0
+        for have, want in zip(current, target):
+            if have is not want and have != want:
+                break
+            common += 1
+        # Frames kept across queries are the prefix work the sync avoided
+        # redoing (counting retained frames, not pushes, means a regression
+        # to full rebuilds shows up as the ratio collapsing).
+        self.solver.statistics.prefix_reuses += common
+        self.context.pop_to(common)
+        for term in target[common:]:
+            self.context.push(term)
 
     def _branch_successors(
         self, state: SymbolicState, node: CFGNode
     ) -> List[Tuple[SymbolicState, str]]:
-        condition = evaluate_expression(node.condition, state.env_dict())
+        condition = evaluate_expression(node.condition, state.env_map())
         true_target = self.cfg.successor_on(node, TRUE_EDGE)
         false_target = self.cfg.successor_on(node, FALSE_EDGE)
 
@@ -333,13 +370,13 @@ class SymbolicExecutor:
             target = true_target if condition.value else false_target
             return [(state.with_node(target), "true" if condition.value else "false")]
 
+        self._sync_context(state)
         successors: List[Tuple[SymbolicState, str]] = []
         for branch_condition, target, label in (
             (condition, true_target, "true"),
             (negate(condition), false_target, "false"),
         ):
-            candidate = state.path_condition.extend(branch_condition)
-            if self.solver.is_satisfiable(candidate.constraints):
+            if self.context.assume_is_satisfiable(branch_condition):
                 successors.append((state.with_constraint(target, branch_condition), label))
             else:
                 self.statistics.infeasible_branches += 1

@@ -8,7 +8,8 @@ along the path that reached the state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from types import MappingProxyType
+from typing import Dict, Mapping, Optional, Tuple
 
 from repro.cfg.ir import CFGNode
 from repro.solver.simplify import simplify
@@ -47,7 +48,13 @@ class PathCondition:
 
 @dataclass(frozen=True)
 class SymbolicState:
-    """A symbolic execution state: location + symbolic environment + PC."""
+    """A symbolic execution state: location + symbolic environment + PC.
+
+    The environment is stored as a sorted tuple (hashable, cheap to share
+    across the immutable state chain); the dictionary view needed by the
+    evaluator at every ASSIGN/BRANCH node is computed once per state and
+    cached (states are frozen, so the cache can never go stale).
+    """
 
     node: CFGNode
     environment: Tuple[Tuple[str, Term], ...]
@@ -71,16 +78,24 @@ class SymbolicState:
             trace=trace,
         )
 
+    def env_map(self) -> Mapping[str, Term]:
+        """The symbolic environment as a read-only mapping (cached)."""
+        cached = self.__dict__.get("_env_map")
+        if cached is None:
+            cached = MappingProxyType(dict(self.environment))
+            object.__setattr__(self, "_env_map", cached)
+        return cached
+
     def env_dict(self) -> Dict[str, Term]:
-        """The symbolic environment as a mutable dictionary."""
-        return dict(self.environment)
+        """The symbolic environment as a fresh mutable dictionary."""
+        return dict(self.env_map())
 
     def value_of(self, name: str) -> Term:
         """The symbolic value of variable ``name``."""
-        for key, value in self.environment:
-            if key == name:
-                return value
-        raise KeyError(name)
+        env = self.env_map()
+        if name not in env:
+            raise KeyError(name)
+        return env[name]
 
     def with_node(self, node: CFGNode) -> "SymbolicState":
         return SymbolicState(
