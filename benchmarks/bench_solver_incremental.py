@@ -94,6 +94,9 @@ def bench_update_dise(solver):
 
 def run_solver_benchmarks():
     """Run the three workloads on one shared solver and persist the report."""
+    from repro.solver.terms import interned_count
+
+    interned_before = interned_count()
     solver = ConstraintSolver()
     report = {
         "chain": bench_chain(solver),
@@ -101,6 +104,10 @@ def run_solver_benchmarks():
         "update_dise": bench_update_dise(solver),
         "totals": solver.statistics.as_dict(),
     }
+    # The raw counter is the process-global intern-table size, which other
+    # benchmarks sharing the process inflate; the delta is what this run
+    # contributed and is stable across runner contexts.
+    report["totals"]["interned_terms"] = interned_count() - interned_before
     with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -1,0 +1,82 @@
+"""Batch version-history benchmark (ours, not a paper table).
+
+Runs every artifact's whole version history through the
+:class:`~repro.evolution.history.VersionHistoryRunner` -- one parse per
+program text, one diff per adjacent pair, one shared solver and one shared
+cross-version summary cache -- alongside a cold per-version baseline, and
+writes ``BENCH_history.json`` next to this file so future PRs have a
+perf trajectory to regress against.
+
+The headline number is ``summary_reuse`` per version: the fraction of the
+previous versions' summary work the cached run did not redo (whole-path
+replay or solver decisions skipped through segment composition).  The
+gate asserts every version beyond the first seeded one reuses at least 30%.
+"""
+
+import json
+import os
+
+from repro.artifacts import all_artifacts
+from repro.evolution.history import VersionHistoryRunner
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "BENCH_history.json")
+
+REUSE_FLOOR = 0.30
+
+
+def run_history_benchmarks():
+    """Run the three artifact histories and persist the report."""
+    report = {}
+    for artifact in all_artifacts():
+        runner = VersionHistoryRunner(artifact, measure_baseline=True)
+        history = runner.run()
+        rows = history.as_dict()
+        rows["summary_reuse_min"] = min(
+            row.summary_reuse for row in history.versions if row.summary_reuse is not None
+        )
+        rows["warm_seconds"] = round(
+            sum((r.dise or {}).get("seconds", 0) + (r.full or {}).get("seconds", 0)
+                for r in history.versions),
+            6,
+        )
+        rows["cold_seconds"] = round(
+            sum((r.baseline_dise or {}).get("seconds", 0)
+                + (r.baseline_full or {}).get("seconds", 0)
+                for r in history.versions),
+            6,
+        )
+        report[artifact.name] = rows
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def test_version_history(run_once):
+    report = run_once(run_history_benchmarks)
+    print()
+    for name, rows in report.items():
+        print(
+            f"{name}: min summary_reuse={rows['summary_reuse_min']:.2f} "
+            f"warm={rows['warm_seconds']:.2f}s cold={rows['cold_seconds']:.2f}s "
+            f"cache={rows['cache']}"
+        )
+    for name, rows in report.items():
+        # The acceptance gate: every version N+1 reuses >= 30% of the
+        # summaries accumulated up to version N.
+        assert rows["summary_reuse_min"] >= REUSE_FLOOR, (
+            f"{name}: a version reused only {rows['summary_reuse_min']:.0%} "
+            f"of the previous versions' summaries"
+        )
+        # Reuse must show up as saved work, not just counters: the cached
+        # history may not explore more states than the cold baseline.
+        for row in rows["versions"]:
+            if row["full"] is not None and row["baseline_full"] is not None:
+                assert row["full"]["states"] <= row["baseline_full"]["states"]
+            if row["dise"] is not None and row["baseline_dise"] is not None:
+                assert row["dise"]["states"] <= row["baseline_dise"]["states"]
+    assert os.path.exists(RESULTS_PATH)
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_history_benchmarks(), indent=2, sort_keys=True))

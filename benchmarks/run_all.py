@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Run every benchmark smoke-fast and fail on regression vs checked-in baselines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--list] [--only NAME ...]
+
+Each ``bench_*.py`` module exposes one public ``run_*`` entry point that
+returns its report without needing pytest.  This driver invokes them all,
+then compares the structural metrics of the JSON-producing benchmarks
+(``BENCH_solver.json``, ``BENCH_history.json``) against the values that
+were checked in before the run.  Wall-clock times are reported but never
+gated on (CI machines vary); counters and ratios are what must not regress:
+
+* solver bench: ``prefix_reuse_ratio`` / ``incremental_hit_ratio`` may drop
+  at most ``RATIO_TOLERANCE`` below baseline, path-condition counts must
+  match exactly;
+* history bench: per-artifact ``summary_reuse_min`` must stay above the
+  hard floor and within tolerance of baseline, distinct path-condition
+  counts per version must match exactly.
+
+Exit status is non-zero when any benchmark raises or any gate fails, so
+this file doubles as the CI entry point for the perf ladder.
+"""
+
+import argparse
+import importlib
+import json
+import os
+import sys
+import time
+import traceback
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+for path in (BENCH_DIR, os.path.join(REPO_ROOT, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+#: Allowed absolute drop in a reuse/hit ratio before it counts as a regression.
+RATIO_TOLERANCE = 0.10
+#: Hard floor for the history benchmark's per-version summary reuse.
+REUSE_FLOOR = 0.30
+
+#: module name -> entry-point callable name.
+BENCHMARKS = {
+    "bench_fig1_testx_tree": "build_figure1",
+    "bench_fig2_update_cfg": "build_figure2",
+    "bench_fig5_affected_sets": "compute_affected_sets",
+    "bench_motivating_example": "compare_motivating_example",
+    "bench_table1_directed_trace": "run_directed_with_trace",
+    "bench_table2_asw": "run_table2_asw",
+    "bench_table2_wbs": "run_table2_wbs",
+    "bench_table2_oae": "run_table2_oae",
+    "bench_table3_asw": "run_table3_asw",
+    "bench_table3_wbs": "run_table3_wbs",
+    "bench_table3_oae": "run_table3_oae",
+    "bench_ablation": "run_ablation",
+    "bench_solver_incremental": "run_solver_benchmarks",
+    "bench_version_history": "run_history_benchmarks",
+}
+
+
+def _load_baseline(filename):
+    path = os.path.join(BENCH_DIR, filename)
+    if not os.path.exists(path):
+        return None
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _check_solver(baseline, report, failures):
+    if baseline is None:
+        return
+    for workload in ("chain", "update_full", "update_dise"):
+        for ratio in ("prefix_reuse_ratio", "incremental_hit_ratio"):
+            old = baseline.get(workload, {}).get(ratio)
+            new = report.get(workload, {}).get(ratio)
+            if old is not None and new is not None and new < old - RATIO_TOLERANCE:
+                failures.append(
+                    f"solver/{workload}.{ratio}: {new:.3f} regressed below "
+                    f"baseline {old:.3f} - {RATIO_TOLERANCE}"
+                )
+    for workload in ("update_full", "update_dise"):
+        old = baseline.get(workload, {}).get("path_conditions")
+        new = report.get(workload, {}).get("path_conditions")
+        if old is not None and new != old:
+            failures.append(f"solver/{workload}.path_conditions: {new} != baseline {old}")
+
+
+def _check_history(baseline, report, failures):
+    for artifact, rows in report.items():
+        reuse = rows.get("summary_reuse_min")
+        if reuse is None or reuse < REUSE_FLOOR:
+            failures.append(f"history/{artifact}: summary_reuse_min {reuse} below {REUSE_FLOOR}")
+        if baseline is None or artifact not in baseline:
+            continue
+        old_rows = baseline[artifact]
+        old_reuse = old_rows.get("summary_reuse_min")
+        if old_reuse is not None and reuse is not None and reuse < old_reuse - RATIO_TOLERANCE:
+            failures.append(
+                f"history/{artifact}: summary_reuse_min {reuse:.3f} regressed below "
+                f"baseline {old_reuse:.3f} - {RATIO_TOLERANCE}"
+            )
+        old_versions = {row["version"]: row for row in old_rows.get("versions", [])}
+        for row in rows.get("versions", []):
+            old_row = old_versions.get(row["version"])
+            if old_row is None:
+                continue
+            for leg in ("dise", "full"):
+                old_leg, new_leg = old_row.get(leg), row.get(leg)
+                if old_leg is None or new_leg is None:
+                    continue
+                old_pcs = old_leg.get("distinct_path_conditions")
+                new_pcs = new_leg.get("distinct_path_conditions")
+                if old_pcs != new_pcs:
+                    failures.append(
+                        f"history/{artifact}/{row['version']}/{leg}: distinct path "
+                        f"conditions {new_pcs} != baseline {old_pcs}"
+                    )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--list", action="store_true", help="list benchmarks and exit")
+    parser.add_argument("--only", nargs="*", help="run only the named bench modules")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in BENCHMARKS:
+            print(name)
+        return 0
+
+    selected = {
+        name: entry
+        for name, entry in BENCHMARKS.items()
+        if not args.only or name in args.only
+    }
+    if args.only and len(selected) != len(args.only):
+        unknown = set(args.only) - set(selected)
+        print(f"unknown benchmarks: {', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+
+    # Snapshot the checked-in baselines up front: the JSON benchmarks
+    # overwrite their own files while running, and a regressed run must not
+    # clobber the reference it was judged against (a second run would then
+    # compare regressed-vs-regressed and pass).
+    baselines = {name: _load_baseline(name) for name in ("BENCH_solver.json", "BENCH_history.json")}
+    solver_baseline = baselines["BENCH_solver.json"]
+    history_baseline = baselines["BENCH_history.json"]
+
+    failures = []
+    for name, entry in selected.items():
+        started = time.perf_counter()
+        try:
+            module = importlib.import_module(name)
+            runner = getattr(module, entry)
+            report = runner()
+        except Exception:
+            failures.append(f"{name}: raised\n{traceback.format_exc()}")
+            print(f"  FAIL {name}")
+            continue
+        elapsed = time.perf_counter() - started
+        print(f"  ok   {name:<32} {elapsed:6.2f}s")
+        if name == "bench_solver_incremental":
+            _check_solver(solver_baseline, report, failures)
+        elif name == "bench_version_history":
+            _check_history(history_baseline, report, failures)
+
+    if failures:
+        for name, baseline in baselines.items():
+            if baseline is not None:
+                with open(os.path.join(BENCH_DIR, name), "w", encoding="utf-8") as handle:
+                    json.dump(baseline, handle, indent=2, sort_keys=True)
+                    handle.write("\n")
+        print(f"\n{len(failures)} regression(s) (baseline JSONs restored):", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(selected)} benchmarks passed their gates")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,20 @@ class Artifact:
     def version_names(self) -> List[str]:
         return [spec.name for spec in self.versions]
 
+    def history(self) -> List[Tuple[str, str, int, str]]:
+        """The ordered version history as ``(name, description, changes, source)``.
+
+        The base version leads with zero changes; this is the input shape
+        the batch :class:`~repro.evolution.history.VersionHistoryRunner`
+        consumes (each adjacent pair is one DiSE job).
+        """
+        entries = [("base", self.description or "base version", 0, self.base_source)]
+        entries.extend(
+            (spec.name, spec.description, spec.change_count, spec.source)
+            for spec in self.versions
+        )
+        return entries
+
 
 def _versions(base_source: str, edits) -> Tuple[VersionSpec, ...]:
     """Build VersionSpecs by textual substitution on the base source.

@@ -1,0 +1,206 @@
+"""Content hashing of CFG suffix regions (cross-version summary cache keys).
+
+A node's *region* is the set of nodes reachable from it (its CFG suffix,
+including the node itself).  The cross-version summary cache
+(:mod:`repro.symexec.summary_cache`) replays previously executed subtrees
+whenever a later program version contains a structurally identical region,
+so the region identity must be a pure function of the region's *content* --
+node behaviours, edge labels and referenced variables -- and never of the
+incidental integer node ids a particular parse happened to assign (an edit
+upstream of an unchanged suffix shifts every node id).
+
+:func:`region_signature` therefore renumbers the region by a deterministic
+depth-first traversal (successors ordered by edge label) and hashes the
+sequence of ``(canonical index, structural key, labelled successor
+indices)`` triples.  Two regions receive the same digest iff their IR is
+identical up to node renaming; the canonical index maps allow a cached
+subtree recorded against one version's node ids to be replayed onto another
+version's ids.
+
+Two region granularities are hashed:
+
+* the **suffix region** of a node (everything reachable from it), which
+  backs whole-subtree replay -- maximal savings, but an edit anywhere
+  downstream changes the digest;
+* the **segment** from a node to its immediate post-dominator (exclusive),
+  which backs composable partial replay: an edit near the procedure exit
+  leaves every upstream segment's digest intact, so the unchanged diamonds
+  still replay even though all suffix regions contain the edit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.cfg.dominance import PostDominance
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.ir import CFGNode, NodeKind
+
+#: Canonical successor index standing for the segment boundary (the
+#: immediate post-dominator, which is *not* part of the segment).
+BOUNDARY_INDEX = -1
+
+
+@dataclass(frozen=True)
+class RegionSignature:
+    """The canonical identity of one node's suffix region.
+
+    Attributes:
+        root_id: node id of the region root in the owning CFG.
+        digest: content hash of the region (hex); equal digests mean the
+            regions are structurally identical up to node renumbering.
+        nodes: region nodes in canonical (deterministic DFS) order, so
+            ``nodes[i]`` is the node with canonical index ``i``.
+        index: inverse map, node id -> canonical index.
+        used_vars: sorted names of every variable *read* somewhere in the
+            region (the symbolic environment restricted to these is what a
+            subtree execution can observe).
+        write_only_vars: sorted names of variables the region *defines* but
+            never reads.  Their entry values cannot influence the subtree,
+            but cached summaries store environment deltas relative to the
+            recording root -- a write whose value happens to equal the
+            root's is indistinguishable from no write, so replay is exact
+            only when the entry values of written variables match too.
+        boundary_id: for segments, the node id of the immediate
+            post-dominator bounding the region (exclusive); ``None`` for
+            suffix regions, which extend to the procedure exit.
+    """
+
+    root_id: int
+    digest: str
+    nodes: Tuple[CFGNode, ...]
+    index: Dict[int, int]
+    used_vars: Tuple[str, ...]
+    write_only_vars: Tuple[str, ...] = ()
+    boundary_id: Optional[int] = None
+
+    @property
+    def node_ids(self) -> FrozenSet[int]:
+        return frozenset(self.index)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def _canonical_order(
+    cfg: ControlFlowGraph, root: CFGNode, boundary_id: Optional[int]
+) -> Tuple[CFGNode, ...]:
+    """Region nodes in deterministic DFS pre-order (boundary excluded).
+
+    Successors are visited in edge-label order -- any fixed order works as
+    long as it only depends on labels, which makes the order independent of
+    node ids and therefore stable across re-parses and upstream edits.
+    """
+    order = []
+    seen = set()
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.node_id in seen:
+            continue
+        seen.add(node.node_id)
+        order.append(node)
+        edges = sorted(cfg.out_edges(node), key=lambda e: e.label, reverse=True)
+        for edge in edges:
+            if edge.target == boundary_id or edge.target in seen:
+                continue
+            stack.append(cfg.node(edge.target))
+    return tuple(order)
+
+
+def _signature(
+    cfg: ControlFlowGraph, root: CFGNode, boundary_id: Optional[int]
+) -> RegionSignature:
+    nodes = _canonical_order(cfg, root, boundary_id)
+    index = {node.node_id: position for position, node in enumerate(nodes)}
+    used = set()
+    defined = set()
+    items = []
+    for position, node in enumerate(nodes):
+        used.update(node.used_variables())
+        written = node.defined_variable()
+        if written is not None:
+            defined.add(written)
+        successors = tuple(
+            sorted(
+                (edge.label, index.get(edge.target, BOUNDARY_INDEX))
+                for edge in cfg.out_edges(node)
+                if edge.target in index or edge.target == boundary_id
+            )
+        )
+        items.append((position, node.structural_key(), successors))
+    digest = hashlib.blake2b(repr(items).encode("utf-8"), digest_size=16).hexdigest()
+    return RegionSignature(
+        root_id=root.node_id,
+        digest=digest,
+        nodes=nodes,
+        index=index,
+        used_vars=tuple(sorted(used)),
+        write_only_vars=tuple(sorted(defined - used)),
+        boundary_id=boundary_id,
+    )
+
+
+def region_signature(cfg: ControlFlowGraph, root: CFGNode) -> RegionSignature:
+    """Compute the canonical signature of ``root``'s suffix region."""
+    return _signature(cfg, root, None)
+
+
+def segment_signature(
+    cfg: ControlFlowGraph, root: CFGNode, boundary: CFGNode
+) -> RegionSignature:
+    """Signature of the region from ``root`` to ``boundary`` (exclusive).
+
+    ``boundary`` must post-dominate ``root``; edges crossing into it are
+    hashed with a reserved marker index so the digest still pins where the
+    segment exits, without depending on what lies beyond.
+    """
+    return _signature(cfg, root, boundary.node_id)
+
+
+class RegionHashIndex:
+    """Per-CFG memo of suffix-region and segment signatures."""
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        self._signatures: Dict[int, RegionSignature] = {}
+        self._segments: Dict[int, Optional[RegionSignature]] = {}
+        self._post_dominance: Optional[PostDominance] = None
+
+    def signature(self, node: CFGNode) -> RegionSignature:
+        cached = self._signatures.get(node.node_id)
+        if cached is None:
+            cached = region_signature(self.cfg, node)
+            self._signatures[node.node_id] = cached
+        return cached
+
+    def segment(self, node: CFGNode) -> Optional[RegionSignature]:
+        """The node's segment signature, or None when it adds nothing.
+
+        A segment is only useful when the immediate post-dominator exists
+        and is not the exit node (otherwise the suffix region already covers
+        it).
+        """
+        if node.node_id in self._segments:
+            return self._segments[node.node_id]
+        if self._post_dominance is None:
+            self._post_dominance = PostDominance(self.cfg)
+        boundary = self._post_dominance.immediate_post_dominator(node)
+        if boundary is None or boundary.kind is NodeKind.END:
+            result: Optional[RegionSignature] = None
+        else:
+            result = segment_signature(self.cfg, node, boundary)
+        self._segments[node.node_id] = result
+        return result
+
+    def all_digests(self) -> FrozenSet[str]:
+        """Digests of every node's suffix region and segment (invalidation)."""
+        digests = set()
+        for node in self.cfg.nodes:
+            digests.add(self.signature(node).digest)
+            segment = self.segment(node)
+            if segment is not None:
+                digests.add(segment.digest)
+        return frozenset(digests)

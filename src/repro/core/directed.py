@@ -20,14 +20,15 @@ full symbolic execution by the property-based tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set, Tuple
+from typing import FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from repro.cfg.dataflow import Reachability
 from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.ir import CFGNode, NodeKind
+from repro.cfg.region_hash import RegionSignature
 from repro.cfg.scc import SCCAnalysis
 from repro.core.affected import AffectedSets
-from repro.core.lookahead import FeasibleReachability
+from repro.core.lookahead import FeasibleReachability, LookaheadStatistics
 from repro.solver.core import ConstraintSolver
 from repro.symexec.state import SymbolicState
 from repro.symexec.strategy import ExplorationStrategy
@@ -204,6 +205,78 @@ class DirectedExplorationStrategy(ExplorationStrategy):
             if self.record_trace:
                 self._record(successor.trace, pruned=True)
         return is_reachable
+
+    # -- summary-cache protocol --------------------------------------------------
+
+    @property
+    def supports_partial_replay(self) -> bool:
+        """Segment composition reorders in-segment backtracking relative to
+        below-boundary exploration, which the mutable Fig. 6 sets observe;
+        only whole-suffix replay (whose ordering is preserved) is sound here.
+        """
+        return False
+
+    def _canonical(self, ids: Set[int], region: RegionSignature) -> FrozenSet[int]:
+        index = region.index
+        return frozenset(index[i] for i in ids if i in index)
+
+    def replay_token(self, state: SymbolicState, region: RegionSignature) -> Optional[Hashable]:
+        """The in-region slice of the Fig. 6 sets, in canonical coordinates.
+
+        Every decision this strategy takes while a subtree at ``state`` is
+        explored depends only on (a) the region's structure, captured by the
+        cache's region digest, and (b) the region slice of the four global
+        sets: ``should_explore`` filters targets by reachability from an
+        in-region node (so only in-region unexplored nodes matter), the
+        reset rule touches nodes reachable *from* an in-region target (again
+        in-region), and ``CheckLoops`` resets SCC members of in-region nodes
+        (SCCs never straddle the region border because regions are closed
+        under reachability).  With ``complete_covered_paths`` the
+        force-completion rule additionally inspects whether the *prefix*
+        trace covered an affected node, so that bit joins the token.
+        Returns ``None`` while recording a Table-1 trace: replay skips the
+        per-state callbacks the trace rows are built from.
+        """
+        if self.record_trace:
+            return None
+        token: Tuple[Hashable, ...] = (
+            self._canonical(self.unex_cond, region),
+            self._canonical(self.unex_write, region),
+            self._canonical(self.ex_cond, region),
+            self._canonical(self.ex_write, region),
+            self.enable_reset,
+            self.enable_pruning,
+        )
+        if self.complete_covered_paths:
+            affected_ids = self.affected.acn | self.affected.awn
+            token += (True, any(node_id in affected_ids for node_id in state.trace))
+        return token
+
+    def region_snapshot(self, region: RegionSignature) -> Hashable:
+        return (
+            self._canonical(self.unex_cond, region),
+            self._canonical(self.unex_write, region),
+            self._canonical(self.ex_cond, region),
+            self._canonical(self.ex_write, region),
+        )
+
+    def restore_region(self, region: RegionSignature, snapshot: Hashable) -> None:
+        """Apply a recorded subtree's net effect on the in-region sets."""
+        node_ids = region.node_ids
+        nodes = region.nodes
+        for attribute, canonical in zip(
+            ("unex_cond", "unex_write", "ex_cond", "ex_write"), snapshot
+        ):
+            current: Set[int] = getattr(self, attribute)
+            rebuilt = {i for i in current if i not in node_ids}
+            rebuilt.update(nodes[index].node_id for index in canonical)
+            setattr(self, attribute, rebuilt)
+
+    def lookahead_statistics(self) -> Optional[LookaheadStatistics]:
+        return self.lookahead.statistics if self.lookahead is not None else None
+
+    def lookahead_shares_solver(self, solver: ConstraintSolver) -> bool:
+        return self.lookahead is not None and self.lookahead.solver is solver
 
     # -- completion fallback -------------------------------------------------------
 

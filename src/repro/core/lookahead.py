@@ -23,7 +23,8 @@ rather than prune), which keeps the paper's coverage guarantee intact.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.ir import FALSE_EDGE, TRUE_EDGE, CFGNode, NodeKind
@@ -39,6 +40,35 @@ from repro.symexec.state import SymbolicState
 DEFAULT_BUDGET = 4096
 
 
+@dataclass
+class LookaheadStatistics:
+    """The lookahead's own accounting bucket.
+
+    The lookahead shares the executor's solver (so its caches and contexts
+    accumulate), which used to fold its traffic into
+    ``ExecutionStatistics.solver_queries``.  These counters carve that
+    traffic out: the engine subtracts them so the executor-facing numbers
+    measure only the executor's own branch checks.
+    """
+
+    calls: int = 0
+    solver_queries: int = 0
+    solver_cache_hits: int = 0
+    incremental_hits: int = 0
+
+    def snapshot(self) -> Tuple[int, int, int, int]:
+        """The counters as a tuple (for cheap start/end deltas)."""
+        return (self.calls, self.solver_queries, self.solver_cache_hits, self.incremental_hits)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "calls": self.calls,
+            "solver_queries": self.solver_queries,
+            "solver_cache_hits": self.solver_cache_hits,
+            "incremental_hits": self.incremental_hits,
+        }
+
+
 class FeasibleReachability:
     """Solver-backed lookahead deciding which targets a state can still cover."""
 
@@ -51,6 +81,7 @@ class FeasibleReachability:
         self.cfg = cfg
         self.solver = solver or ConstraintSolver()
         self.budget = budget
+        self.statistics = LookaheadStatistics()
 
     def reachable_targets(self, state: SymbolicState, target_ids: Iterable[int]) -> Set[int]:
         """The subset of ``target_ids`` coverable on a feasible path from ``state``.
@@ -62,6 +93,17 @@ class FeasibleReachability:
         targets = set(target_ids)
         if not targets:
             return set()
+        solver_stats = self.solver.statistics
+        before = (solver_stats.queries, solver_stats.cache_hits, solver_stats.incremental_hits)
+        self.statistics.calls += 1
+        try:
+            return self._reachable_targets(state, targets)
+        finally:
+            self.statistics.solver_queries += solver_stats.queries - before[0]
+            self.statistics.solver_cache_hits += solver_stats.cache_hits - before[1]
+            self.statistics.incremental_hits += solver_stats.incremental_hits - before[2]
+
+    def _reachable_targets(self, state: SymbolicState, targets: Set[int]) -> Set[int]:
         context = SolverContext(self.solver)
         for constraint in state.path_condition:
             context.push(constraint)

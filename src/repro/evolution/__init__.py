@@ -1,5 +1,11 @@
 """Software-evolution applications built on DiSE results (paper §5.2)."""
 
+from repro.evolution.history import (
+    HistoryReport,
+    VersionHistoryRunner,
+    VersionRunReport,
+    run_history,
+)
 from repro.evolution.regression import (
     RegressionReport,
     regression_analysis,
@@ -8,6 +14,10 @@ from repro.evolution.regression import (
 from repro.evolution.testgen import TestCase, TestSuite, generate_tests
 
 __all__ = [
+    "HistoryReport",
+    "VersionHistoryRunner",
+    "VersionRunReport",
+    "run_history",
     "RegressionReport",
     "regression_analysis",
     "select_and_augment",

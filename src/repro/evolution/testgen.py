@@ -14,7 +14,7 @@ case; the generated suite therefore de-duplicates call strings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.lang.ast_nodes import Procedure
 from repro.solver.core import ConstraintSolver
@@ -40,15 +40,26 @@ class TestCase:
 
 @dataclass
 class TestSuite:
-    """A de-duplicated collection of test cases."""
+    """A de-duplicated collection of test cases.
+
+    ``cases`` preserves insertion order (the paper's tables list tests in
+    generation order); duplicate detection goes through a hashed index so
+    that building artifact-scale suites stays O(1) per insert instead of a
+    linear scan per case.
+    """
 
     procedure_name: str
     cases: List[TestCase] = field(default_factory=list)
+    _index: Set[TestCase] = field(default_factory=set, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self._index = set(self.cases)
 
     def add(self, case: TestCase) -> bool:
         """Add a case; returns False when an identical call already exists."""
-        if case in self.cases:
+        if case in self._index:
             return False
+        self._index.add(case)
         self.cases.append(case)
         return True
 
@@ -62,7 +73,7 @@ class TestSuite:
         return iter(self.cases)
 
     def __contains__(self, case: TestCase) -> bool:
-        return case in self.cases
+        return case in self._index
 
 
 def _render_value(value) -> str:

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.cfg.builder import build_cfg
 from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.ir import FALSE_EDGE, TRUE_EDGE, CFGNode, NodeKind
+from repro.cfg.region_hash import RegionHashIndex, RegionSignature
 from repro.lang.ast_nodes import BoolLiteral, GlobalDecl, IntLiteral, Procedure, Program, UnaryOp
 from repro.solver.context import SolverContext
 from repro.solver.core import ConstraintSolver
@@ -32,11 +33,20 @@ from repro.solver.terms import (
     Symbol,
     Term,
     negate,
+    term_key,
 )
 from repro.symexec.evaluator import evaluate_expression
 from repro.symexec.state import PathCondition, SymbolicState
 from repro.symexec.strategy import ExplorationStrategy, ExploreEverything
 from repro.symexec.summary import MethodSummary, PathRecord
+from repro.symexec.summary_cache import (
+    ReplayRecord,
+    SegmentRecord,
+    SegmentSummary,
+    SubtreeSummary,
+    SummaryCache,
+    term_symbols,
+)
 from repro.symexec.tree import ExecutionTree, ExecutionTreeNode
 
 
@@ -51,10 +61,27 @@ class ExecutionStatistics:
     pruned_by_strategy: int = 0
     depth_bound_hits: int = 0
     elapsed_seconds: float = 0.0
+    #: Solver traffic attributable to the *executor's own* branch checks;
+    #: lookahead traffic is reported separately in the ``lookahead_*`` fields.
     solver_queries: int = 0
     solver_cache_hits: int = 0
     incremental_hits: int = 0
     prefix_reuses: int = 0
+    #: Solver traffic spent inside the strategy's feasibility lookahead.
+    lookahead_calls: int = 0
+    lookahead_solver_queries: int = 0
+    lookahead_cache_hits: int = 0
+    lookahead_incremental_hits: int = 0
+    #: Cross-version summary cache activity during this run.
+    summary_cache_hits: int = 0
+    summary_cache_misses: int = 0
+    summary_cache_stores: int = 0
+    #: Completed paths emitted by cache replay instead of native exploration
+    #: (these appear in the summary but not in ``states_explored``).
+    replayed_paths: int = 0
+    #: Segment replays: cache hits that skipped a region up to its immediate
+    #: post-dominator and resumed native exploration at the boundary.
+    replayed_segments: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -69,6 +96,15 @@ class ExecutionStatistics:
             "solver_cache_hits": self.solver_cache_hits,
             "incremental_hits": self.incremental_hits,
             "prefix_reuses": self.prefix_reuses,
+            "lookahead_calls": self.lookahead_calls,
+            "lookahead_solver_queries": self.lookahead_solver_queries,
+            "lookahead_cache_hits": self.lookahead_cache_hits,
+            "lookahead_incremental_hits": self.lookahead_incremental_hits,
+            "summary_cache_hits": self.summary_cache_hits,
+            "summary_cache_misses": self.summary_cache_misses,
+            "summary_cache_stores": self.summary_cache_stores,
+            "replayed_paths": self.replayed_paths,
+            "replayed_segments": self.replayed_segments,
         }
 
 
@@ -85,22 +121,62 @@ class ExecutionResult:
         return self.summary.path_conditions
 
 
+class _Recording:
+    """An open subtree recording: absolute records gathered under one root."""
+
+    __slots__ = ("root_state", "signature", "key", "records")
+
+    def __init__(self, root_state: SymbolicState, signature: RegionSignature, key):
+        self.root_state = root_state
+        self.signature = signature
+        self.key = key
+        self.records: List[PathRecord] = []
+
+
+class _SegmentRecording:
+    """An open segment recording: boundary crossings and in-segment errors.
+
+    ``captures`` holds ``("cont", state)`` items for states arriving at the
+    segment boundary (first crossing per path) and ``("error", record)``
+    items for paths that died at an error node before reaching it, in native
+    DFS order.
+    """
+
+    __slots__ = ("root_state", "signature", "key", "captures", "aborted")
+
+    def __init__(self, root_state: SymbolicState, signature: RegionSignature, key):
+        self.root_state = root_state
+        self.signature = signature
+        self.key = key
+        self.captures: List[Tuple[str, object]] = []
+        #: Set when a nested suffix replay emitted completed paths without
+        #: materialising their boundary-crossing states; the recording is
+        #: then incomplete and must not be stored.
+        self.aborted = False
+
+    @property
+    def boundary_id(self) -> int:
+        return self.signature.boundary_id
+
+
 class _Frame:
     """One depth-first-search stack frame: a visited state and its successors."""
 
-    __slots__ = ("state", "successors", "index", "tree_node", "explored_any")
+    __slots__ = ("state", "successors", "index", "tree_node", "explored_any", "recordings")
 
     def __init__(
         self,
         state: SymbolicState,
         successors: List[Tuple[SymbolicState, str]],
         tree_node: Optional[ExecutionTreeNode],
+        recordings: Optional[List] = None,
     ):
         self.state = state
         self.successors = successors
         self.index = 0
         self.tree_node = tree_node
         self.explored_any = False
+        self.recordings = recordings
 
     @property
     def is_choice_point(self) -> bool:
@@ -131,6 +207,14 @@ class SymbolicExecutor:
         strategy: the exploration strategy (defaults to explore-everything).
         build_tree: when True, materialise the symbolic execution tree.
         tracked_variables: restrict the variables stored in tree nodes.
+        summary_cache: optional cross-version subtree summary cache (see
+            :mod:`repro.symexec.summary_cache`); subtrees whose region,
+            entry environment, strategy context and depth budget match a
+            cached execution are replayed instead of re-executed.  Disabled
+            while building the execution tree (replay materialises no tree
+            nodes).
+        region_index: optional pre-built region hash index for ``cfg``
+            (shared with the DiSE pipeline's invalidation step).
     """
 
     def __init__(
@@ -143,6 +227,8 @@ class SymbolicExecutor:
         strategy: Optional[ExplorationStrategy] = None,
         build_tree: bool = False,
         tracked_variables: Optional[Sequence[str]] = None,
+        summary_cache: Optional[SummaryCache] = None,
+        region_index: Optional[RegionHashIndex] = None,
     ):
         if isinstance(program, Procedure):
             self.program = Program(globals=[], procedures=[program])
@@ -167,6 +253,14 @@ class SymbolicExecutor:
         self.strategy = strategy or ExploreEverything()
         self.build_tree = build_tree
         self.tracked_variables = list(tracked_variables) if tracked_variables else None
+        self.summary_cache = summary_cache if not build_tree else None
+        self.region_index = (
+            (region_index or RegionHashIndex(self.cfg))
+            if self.summary_cache is not None
+            else None
+        )
+        self._recordings: List[_Recording] = []
+        self._segment_recordings: List[_SegmentRecording] = []
         self.statistics = ExecutionStatistics()
 
     # -- initial state -------------------------------------------------------
@@ -211,10 +305,14 @@ class SymbolicExecutor:
         """Explore the procedure and return summary + statistics (+ tree)."""
         self.statistics = ExecutionStatistics()
         summary = MethodSummary(self.procedure.name)
+        self._recordings = []
+        self._segment_recordings = []
         start_queries = self.solver.statistics.queries
         start_hits = self.solver.statistics.cache_hits
         start_incremental = self.solver.statistics.incremental_hits
         start_prefix = self.solver.statistics.prefix_reuses
+        lookahead = self.strategy.lookahead_statistics()
+        look_start = lookahead.snapshot() if lookahead is not None else None
         started = time.perf_counter()
 
         initial = self.initial_state()
@@ -230,8 +328,8 @@ class SymbolicExecutor:
         # choice points (successors of branch nodes); if it rejects every
         # choice it may ask for the first feasible one to be taken anyway so
         # the current path still completes (should_force_completion).
-        first_successors = self._visit(initial, summary, tree_root)
-        stack: List[_Frame] = [_Frame(initial, list(first_successors), tree_root)]
+        first_successors, first_recordings = self._visit(initial, summary, tree_root)
+        stack: List[_Frame] = [_Frame(initial, list(first_successors), tree_root, first_recordings)]
         while stack:
             frame = stack[-1]
             if frame.index >= len(frame.successors):
@@ -245,6 +343,9 @@ class SymbolicExecutor:
                     successor, edge_label = frame.successors[0]
                     stack.append(self._enter(successor, edge_label, frame, summary))
                     continue
+                if frame.recordings:
+                    for recording in reversed(frame.recordings):
+                        self._finalize_recording(recording)
                 stack.pop()
                 continue
             successor, edge_label = frame.successors[frame.index]
@@ -264,6 +365,23 @@ class SymbolicExecutor:
             self.solver.statistics.incremental_hits - start_incremental
         )
         self.statistics.prefix_reuses = self.solver.statistics.prefix_reuses - start_prefix
+        if lookahead is not None and look_start is not None:
+            calls, queries, cache_hits, incremental = (
+                now - then for now, then in zip(lookahead.snapshot(), look_start)
+            )
+            self.statistics.lookahead_calls = calls
+            self.statistics.lookahead_solver_queries = queries
+            self.statistics.lookahead_cache_hits = cache_hits
+            self.statistics.lookahead_incremental_hits = incremental
+            if self.strategy.lookahead_shares_solver(self.solver):
+                # The lookahead metered the executor's solver, so its traffic
+                # is carved out of the raw deltas: the executor-facing
+                # counters keep only the engine's own branch checks.  A
+                # lookahead on a private solver is reported but not
+                # subtracted (its work never entered the raw deltas).
+                self.statistics.solver_queries -= queries
+                self.statistics.solver_cache_hits -= cache_hits
+                self.statistics.incremental_hits -= incremental
         tree = ExecutionTree(tree_root) if self.build_tree else None
         return ExecutionResult(summary=summary, statistics=self.statistics, tree=tree)
 
@@ -281,8 +399,8 @@ class SymbolicExecutor:
                 successor, self.tracked_variables, edge_label
             )
             parent_frame.tree_node.add_child(child_tree)
-        next_successors = self._visit(successor, summary, child_tree)
-        return _Frame(successor, list(next_successors), child_tree)
+        next_successors, recordings = self._visit(successor, summary, child_tree, edge_label)
+        return _Frame(successor, list(next_successors), child_tree, recordings)
 
     # -- state processing ----------------------------------------------------
 
@@ -291,27 +409,42 @@ class SymbolicExecutor:
         state: SymbolicState,
         summary: MethodSummary,
         tree_node: Optional[ExecutionTreeNode],
-    ) -> List[Tuple[SymbolicState, str]]:
-        """Count, record and expand one state; returns its feasible successors."""
+        edge_label: str = "",
+    ) -> Tuple[List[Tuple[SymbolicState, str]], Optional[List]]:
+        """Count, record and expand one state.
+
+        Returns ``(feasible successors, opened recordings)``; recordings are
+        attached to the state's DFS frame and finalised into the summary
+        cache when the frame is popped, i.e. when the whole subtree below
+        the state has been explored.
+        """
         self.statistics.states_explored += 1
         node = state.node
 
+        if self._segment_recordings:
+            self._capture_boundary_crossings(state)
+
         if self.depth_bound is not None and state.depth > self.depth_bound:
             self.statistics.depth_bound_hits += 1
-            return []
+            return [], None
 
         self.strategy.on_state(state)
 
         if node.kind is NodeKind.END:
-            summary.add(self._record(state, is_error=False))
+            self._emit(summary, self._record(state, is_error=False))
             self.strategy.on_path_complete(state, is_error=False)
-            return []
+            return [], None
         if node.kind is NodeKind.ERROR:
             self.statistics.error_paths += 1
-            summary.add(self._record(state, is_error=True))
+            self._emit(summary, self._record(state, is_error=True))
             self.strategy.on_path_complete(state, is_error=True)
-            return []
-        return self._successors(state)
+            return [], None
+        if self.summary_cache is not None and self._cache_root_eligible(node, edge_label):
+            replayed, successors, recordings = self._try_cache(state, summary)
+            if replayed:
+                return successors, recordings
+            return self._successors(state), recordings
+        return self._successors(state), None
 
     def _record(self, state: SymbolicState, is_error: bool) -> PathRecord:
         return PathRecord(
@@ -320,6 +453,348 @@ class SymbolicExecutor:
             trace=state.trace,
             is_error=is_error,
         )
+
+    def _emit(self, summary: MethodSummary, record: PathRecord) -> None:
+        """Add a completed path record to the summary and all open recordings."""
+        summary.add(record)
+        for recording in self._recordings:
+            recording.records.append(record)
+        if record.is_error and self._segment_recordings:
+            for segment in self._segment_recordings:
+                trace_suffix = record.trace[len(segment.root_state.trace):]
+                if segment.boundary_id not in trace_suffix:
+                    # The path died at an error node before crossing the
+                    # segment boundary: a terminal in-segment record.
+                    segment.captures.append(("error", record))
+
+    def _capture_boundary_crossings(self, state: SymbolicState) -> None:
+        """Record ``state`` as a continuation of segments it just exited."""
+        node_id = state.node.node_id
+        for segment in self._segment_recordings:
+            if node_id != segment.boundary_id:
+                continue
+            trace_suffix = state.trace[len(segment.root_state.trace):]
+            if trace_suffix.count(node_id) == 1:
+                segment.captures.append(("cont", state))
+
+    # -- cross-version summary cache ----------------------------------------
+
+    @staticmethod
+    def _cache_root_eligible(node: CFGNode, edge_label: str) -> bool:
+        """Whether a state is a worthwhile summary root.
+
+        Recording at every visited state would store one summary per state
+        (O(paths x depth) memory for near-zero extra reuse).  Roots where a
+        future hit is plausible are the procedure entry (whole-run replay),
+        branch nodes (a diff upstream re-enters the same decision diamond)
+        and branch arms (a diff inside one arm leaves the sibling arm's
+        suffix intact) -- interior straight-line nodes are always dominated
+        by one of these.
+        """
+        if node.kind is NodeKind.BEGIN or node.kind is NodeKind.BRANCH:
+            return True
+        return edge_label in (TRUE_EDGE, FALSE_EDGE)
+
+    def _fingerprint(self, env, signature: RegionSignature, prefix_constraints):
+        """Environment fingerprint for a region entry, or None when the
+        observable environment shares symbols with the path-condition prefix
+        (replay would not transfer to other roots in that case).
+
+        Read variables are what the subtree can observe, so their symbols
+        must be prefix-independent.  Write-only variables are fingerprinted
+        as well -- cached writes are stored as deltas against the recording
+        root, so a write that coincided with the root's value leaves no
+        delta and replay is only exact when the entry value matches -- but
+        their symbols need no disjointness check, since their entry values
+        merely pass through to paths that do not overwrite them.
+        """
+        fingerprint = []
+        region_symbols = set()
+        for name in signature.used_vars:
+            term = env.get(name)
+            if term is None:
+                fingerprint.append((name, -1))
+                continue
+            fingerprint.append((name, term_key(term)))
+            region_symbols.update(term_symbols(term))
+        if region_symbols:
+            for constraint in prefix_constraints:
+                if region_symbols & term_symbols(constraint):
+                    return None
+        for name in signature.write_only_vars:
+            term = env.get(name)
+            fingerprint.append((name, -1 if term is None else term_key(term)))
+        return tuple(fingerprint)
+
+    def _try_cache(self, state: SymbolicState, summary: MethodSummary):
+        """Attempt replay of the region at ``state``; open recordings on miss.
+
+        Tries the whole-suffix summary first (maximal savings), then -- for
+        strategies without global mutable state -- the segment up to the
+        immediate post-dominator, whose replay yields boundary successor
+        states that continue natively.  Returns ``(replayed, successors,
+        opened recordings)``.
+
+        ``record_misses`` distinguishes the two callers of the shared probe:
+        the ``_visit`` path counts misses and opens recordings so the
+        explored subtree is captured for future versions; the opportunistic
+        chain expansion of replayed continuations peeks only, and a hit
+        there must fire the ancestor boundary-crossing capture that
+        ``_visit`` would otherwise have performed.
+        """
+        return self._probe_cache(state, summary, record_misses=True)
+
+    def _probe_cache(self, state: SymbolicState, summary: MethodSummary, record_misses: bool):
+        node = state.node
+        signature = self.region_index.signature(node)
+        token = self.strategy.replay_token(state, signature)
+        if token is None:
+            return False, None, None
+        prefix = state.path_condition.constraints
+        env = state.env_map()
+        budget = None if self.depth_bound is None else self.depth_bound - state.depth
+        recordings: List = []
+
+        fingerprint = self._fingerprint(env, signature, prefix)
+        if fingerprint is not None:
+            key = ("suffix", signature.digest, fingerprint, token, budget)
+            cached = (
+                self.summary_cache.lookup(key)
+                if record_misses
+                else self.summary_cache.peek(key)
+            )
+            if cached is not None:
+                self.statistics.summary_cache_hits += 1
+                if not record_misses and self._segment_recordings:
+                    self._capture_boundary_crossings(state)
+                self._replay(state, signature, cached, summary)
+                return True, [], recordings or None
+            if record_misses:
+                self.statistics.summary_cache_misses += 1
+                recording = _Recording(state, signature, key)
+                self._recordings.append(recording)
+                recordings.append(recording)
+
+        if self.strategy.supports_partial_replay:
+            segment_sig = self.region_index.segment(node)
+            if segment_sig is not None:
+                seg_fingerprint = self._fingerprint(env, segment_sig, prefix)
+                if seg_fingerprint is not None:
+                    seg_key = ("segment", segment_sig.digest, seg_fingerprint, token, budget)
+                    cached = (
+                        self.summary_cache.lookup(seg_key)
+                        if record_misses
+                        else self.summary_cache.peek(seg_key)
+                    )
+                    if cached is not None:
+                        self.statistics.summary_cache_hits += 1
+                        if not record_misses and self._segment_recordings:
+                            self._capture_boundary_crossings(state)
+                        successors = self._replay_segment(state, segment_sig, cached, summary)
+                        return True, successors, recordings or None
+                    if record_misses:
+                        self.statistics.summary_cache_misses += 1
+                        segment_recording = _SegmentRecording(state, segment_sig, seg_key)
+                        self._segment_recordings.append(segment_recording)
+                        recordings.append(segment_recording)
+
+        return False, None, recordings or None
+
+    def _replay(
+        self,
+        state: SymbolicState,
+        signature: RegionSignature,
+        cached: SubtreeSummary,
+        summary: MethodSummary,
+    ) -> None:
+        """Emit a cached subtree's records rebased onto ``state``."""
+        for segment in self._segment_recordings:
+            segment.aborted = True
+        base_constraints = state.path_condition.constraints
+        base_trace = state.trace
+        base_env = state.env_map()
+        for replay in cached.records:
+            environment = dict(base_env)
+            environment.update(replay.writes)
+            record = PathRecord(
+                path_condition=PathCondition(base_constraints + replay.constraints),
+                final_environment=tuple(sorted(environment.items())),
+                trace=base_trace
+                + tuple(signature.nodes[index].node_id for index in replay.trace),
+                is_error=replay.is_error,
+            )
+            if replay.is_error:
+                self.statistics.error_paths += 1
+            self.statistics.replayed_paths += 1
+            self._emit(summary, record)
+        if cached.strategy_after is not None:
+            self.strategy.restore_region(signature, cached.strategy_after)
+
+    def _replay_segment(
+        self,
+        state: SymbolicState,
+        signature: RegionSignature,
+        cached: SegmentSummary,
+        summary: MethodSummary,
+    ) -> List[Tuple[SymbolicState, str]]:
+        """Rebase a cached segment onto ``state``.
+
+        In-segment error paths are emitted as completed records; boundary
+        crossings become successor states at the immediate post-dominator,
+        from which the engine continues natively.
+        """
+        self.statistics.replayed_segments += 1
+        boundary = self.cfg.node(signature.boundary_id)
+        base_constraints = state.path_condition.constraints
+        base_trace = state.trace
+        base_env = state.env_map()
+        successors: List[Tuple[SymbolicState, str]] = []
+        for replay in cached.records:
+            environment = dict(base_env)
+            environment.update(replay.writes)
+            constraints = base_constraints + replay.constraints
+            trace = base_trace + tuple(
+                signature.nodes[index].node_id for index in replay.trace
+            )
+            if replay.is_error:
+                self.statistics.error_paths += 1
+                self.statistics.replayed_paths += 1
+                self._emit(
+                    summary,
+                    PathRecord(
+                        path_condition=PathCondition(constraints),
+                        final_environment=tuple(sorted(environment.items())),
+                        trace=trace,
+                        is_error=True,
+                    ),
+                )
+                continue
+            continuation = SymbolicState.make(
+                node=boundary,
+                environment=environment,
+                path_condition=PathCondition(constraints),
+                depth=state.depth + replay.depth_delta,
+                trace=trace + (boundary.node_id,),
+            )
+            successors.extend(self._expand_replayed(continuation, summary))
+        return successors
+
+    def _expand_replayed(
+        self, state: SymbolicState, summary: MethodSummary
+    ) -> List[Tuple[SymbolicState, str]]:
+        """Opportunistically chain-expand a replayed continuation in place.
+
+        A continuation landing on a boundary whose own suffix or segment is
+        cached can be expanded immediately instead of being handed back to
+        the DFS, so a chain of unchanged diamonds costs zero visited states
+        between the original root and the first genuinely novel region.
+        Mirrors the relevant parts of ``_visit``: the depth bound is checked,
+        and ancestor segment recordings get their boundary-crossing capture
+        (which ``_visit`` would otherwise have fired).
+        """
+        if self.depth_bound is not None and state.depth > self.depth_bound:
+            self.statistics.depth_bound_hits += 1
+            return []
+        node = state.node
+        if node.kind in (NodeKind.END, NodeKind.ERROR) or not self._cache_root_eligible(node, ""):
+            return [(state, "")]
+        handled, successors, _ = self._probe_cache(state, summary, record_misses=False)
+        if handled:
+            return successors
+        return [(state, "")]
+
+    def _finalize_recording(self, recording) -> None:
+        """Close the innermost recording of its kind and store its summary."""
+        if isinstance(recording, _SegmentRecording):
+            top = self._segment_recordings.pop()
+            assert top is recording, "segment recordings must close in LIFO order"
+            if not recording.aborted:
+                self._store_segment(recording)
+            return
+        top = self._recordings.pop()
+        assert top is recording, "recordings must close in LIFO order"
+        root = recording.root_state
+        prefix_len = len(root.path_condition.constraints)
+        trace_len = len(root.trace)
+        root_env = root.env_map()
+        index = recording.signature.index
+        records = []
+        for record in recording.records:
+            writes = tuple(
+                (name, term)
+                for name, term in record.final_environment
+                if root_env.get(name) is not term and root_env.get(name) != term
+            )
+            records.append(
+                ReplayRecord(
+                    constraints=record.path_condition.constraints[prefix_len:],
+                    writes=writes,
+                    trace=tuple(index[node_id] for node_id in record.trace[trace_len:]),
+                    is_error=record.is_error,
+                )
+            )
+        self.summary_cache.store(
+            recording.key,
+            SubtreeSummary(
+                procedure=self.procedure.name,
+                digest=recording.signature.digest,
+                records=tuple(records),
+                strategy_after=self.strategy.region_snapshot(recording.signature),
+            ),
+        )
+        self.statistics.summary_cache_stores += 1
+
+    def _store_segment(self, recording: _SegmentRecording) -> None:
+        root = recording.root_state
+        prefix_len = len(root.path_condition.constraints)
+        trace_len = len(root.trace)
+        root_env = root.env_map()
+        index = recording.signature.index
+        records = []
+        for kind, item in recording.captures:
+            if kind == "cont":
+                state = item
+                writes = tuple(
+                    (name, term)
+                    for name, term in state.environment
+                    if root_env.get(name) is not term and root_env.get(name) != term
+                )
+                records.append(
+                    SegmentRecord(
+                        constraints=state.path_condition.constraints[prefix_len:],
+                        # The last trace element is the boundary itself, which
+                        # is not part of the segment's canonical numbering.
+                        writes=writes,
+                        trace=tuple(index[i] for i in state.trace[trace_len:-1]),
+                        depth_delta=state.depth - root.depth,
+                        is_error=False,
+                    )
+                )
+            else:
+                record = item
+                writes = tuple(
+                    (name, term)
+                    for name, term in record.final_environment
+                    if root_env.get(name) is not term and root_env.get(name) != term
+                )
+                records.append(
+                    SegmentRecord(
+                        constraints=record.path_condition.constraints[prefix_len:],
+                        writes=writes,
+                        trace=tuple(index[i] for i in record.trace[trace_len:]),
+                        depth_delta=0,
+                        is_error=True,
+                    )
+                )
+        self.summary_cache.store(
+            recording.key,
+            SegmentSummary(
+                procedure=self.procedure.name,
+                digest=recording.signature.digest,
+                records=tuple(records),
+            ),
+        )
+        self.statistics.summary_cache_stores += 1
 
     def _successors(self, state: SymbolicState) -> List[Tuple[SymbolicState, str]]:
         node = state.node
@@ -390,6 +865,7 @@ def symbolic_execute(
     solver: Optional[ConstraintSolver] = None,
     build_tree: bool = False,
     tracked_variables: Optional[Sequence[str]] = None,
+    summary_cache: Optional[SummaryCache] = None,
 ) -> ExecutionResult:
     """Run full symbolic execution on one procedure and return the result."""
     executor = SymbolicExecutor(
@@ -399,5 +875,6 @@ def symbolic_execute(
         solver=solver,
         build_tree=build_tree,
         tracked_variables=tracked_variables,
+        summary_cache=summary_cache,
     )
     return executor.run()

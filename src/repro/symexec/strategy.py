@@ -8,6 +8,9 @@ DiSE directed search (``repro.core.directed``) plugs in a strategy whose
 
 from __future__ import annotations
 
+from typing import Hashable, Optional
+
+from repro.cfg.region_hash import RegionSignature
 from repro.symexec.state import SymbolicState
 
 
@@ -48,6 +51,58 @@ class ExplorationStrategy:
 
     def on_run_end(self) -> None:
         """Called once after exploration finishes."""
+
+    # -- summary-cache protocol (see repro.symexec.summary_cache) -------------
+
+    @property
+    def supports_partial_replay(self) -> bool:
+        """Whether segment (node-to-post-dominator) replay is sound.
+
+        Partial replay explores all of a segment's internal paths before any
+        of the boundary continuations, while native search interleaves them.
+        That reordering is invisible to a strategy whose decisions are a pure
+        function of the state being explored (the base contract), but not to
+        one carrying global mutable sets -- such strategies must override
+        this to return False and rely on whole-suffix replay only.
+        """
+        return True
+
+    def replay_token(self, state: SymbolicState, region: RegionSignature) -> Optional[Hashable]:
+        """Everything this strategy's subtree decisions depend on, as a key part.
+
+        The token must capture *all* strategy state that can influence how
+        the subtree rooted at ``state`` is explored, expressed in canonical
+        region coordinates so it matches across program versions.  Return
+        ``None`` to veto caching at this root entirely (e.g. while recording
+        a human-readable trace that replay could not reproduce).  The base
+        strategy is stateless, so any two roots are interchangeable.
+        """
+        return ()
+
+    def region_snapshot(self, region: RegionSignature) -> Optional[Hashable]:
+        """The strategy's in-region state after a subtree finished, or None."""
+        return None
+
+    def restore_region(self, region: RegionSignature, snapshot: Hashable) -> None:
+        """Re-apply a recorded :meth:`region_snapshot` during replay."""
+
+    def lookahead_statistics(self):
+        """The strategy's solver-backed lookahead statistics bucket, if any.
+
+        The engine uses this to subtract lookahead solver traffic from
+        :class:`~repro.symexec.engine.ExecutionStatistics`, so that
+        ``solver_queries`` measures only the executor's own work.
+        """
+        return None
+
+    def lookahead_shares_solver(self, solver) -> bool:
+        """Whether the lookahead runs on the *same* solver instance.
+
+        The engine may subtract the lookahead bucket's deltas from its own
+        solver deltas only when both meter the same underlying counters; a
+        lookahead with a private solver is reported but not subtracted.
+        """
+        return False
 
 
 class ExploreEverything(ExplorationStrategy):

@@ -1,0 +1,246 @@
+"""Cross-version memoization of symbolic-execution subtree summaries.
+
+DiSE's premise is that version N+1 should pay only for what changed, yet a
+fresh run re-executes every subtree of the modified program -- including the
+(usually large) parts whose CFG suffix is byte-for-byte identical to the
+previous version.  A :class:`SummaryCache` stores, for each executed
+subtree, the completed path records *relative to the subtree root* and
+replays them whenever a later run reaches an equivalent root.
+
+A subtree execution is a deterministic function of four inputs, which
+together form the cache key:
+
+1. **region digest** -- the content hash of the root's CFG suffix region
+   (:func:`repro.cfg.region_hash.region_signature`); any IR change inside
+   the region changes the digest, so stale structure can never be replayed;
+2. **environment fingerprint** -- the interned term ids of the symbolic
+   values of every variable the region *reads*; values of untouched
+   variables cannot influence the subtree;
+3. **strategy token** -- whatever the exploration strategy's decisions
+   depend on, restricted to the region
+   (:meth:`~repro.symexec.strategy.ExplorationStrategy.replay_token`); for
+   the directed DiSE strategy this is the in-region slice of the
+   explored/unexplored affected sets in canonical region coordinates;
+4. **remaining depth budget** -- ``depth_bound - root.depth`` (``None``
+   when unbounded), since the bound can truncate the subtree.
+
+One condition gates both recording and replay: the symbols occurring in the
+fingerprinted environment values must be disjoint from the symbols of the
+path-condition prefix.  Under that independence the satisfiability of
+``prefix AND suffix`` equals the satisfiability of ``suffix`` alone (the
+prefix is feasible or the state would not have been reached), so the
+explored subtree shape -- including every branch-feasibility answer and
+every strategy decision -- is identical no matter which prefix the root is
+reached under.  Replay is therefore *exact*: it emits precisely the records
+a native re-execution would have produced, which the differential history
+tests assert.
+
+Invalidation is content-driven: :meth:`SummaryCache.begin_version` drops
+every entry of the procedure whose region digest no longer occurs in the
+incoming version's CFG.  A changed node changes the digest of every region
+containing it, so the edit's ancestor regions are invalidated while suffix
+regions disjoint from the change survive and keep serving hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Optional, Tuple
+
+from repro.solver.terms import Term, term_key
+
+#: Memo of term -> symbol set, keyed by interned term id (terms are
+#: hash-consed and kept alive by the intern table, so ids are stable).
+_SYMBOLS_MEMO: Dict[int, FrozenSet[str]] = {}
+
+
+def term_symbols(term: Term) -> FrozenSet[str]:
+    """The symbol names of ``term``, memoized across the process."""
+    key = term_key(term)
+    cached = _SYMBOLS_MEMO.get(key)
+    if cached is None:
+        cached = term.symbols()
+        _SYMBOLS_MEMO[key] = cached
+    return cached
+
+
+@dataclass(frozen=True)
+class ReplayRecord:
+    """One completed path of a cached subtree, relative to the subtree root.
+
+    ``constraints`` are the path-condition terms appended below the root;
+    ``writes`` are the environment entries that differ from the root
+    environment (terms are closed over the region's read variables, so they
+    are valid verbatim under any root with a matching fingerprint);
+    ``trace`` uses canonical region indices so it can be rebased onto
+    another version's node ids.
+    """
+
+    constraints: Tuple[Term, ...]
+    writes: Tuple[Tuple[str, Term], ...]
+    trace: Tuple[int, ...]
+    is_error: bool = False
+
+
+@dataclass(frozen=True)
+class SubtreeSummary:
+    """Everything needed to replay one subtree: records + strategy effect."""
+
+    procedure: str
+    digest: str
+    records: Tuple[ReplayRecord, ...]
+    #: The exploration strategy's in-region state after the subtree finished
+    #: (canonical coordinates), applied on replay; ``None`` for strategies
+    #: without region state.
+    strategy_after: Optional[Hashable] = None
+
+
+@dataclass(frozen=True)
+class SegmentRecord:
+    """One internal path of a segment (root to immediate post-dominator).
+
+    Non-error records are *continuations*: on replay they become successor
+    states sitting at the segment boundary, from which exploration proceeds
+    natively.  Error records are terminal (an assertion failed inside the
+    segment) and are emitted as completed paths.
+    """
+
+    constraints: Tuple[Term, ...]
+    writes: Tuple[Tuple[str, Term], ...]
+    trace: Tuple[int, ...]
+    depth_delta: int = 0
+    is_error: bool = False
+
+
+@dataclass(frozen=True)
+class SegmentSummary:
+    """The internal paths of one segment, in native DFS arrival order.
+
+    Segment summaries compose: replaying one yields boundary states whose
+    own segments can replay in turn, so a chain of unchanged diamonds is
+    crossed with zero solver work even when a later edit invalidated every
+    suffix region containing it.  Only strategies without global mutable
+    state may record or replay segments -- a stateful strategy's behaviour
+    below the boundary interleaves with in-segment backtracking, which
+    composition cannot reproduce.
+    """
+
+    procedure: str
+    digest: str
+    records: Tuple[SegmentRecord, ...]
+
+
+#: A fully resolved cache key: (region kind, digest, env fingerprint,
+#: strategy token, remaining depth budget).
+CacheKey = Tuple[str, str, Tuple[Tuple[str, int], ...], Hashable, Optional[int]]
+
+
+@dataclass
+class SummaryCacheStatistics:
+    """Lifetime counters for one :class:`SummaryCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalidations": self.invalidations,
+        }
+
+
+@dataclass
+class _Entry:
+    summary: object  # SubtreeSummary or SegmentSummary
+    generation: int
+    last_used: int
+    missing_streak: int = 0
+
+
+class SummaryCache:
+    """An in-memory cross-version subtree/segment summary store.
+
+    Args:
+        miss_tolerance: number of *consecutive* versions a region may be
+            absent from before its entries are evicted.  Version histories
+            routinely revert edits (version K+1 is the base plus a different
+            edit than version K), so a region missing from one version often
+            reappears in the next; evicting on the first absence would throw
+            away summaries the following version could replay.
+        stale_after: when set, :meth:`begin_version` additionally evicts
+            entries that have not been stored or hit for this many
+            generations (memory hygiene for long-lived batch drivers).
+    """
+
+    def __init__(self, miss_tolerance: int = 6, stale_after: Optional[int] = None):
+        self._entries: Dict[CacheKey, _Entry] = {}
+        self.statistics = SummaryCacheStatistics()
+        self.generation = 0
+        self.miss_tolerance = miss_tolerance
+        self.stale_after = stale_after
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- versioned lifecycle ---------------------------------------------------
+
+    def begin_version(self, procedure: str, live_digests: FrozenSet[str]) -> int:
+        """Start a new generation; evict entries the new version obsoletes.
+
+        ``live_digests`` are the region/segment digests of the incoming
+        version's CFG.  Entries of ``procedure`` whose digest is absent
+        cannot hit during this version (their region's content changed);
+        once a digest has been absent for ``miss_tolerance`` consecutive
+        versions its entries are dropped.  The number of evictions is
+        returned and counted as ``invalidations``.
+        """
+        self.generation += 1
+        dead = []
+        for key, entry in self._entries.items():
+            if entry.summary.procedure == procedure:
+                if entry.summary.digest not in live_digests:
+                    entry.missing_streak += 1
+                else:
+                    entry.missing_streak = 0
+            if entry.missing_streak >= self.miss_tolerance or (
+                self.stale_after is not None
+                and self.generation - entry.last_used > self.stale_after
+            ):
+                dead.append(key)
+        for key in dead:
+            del self._entries[key]
+        self.statistics.invalidations += len(dead)
+        return len(dead)
+
+    # -- lookup / store --------------------------------------------------------
+
+    def lookup(self, key: CacheKey):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.statistics.misses += 1
+            return None
+        entry.last_used = self.generation
+        self.statistics.hits += 1
+        return entry.summary
+
+    def peek(self, key: CacheKey):
+        """Like :meth:`lookup` but a miss is not counted.
+
+        Used for opportunistic chain expansion of replayed continuations,
+        where absence simply means "continue natively" and will be counted
+        by the continuation's own visit.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        entry.last_used = self.generation
+        self.statistics.hits += 1
+        return entry.summary
+
+    def store(self, key: CacheKey, summary) -> None:
+        self._entries[key] = _Entry(summary, self.generation, self.generation)
+        self.statistics.stores += 1

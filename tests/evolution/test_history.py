@@ -1,0 +1,65 @@
+"""Tests for the batch version-history runner."""
+
+import pytest
+
+from repro.artifacts import wbs_artifact
+from repro.evolution.history import VersionHistoryRunner, run_history
+
+
+@pytest.fixture(scope="module")
+def wbs_report():
+    return run_history(wbs_artifact(), include_full=True, measure_baseline=True)
+
+
+class TestVersionHistoryRunner:
+    def test_one_row_per_version(self, wbs_report):
+        artifact = wbs_artifact()
+        assert [row.version for row in wbs_report.versions] == artifact.version_names()
+        assert [row.previous for row in wbs_report.versions] == (
+            ["base"] + artifact.version_names()[:-1]
+        )
+
+    def test_seed_run_populates_cache(self, wbs_report):
+        assert wbs_report.seed is not None
+        assert wbs_report.seed["cache_stores"] > 0
+        assert wbs_report.cache["stores"] > 0
+        assert wbs_report.cache["entries"] > 0
+
+    def test_every_version_reuses_summaries(self, wbs_report):
+        for row in wbs_report.versions:
+            assert row.summary_reuse is not None
+            assert row.summary_reuse >= 0.30, f"{row.version} reused {row.summary_reuse:.0%}"
+
+    def test_reuse_never_inflates_results(self, wbs_report):
+        """Cached legs explore at most as many states as the cold baselines."""
+        for row in wbs_report.versions:
+            assert row.dise["states"] <= row.baseline_dise["states"]
+            assert row.full["states"] <= row.baseline_full["states"]
+            assert row.dise["distinct_path_conditions"] == (
+                row.baseline_dise["distinct_path_conditions"]
+            )
+            assert row.full["distinct_path_conditions"] == (
+                row.baseline_full["distinct_path_conditions"]
+            )
+
+    def test_as_dict_round_trips_to_json(self, wbs_report):
+        import json
+
+        payload = json.dumps(wbs_report.as_dict())
+        assert "summary_reuse" in payload
+        assert "baseline_dise" in payload
+
+    def test_without_full_leg(self):
+        report = VersionHistoryRunner(
+            wbs_artifact(), include_full=False, measure_baseline=False
+        ).run()
+        assert report.seed is None
+        for row in report.versions:
+            assert row.full is None
+            assert row.decision_reuse is None
+
+    def test_changed_and_affected_counts_are_adjacent_pair_diffs(self, wbs_report):
+        # v1 diffs (base -> v1): a single guard edit.
+        assert wbs_report.versions[0].changed_nodes >= 1
+        # v2 diffs (v1 -> v2): the v1 edit reverts and the v2 edit applies.
+        assert wbs_report.versions[1].changed_nodes >= 2

@@ -19,6 +19,34 @@ class TestTestCaseAndSuite:
         suite = TestSuite("f")
         suite.add(TestCase("f", (2,)))
         assert TestCase("f", (2,)) in suite
+        assert TestCase("f", (3,)) not in suite
+
+    def test_constructor_cases_seed_the_index(self):
+        seeded = TestSuite("f", cases=[TestCase("f", (7,)), TestCase("f", (8,))])
+        assert not seeded.add(TestCase("f", (7,)))
+        assert seeded.add(TestCase("f", (9,)))
+        assert len(seeded) == 3
+
+    def test_duplicate_detection_at_artifact_scale(self):
+        """The hashed index keeps duplicate detection exact at 1k+ cases.
+
+        Every case is inserted twice (and a third time for a sampled
+        subset); the suite must keep exactly one copy of each in insertion
+        order -- the behaviour the old linear scan provided, now without
+        the O(n) membership walk per insert.
+        """
+        suite = TestSuite("f")
+        total = 1500
+        for value in range(total):
+            assert suite.add(TestCase("f", (value, value % 7, value % 2 == 0)))
+        for value in range(total):
+            assert not suite.add(TestCase("f", (value, value % 7, value % 2 == 0)))
+        for value in range(0, total, 13):
+            assert not suite.add(TestCase("f", (value, value % 7, value % 2 == 0)))
+            assert TestCase("f", (value, value % 7, value % 2 == 0)) in suite
+        assert len(suite) == total
+        assert [case.arguments[0] for case in suite] == list(range(total))
+        assert len(set(suite.call_strings())) == total
 
 
 class TestGenerateTests:
