@@ -1,0 +1,176 @@
+"""Lookahead memoization benchmark (ours, not a paper table).
+
+Runs every version of the ASW/WBS/OAE artifact histories through directed
+symbolic execution twice -- once with the memoized lookahead (persistent
+prefix-synced context, walk memo, root-feasibility elision) and once in the
+PR 2 baseline mode (fresh context rebuilt per query, root re-proven, no walk
+reuse) -- and writes ``BENCH_lookahead.json`` next to this file.
+
+Reported per artifact: lookahead calls, full solver queries, incremental
+hits, memo hits, the derived reductions, and whether the two modes produced
+identical distinct path conditions on every version (they must: the memo key
+covers everything the walk's answer depends on).
+
+Gates (enforced here and by ``run_all.py``):
+
+* ``query_reduction`` -- the memoized mode must issue at least 40% fewer
+  lookahead solver queries than the baseline on every artifact with
+  baseline query traffic, and so must the three artifacts combined;
+* ``decision_reduction`` -- same bar for queries + incremental hits (the
+  full solver-decision traffic; this is the binding metric for artifacts
+  like OAE whose baseline queries are already all-incremental);
+* ``path_conditions_match`` -- every version's distinct path conditions are
+  identical across modes.
+"""
+
+import json
+import os
+import time
+
+from repro.artifacts.mutants import asw_artifact, oae_artifact, wbs_artifact
+from repro.core.dise import run_dise
+from repro.solver.core import ConstraintSolver
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "BENCH_lookahead.json")
+
+#: Minimum fraction of baseline lookahead traffic the memoized mode must cut.
+REDUCTION_FLOOR = 0.40
+
+
+def _run_history(artifact, memoize):
+    """One full history pass; fresh solver per version (like the Table 2 legs)."""
+    totals = {
+        "calls": 0,
+        "solver_queries": 0,
+        "incremental_hits": 0,
+        "cache_hits": 0,
+        "walk_memo_hits": 0,
+        "prefix_syncs": 0,
+    }
+    distinct_pcs = []
+    base = artifact.base_program()
+    started = time.perf_counter()
+    for spec in artifact.versions:
+        result = run_dise(
+            base,
+            artifact.version_program(spec.name),
+            procedure=artifact.procedure_name,
+            solver=ConstraintSolver(),
+            lookahead_memoize=memoize,
+        )
+        statistics = result.execution.statistics
+        totals["calls"] += statistics.lookahead_calls
+        totals["solver_queries"] += statistics.lookahead_solver_queries
+        totals["incremental_hits"] += statistics.lookahead_incremental_hits
+        totals["cache_hits"] += statistics.lookahead_cache_hits
+        totals["walk_memo_hits"] += statistics.lookahead_walk_memo_hits
+        totals["prefix_syncs"] += statistics.lookahead_prefix_syncs
+        distinct_pcs.append(
+            tuple(sorted(map(str, result.execution.summary.distinct_path_conditions())))
+        )
+    totals["elapsed_seconds"] = round(time.perf_counter() - started, 6)
+    return totals, distinct_pcs
+
+
+def _reduction(baseline, memoized):
+    if baseline <= 0:
+        return None
+    return round(1.0 - memoized / baseline, 4)
+
+
+def bench_artifact(artifact):
+    baseline, baseline_pcs = _run_history(artifact, memoize=False)
+    memoized, memoized_pcs = _run_history(artifact, memoize=True)
+    baseline_decisions = baseline["solver_queries"] + baseline["incremental_hits"]
+    memoized_decisions = memoized["solver_queries"] + memoized["incremental_hits"]
+    return {
+        "versions": len(artifact.versions),
+        "baseline": baseline,
+        "memoized": memoized,
+        "query_reduction": _reduction(baseline["solver_queries"], memoized["solver_queries"]),
+        "decision_reduction": _reduction(baseline_decisions, memoized_decisions),
+        "path_conditions_match": baseline_pcs == memoized_pcs,
+        "distinct_path_conditions": sum(len(pcs) for pcs in memoized_pcs),
+    }
+
+
+def check_report(report):
+    """The benchmark's own gates; returns a list of failure strings."""
+    failures = []
+    combined_base_queries = 0
+    combined_memo_queries = 0
+    combined_base_decisions = 0
+    combined_memo_decisions = 0
+    for name, row in report.items():
+        if name == "combined":
+            continue
+        combined_base_queries += row["baseline"]["solver_queries"]
+        combined_memo_queries += row["memoized"]["solver_queries"]
+        combined_base_decisions += (
+            row["baseline"]["solver_queries"] + row["baseline"]["incremental_hits"]
+        )
+        combined_memo_decisions += (
+            row["memoized"]["solver_queries"] + row["memoized"]["incremental_hits"]
+        )
+        if not row["path_conditions_match"]:
+            failures.append(f"{name}: memoized and baseline path conditions differ")
+        query_reduction = row["query_reduction"]
+        if query_reduction is not None and query_reduction < REDUCTION_FLOOR:
+            failures.append(
+                f"{name}: query_reduction {query_reduction:.3f} below {REDUCTION_FLOOR}"
+            )
+        decision_reduction = row["decision_reduction"]
+        if decision_reduction is not None and decision_reduction < REDUCTION_FLOOR:
+            failures.append(
+                f"{name}: decision_reduction {decision_reduction:.3f} below {REDUCTION_FLOOR}"
+            )
+    overall_queries = _reduction(combined_base_queries, combined_memo_queries)
+    if overall_queries is not None and overall_queries < REDUCTION_FLOOR:
+        failures.append(f"combined query_reduction {overall_queries:.3f} below {REDUCTION_FLOOR}")
+    overall_decisions = _reduction(combined_base_decisions, combined_memo_decisions)
+    if overall_decisions is not None and overall_decisions < REDUCTION_FLOOR:
+        failures.append(
+            f"combined decision_reduction {overall_decisions:.3f} below {REDUCTION_FLOOR}"
+        )
+    return failures, overall_queries, overall_decisions
+
+
+def run_lookahead_benchmarks():
+    """Run all three artifact histories in both modes and persist the report."""
+    report = {
+        "ASW": bench_artifact(asw_artifact()),
+        "WBS": bench_artifact(wbs_artifact()),
+        "OAE": bench_artifact(oae_artifact()),
+    }
+    failures, overall_queries, overall_decisions = check_report(report)
+    report["combined"] = {
+        "query_reduction": overall_queries,
+        "decision_reduction": overall_decisions,
+    }
+    if failures:
+        raise AssertionError("; ".join(failures))
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def test_lookahead_memoization(run_once):
+    report = run_once(run_lookahead_benchmarks)
+    print()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    for name in ("ASW", "WBS", "OAE"):
+        row = report[name]
+        assert row["path_conditions_match"]
+        binding = (
+            row["query_reduction"]
+            if row["query_reduction"] is not None
+            else row["decision_reduction"]
+        )
+        assert binding >= REDUCTION_FLOOR
+        assert row["memoized"]["walk_memo_hits"] > 0
+    assert os.path.exists(RESULTS_PATH)
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_lookahead_benchmarks(), indent=2, sort_keys=True))

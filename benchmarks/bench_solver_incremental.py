@@ -76,7 +76,7 @@ def bench_update_full(solver):
     assert len(result.path_conditions) == 24
     payload = _delta(solver, before, elapsed, result.statistics.states_explored)
     payload["path_conditions"] = len(result.path_conditions)
-    return payload
+    return payload, result
 
 
 def bench_update_dise(solver):
@@ -89,7 +89,7 @@ def bench_update_dise(solver):
     assert len(result.path_conditions) == 8
     payload = _delta(solver, before, elapsed, result.states_explored)
     payload["path_conditions"] = len(result.path_conditions)
-    return payload
+    return payload, result
 
 
 def run_solver_benchmarks():
@@ -98,16 +98,21 @@ def run_solver_benchmarks():
 
     interned_before = interned_count()
     solver = ConstraintSolver()
+    chain = bench_chain(solver)
+    full_payload, full_result = bench_update_full(solver)
+    dise_payload, dise_result = bench_update_dise(solver)
     report = {
-        "chain": bench_chain(solver),
-        "update_full": bench_update_full(solver),
-        "update_dise": bench_update_dise(solver),
+        "chain": chain,
+        "update_full": full_payload,
+        "update_dise": dise_payload,
         "totals": solver.statistics.as_dict(),
     }
-    # The raw counter is the process-global intern-table size, which other
-    # benchmarks sharing the process inflate; the delta is what this run
-    # contributed and is stable across runner contexts.
+    # Interning is weak, so the table tracks the *live* term population; the
+    # delta while the two run results are still referenced is what those
+    # runs keep alive, and is stable across runner contexts (other
+    # benchmarks' dead terms no longer inflate it).
     report["totals"]["interned_terms"] = interned_count() - interned_before
+    del full_result, dise_result
     with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -17,7 +17,10 @@ gated on (CI machines vary); counters and ratios are what must not regress:
   match exactly;
 * history bench: per-artifact ``summary_reuse_min`` must stay above the
   hard floor and within tolerance of baseline, distinct path-condition
-  counts per version must match exactly.
+  counts per version must match exactly;
+* lookahead bench: per-artifact query/decision reductions must stay above
+  the 40% floor (enforced inside the bench) and within tolerance of the
+  checked-in baseline, and memoized/baseline path conditions must match.
 
 Exit status is non-zero when any benchmark raises or any gate fails, so
 this file doubles as the CI entry point for the perf ladder.
@@ -59,6 +62,7 @@ BENCHMARKS = {
     "bench_ablation": "run_ablation",
     "bench_solver_incremental": "run_solver_benchmarks",
     "bench_version_history": "run_history_benchmarks",
+    "bench_lookahead": "run_lookahead_benchmarks",
 }
 
 
@@ -121,6 +125,32 @@ def _check_history(baseline, report, failures):
                     )
 
 
+def _check_lookahead(baseline, report, failures):
+    for artifact in ("ASW", "WBS", "OAE"):
+        row = report.get(artifact)
+        if row is None:
+            failures.append(f"lookahead/{artifact}: missing from report")
+            continue
+        if not row.get("path_conditions_match"):
+            failures.append(f"lookahead/{artifact}: path conditions diverged between modes")
+        if baseline is None or artifact not in baseline:
+            continue
+        for metric in ("query_reduction", "decision_reduction"):
+            old = baseline[artifact].get(metric)
+            new = row.get(metric)
+            if old is not None and new is not None and new < old - RATIO_TOLERANCE:
+                failures.append(
+                    f"lookahead/{artifact}.{metric}: {new:.3f} regressed below "
+                    f"baseline {old:.3f} - {RATIO_TOLERANCE}"
+                )
+        old_pcs = baseline[artifact].get("distinct_path_conditions")
+        new_pcs = row.get("distinct_path_conditions")
+        if old_pcs is not None and new_pcs != old_pcs:
+            failures.append(
+                f"lookahead/{artifact}.distinct_path_conditions: {new_pcs} != baseline {old_pcs}"
+            )
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--list", action="store_true", help="list benchmarks and exit")
@@ -146,9 +176,13 @@ def main(argv=None):
     # overwrite their own files while running, and a regressed run must not
     # clobber the reference it was judged against (a second run would then
     # compare regressed-vs-regressed and pass).
-    baselines = {name: _load_baseline(name) for name in ("BENCH_solver.json", "BENCH_history.json")}
+    baselines = {
+        name: _load_baseline(name)
+        for name in ("BENCH_solver.json", "BENCH_history.json", "BENCH_lookahead.json")
+    }
     solver_baseline = baselines["BENCH_solver.json"]
     history_baseline = baselines["BENCH_history.json"]
+    lookahead_baseline = baselines["BENCH_lookahead.json"]
 
     failures = []
     for name, entry in selected.items():
@@ -167,6 +201,8 @@ def main(argv=None):
             _check_solver(solver_baseline, report, failures)
         elif name == "bench_version_history":
             _check_history(history_baseline, report, failures)
+        elif name == "bench_lookahead":
+            _check_lookahead(lookahead_baseline, report, failures)
 
     if failures:
         for name, baseline in baselines.items():

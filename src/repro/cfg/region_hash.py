@@ -63,6 +63,16 @@ class RegionSignature:
             recording root -- a write whose value happens to equal the
             root's is indistinguishable from no write, so replay is exact
             only when the entry values of written variables match too.
+        decision_vars: sorted names of the variables whose entry values can
+            flow into some branch condition of the region -- the backward
+            closure of the condition reads through the region's assignments.
+            This is the (usually much smaller) environment slice that
+            *control decisions* inside the region can observe: a variable
+            that is only ever copied into pass-through writes (``alarmOut =
+            alarm``) is in ``used_vars`` but not here.  The feasibility
+            lookahead fingerprints its walk memo on this slice, which is
+            what lets probes that differ only in data-flow the region never
+            branches on share one walk.
         boundary_id: for segments, the node id of the immediate
             post-dominator bounding the region (exclusive); ``None`` for
             suffix regions, which extend to the procedure exit.
@@ -74,6 +84,7 @@ class RegionSignature:
     index: Dict[int, int]
     used_vars: Tuple[str, ...]
     write_only_vars: Tuple[str, ...] = ()
+    decision_vars: Tuple[str, ...] = ()
     boundary_id: Optional[int] = None
 
     @property
@@ -117,12 +128,17 @@ def _signature(
     index = {node.node_id: position for position, node in enumerate(nodes)}
     used = set()
     defined = set()
+    condition_reads = set()
+    assignment_reads: Dict[str, set] = {}
     items = []
     for position, node in enumerate(nodes):
         used.update(node.used_variables())
+        if node.kind is NodeKind.BRANCH:
+            condition_reads.update(node.used_variables())
         written = node.defined_variable()
         if written is not None:
             defined.add(written)
+            assignment_reads.setdefault(written, set()).update(node.used_variables())
         successors = tuple(
             sorted(
                 (edge.label, index.get(edge.target, BOUNDARY_INDEX))
@@ -132,6 +148,18 @@ def _signature(
         )
         items.append((position, node.structural_key(), successors))
     digest = hashlib.blake2b(repr(items).encode("utf-8"), digest_size=16).hexdigest()
+    # Backward closure of the condition reads through the region's
+    # assignments: a variable matters to control flow iff some chain of
+    # in-region assignments can carry its value into a branch condition.
+    # (Flow-insensitive, so a sound over-approximation of the influencers.)
+    decision = set(condition_reads)
+    changed = True
+    while changed:
+        changed = False
+        for target, reads in assignment_reads.items():
+            if target in decision and not reads <= decision:
+                decision |= reads
+                changed = True
     return RegionSignature(
         root_id=root.node_id,
         digest=digest,
@@ -139,6 +167,7 @@ def _signature(
         index=index,
         used_vars=tuple(sorted(used)),
         write_only_vars=tuple(sorted(defined - used)),
+        decision_vars=tuple(sorted(decision)),
         boundary_id=boundary_id,
     )
 

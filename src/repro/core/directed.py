@@ -78,6 +78,10 @@ class DirectedExplorationStrategy(ExplorationStrategy):
             affected node contradicts the current path condition, generating
             spurious affected path conditions (see
             :mod:`repro.core.lookahead`).
+        lookahead_memoize: when False, the lookahead re-walks the CFG suffix
+            on every query instead of replaying memoized walk results
+            (measurement/ablation switch used by the differential tests and
+            ``benchmarks/bench_lookahead.py``).
         complete_covered_paths: an extension beyond the paper's pseudocode.
             When True, a path that already covered affected nodes but whose
             every remaining branch choice was pruned is still driven to the
@@ -97,6 +101,7 @@ class DirectedExplorationStrategy(ExplorationStrategy):
         enable_pruning: bool = True,
         solver: Optional[ConstraintSolver] = None,
         feasibility_lookahead: bool = True,
+        lookahead_memoize: bool = True,
         complete_covered_paths: bool = False,
     ):
         self.cfg = cfg
@@ -109,7 +114,9 @@ class DirectedExplorationStrategy(ExplorationStrategy):
         self.reachability = Reachability(cfg)
         self.scc = SCCAnalysis(cfg)
         self.lookahead: Optional[FeasibleReachability] = (
-            FeasibleReachability(cfg, solver=solver) if feasibility_lookahead else None
+            FeasibleReachability(cfg, solver=solver, memoize=lookahead_memoize)
+            if feasibility_lookahead
+            else None
         )
 
         # The four global sets of Fig. 6 (initialised in on_run_start).
@@ -189,7 +196,13 @@ class DirectedExplorationStrategy(ExplorationStrategy):
             if self.reachability.is_cfg_path(node, self.cfg.node(unexplored_id))
         }
         if self.lookahead is not None and statically_reachable:
-            coverable = self.lookahead.reachable_targets(successor, statically_reachable)
+            # Every state the engine hands to should_explore carries a path
+            # condition that passed a feasibility check when its last
+            # constraint was appended, so the lookahead can skip re-proving
+            # it (assume_feasible).
+            coverable = self.lookahead.reachable_targets(
+                successor, statically_reachable, assume_feasible=True
+            )
         else:
             coverable = statically_reachable
         is_reachable = bool(coverable)

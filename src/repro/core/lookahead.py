@@ -13,8 +13,33 @@ not actually cover.
 candidate state, carrying the symbolic environment and pushing each branch
 guard onto an incremental :class:`~repro.solver.context.SolverContext`; a
 target counts as reachable only if some guard-consistent path reaches it.
-The walk shares the state's path-condition prefix across all probed branches
--- exactly the prefix-reuse regime the incremental context is built for.
+
+Two layers of reuse keep the lookahead off the quadratic path it used to be
+on:
+
+* **one persistent context per instance** -- instead of rebuilding a context
+  from the empty stack for every query (which re-propagated the whole
+  path-condition prefix), the context is synced to the query state by
+  longest-common-prefix ``pop_to``/``push``, exactly like the executor's own
+  context; consecutive sibling probes share all but one constraint;
+* **walk memoization** -- the walk's answer is a deterministic function of
+  the suffix region's *content* (its :mod:`~repro.cfg.region_hash` digest),
+  the symbolic values of the region's *decision variables* (the entry values
+  that can flow into some branch condition -- pass-through data the region
+  never branches on is deliberately excluded), the slice of the path
+  condition that can influence those values, and the probed target set (in
+  canonical region coordinates).  Results are cached under exactly that
+  key, both for whole queries and -- crucially -- at every branch node the
+  walk descends into, so sibling probes that rejoin at a previously walked
+  node stop re-walking (and re-querying) the shared suffix.  Keying by
+  content digest makes invalidation automatic: any IR change inside the
+  region changes the digest and stale entries simply never match again.
+
+The walk itself runs on an explicit stack (a deep CFG used to blow the
+interpreter recursion limit, which was silently swallowed as "all targets
+reachable"), and every way it can degrade -- loop back edges, budget
+exhaustion, evaluation or solver failures -- is counted in
+:class:`LookaheadStatistics` so degradation is visible.
 
 The analysis is *conservative*: on loops, evaluation failures, non-linear
 guards or budget exhaustion it falls back to static reachability (explore
@@ -28,16 +53,30 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.ir import FALSE_EDGE, TRUE_EDGE, CFGNode, NodeKind
+from repro.cfg.region_hash import RegionHashIndex
 from repro.solver.context import SolverContext
 from repro.solver.core import ConstraintSolver, SolverError
 from repro.solver.simplify import simplify
-from repro.solver.terms import BoolConst, EvaluationError, Term, negate
+from repro.solver.terms import (
+    BoolConst,
+    EvaluationError,
+    Term,
+    intern_term,
+    negate,
+    term_key,
+)
 from repro.symexec.evaluator import UndefinedVariableError, evaluate_expression
 from repro.symexec.state import SymbolicState
+from repro.symexec.summary_cache import term_symbols
 
 #: Upper bound on CFG-node expansions per query before giving up and
 #: answering conservatively.
 DEFAULT_BUDGET = 4096
+
+#: Memo value recording that the walk could not stay exact for this key (the
+#: query answered "all targets coverable"); deterministic per key, so it is
+#: as cacheable as an exact answer.
+_INEXACT = object()
 
 
 @dataclass
@@ -49,16 +88,42 @@ class LookaheadStatistics:
     ``ExecutionStatistics.solver_queries``.  These counters carve that
     traffic out: the engine subtracts them so the executor-facing numbers
     measure only the executor's own branch checks.
+
+    ``walk_memo_hits``/``walk_memo_misses`` account the memoized walks,
+    ``prefix_syncs`` counts context alignments (each reusing the
+    longest common prefix instead of rebuilding), and the ``*_bailouts``
+    counters make every source of conservative degradation visible:
+    a budget exhaustion, a loop back edge, an evaluation failure or a solver
+    error each answer "all targets coverable" instead of a precise set.
     """
 
     calls: int = 0
     solver_queries: int = 0
     solver_cache_hits: int = 0
     incremental_hits: int = 0
+    #: Prefix frames the lookahead's context syncs and probes retained on
+    #: the shared solver's ``prefix_reuses`` counter (metered so the engine
+    #: can carve lookahead traffic out of the executor-facing number).
+    solver_prefix_reuses: int = 0
+    walk_memo_hits: int = 0
+    walk_memo_misses: int = 0
+    prefix_syncs: int = 0
+    budget_bailouts: int = 0
+    loop_bailouts: int = 0
+    eval_bailouts: int = 0
+    solver_bailouts: int = 0
 
-    def snapshot(self) -> Tuple[int, int, int, int]:
-        """The counters as a tuple (for cheap start/end deltas)."""
-        return (self.calls, self.solver_queries, self.solver_cache_hits, self.incremental_hits)
+    def snapshot(self) -> Tuple[int, int, int, int, int, int, int]:
+        """The engine-facing counters as a tuple (for cheap start/end deltas)."""
+        return (
+            self.calls,
+            self.solver_queries,
+            self.solver_cache_hits,
+            self.incremental_hits,
+            self.solver_prefix_reuses,
+            self.walk_memo_hits,
+            self.prefix_syncs,
+        )
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -66,44 +131,164 @@ class LookaheadStatistics:
             "solver_queries": self.solver_queries,
             "solver_cache_hits": self.solver_cache_hits,
             "incremental_hits": self.incremental_hits,
+            "solver_prefix_reuses": self.solver_prefix_reuses,
+            "walk_memo_hits": self.walk_memo_hits,
+            "walk_memo_misses": self.walk_memo_misses,
+            "prefix_syncs": self.prefix_syncs,
+            "budget_bailouts": self.budget_bailouts,
+            "loop_bailouts": self.loop_bailouts,
+            "eval_bailouts": self.eval_bailouts,
+            "solver_bailouts": self.solver_bailouts,
         }
 
 
 class FeasibleReachability:
-    """Solver-backed lookahead deciding which targets a state can still cover."""
+    """Solver-backed lookahead deciding which targets a state can still cover.
+
+    Args:
+        cfg: the CFG being explored.
+        solver: shared complete solver (fresh when omitted).
+        budget: CFG-node expansions per query before answering conservatively.
+        memoize: cache walk results keyed by (region digest, relevant
+            path-condition slice, environment fingerprint, canonical target
+            set) and keep one persistent prefix-synced context.  ``False``
+            reproduces the pre-memoization query shape -- a fresh context
+            rebuilt from the empty stack per query, the state's feasibility
+            re-proven at the root, no walk reuse -- and exists purely as the
+            measurable baseline for the differential tests and
+            ``benchmarks/bench_lookahead.py``.
+        region_index: optional pre-built region hash index for ``cfg``
+            (shared with the summary-cache machinery when available).
+    """
 
     def __init__(
         self,
         cfg: ControlFlowGraph,
         solver: Optional[ConstraintSolver] = None,
         budget: int = DEFAULT_BUDGET,
+        memoize: bool = True,
+        region_index: Optional[RegionHashIndex] = None,
     ):
         self.cfg = cfg
         self.solver = solver or ConstraintSolver()
         self.budget = budget
+        self.memoize = memoize
+        self.region_index = region_index or RegionHashIndex(cfg)
         self.statistics = LookaheadStatistics()
+        #: One persistent context, synced per query by longest common prefix.
+        self.context = SolverContext(self.solver)
+        #: Memo key -> (frozenset of canonical region indices -- the
+        #: coverable targets -- or ``_INEXACT``, pinned key terms).
+        #: Interning is weak and the key embeds intern ids, so each entry
+        #: pins the terms its key refers to: a later structurally equal
+        #: probe then re-interns onto them and rebuilds the same key.
+        self._memo: Dict[tuple, Tuple[object, Tuple[Term, ...]]] = {}
 
-    def reachable_targets(self, state: SymbolicState, target_ids: Iterable[int]) -> Set[int]:
+    def reachable_targets(
+        self,
+        state: SymbolicState,
+        target_ids: Iterable[int],
+        assume_feasible: bool = False,
+    ) -> Set[int]:
         """The subset of ``target_ids`` coverable on a feasible path from ``state``.
 
         ``target_ids`` should already be filtered to statically reachable
         nodes; whatever cannot be decided exactly (loops, budget, evaluation
         errors) is returned as reachable, never silently dropped.
+
+        ``assume_feasible`` skips the query-state satisfiability pre-check.
+        The directed strategy sets it: the engine only ever hands
+        ``should_explore`` states whose path condition passed a feasibility
+        check when the constraint was appended, so re-proving it here was one
+        redundant solver query per lookahead call.
         """
         targets = set(target_ids)
         if not targets:
             return set()
         solver_stats = self.solver.statistics
-        before = (solver_stats.queries, solver_stats.cache_hits, solver_stats.incremental_hits)
+        before = (
+            solver_stats.queries,
+            solver_stats.cache_hits,
+            solver_stats.incremental_hits,
+            solver_stats.prefix_reuses,
+        )
         self.statistics.calls += 1
         try:
-            return self._reachable_targets(state, targets)
+            return self._reachable_targets(state, targets, assume_feasible)
         finally:
             self.statistics.solver_queries += solver_stats.queries - before[0]
             self.statistics.solver_cache_hits += solver_stats.cache_hits - before[1]
             self.statistics.incremental_hits += solver_stats.incremental_hits - before[2]
+            self.statistics.solver_prefix_reuses += solver_stats.prefix_reuses - before[3]
 
-    def _reachable_targets(self, state: SymbolicState, targets: Set[int]) -> Set[int]:
+    def _reachable_targets(
+        self, state: SymbolicState, targets: Set[int], assume_feasible: bool
+    ) -> Set[int]:
+        if not self.memoize:
+            return self._reachable_targets_rebuild(state, targets)
+        synced = False
+        if not assume_feasible:
+            # The memo's keys and hit values presuppose a feasible prefix
+            # (the relevant-slice argument collapses otherwise), so an
+            # un-vouched state must be checked *before* the memo is
+            # consulted -- an infeasible state whose unsatisfiability lives
+            # in decision-irrelevant constraints would otherwise match a
+            # feasible sibling's entry.
+            self.statistics.prefix_syncs += 1
+            self.context.sync_to(state.path_condition.constraints)
+            synced = True
+            if len(self.context) and not self.context.is_satisfiable():
+                # The state itself is infeasible; nothing ahead can be
+                # covered.  (Not memoized: infeasible states never recur.)
+                return set()
+        memo_key, memo_pins = self._walk_key(
+            state.node, state.env_map(), state.path_condition.constraints, targets
+        )
+        cached = self._memo.get(memo_key)
+        if cached is not None:
+            self.statistics.walk_memo_hits += 1
+            value = cached[0]
+            if value is _INEXACT:
+                return set(targets)
+            signature = self.region_index.signature(state.node)
+            return {signature.nodes[position].node_id for position in value}
+        self.statistics.walk_memo_misses += 1
+
+        if not synced:
+            self.statistics.prefix_syncs += 1
+            self.context.sync_to(state.path_condition.constraints)
+
+        found: Set[int] = set()
+        walk = _Walk(self, self.context, targets, found, self.statistics)
+        base_depth = len(self.context)
+        try:
+            exact = walk.run(state.node, state.env_dict())
+        finally:
+            # Guards pushed by an interrupted walk (bailout or early success)
+            # are unwound here, leaving the context at the state's prefix.
+            self.context.pop_to(base_depth)
+
+        signature = self.region_index.signature(state.node)
+        self._memo[memo_key] = (
+            frozenset(signature.index[node_id] for node_id in found) if exact else _INEXACT,
+            memo_pins,
+        )
+        if not exact:
+            # Conservative completion: the caller guarantees every target is
+            # statically reachable, so whatever the walk could not decide
+            # exactly counts as coverable.
+            return set(targets)
+        return found
+
+    def _reachable_targets_rebuild(self, state: SymbolicState, targets: Set[int]) -> Set[int]:
+        """The pre-memoization query shape, kept as the measurable baseline.
+
+        A fresh context is rebuilt from the empty stack (re-propagating the
+        entire path-condition prefix), the state's feasibility is re-proven
+        at the root, and nothing is reused between queries -- exactly what
+        every query cost before this layer existed.  Observably equivalent
+        to the memoized path; the differential tests pin that.
+        """
         context = SolverContext(self.solver)
         for constraint in state.path_condition:
             context.push(constraint)
@@ -111,24 +296,116 @@ class FeasibleReachability:
             # The state itself is infeasible; nothing ahead can be covered.
             return set()
         found: Set[int] = set()
-        walk = _Walk(self, context, targets, found)
-        try:
-            walk.visit(state.node, state.env_dict(), on_path=set())
-        except (_Inexact, RecursionError):
-            # Conservative completion: the caller guarantees every target is
-            # statically reachable, so whatever the walk could not decide
-            # exactly (loop, budget, evaluation failure, or a CFG deep enough
-            # to exhaust the interpreter stack) counts as coverable.
-            return set(targets)
-        return found
+        walk = _Walk(self, context, targets, found, self.statistics)
+        exact = walk.run(state.node, state.env_dict())
+        return found if exact else set(targets)
+
+    def _walk_key(
+        self,
+        node: CFGNode,
+        env,
+        constraints: Tuple[Term, ...],
+        targets: Set[int],
+    ) -> Tuple[tuple, Tuple[Term, ...]]:
+        """The walk-from-``node``'s full functional input, in region-canonical coordinates.
+
+        The answer of a walk (which of the still-missing targets it can
+        cover) is determined by (a) the suffix region's content, (b) the
+        symbolic values of the region's decision variables (every branch
+        condition the walk will ever evaluate is built from them -- a value
+        the region only copies around cannot steer the walk), (c) the
+        satisfiability of the already-established constraints conjoined with
+        guards over those values -- which, for a feasible prefix, depends
+        only on the constraints *transitively sharing symbols* with them --
+        and (d) the probed targets that fall inside the region (ones
+        outside can never be found by the walk and are excluded from key
+        and value alike).  Hashing (a) via the region digest makes the memo
+        content-addressed: it survives node renumbering and goes stale
+        automatically when the region's IR changes.
+
+        Used both for whole queries (``constraints`` is the state's path
+        condition) and for interior branch probes (``constraints`` is the
+        context stack: path condition plus the guards pushed so far).
+
+        Returns ``(key, pins)``: the pins are the canonical instances whose
+        intern ids the key embeds, which the memo entry must keep alive
+        (interning is weak) for the key to remain matchable.
+        """
+        signature = self.region_index.signature(node)
+        index = signature.index
+        canonical_targets = frozenset(
+            index[target_id] for target_id in targets if target_id in index
+        )
+        fingerprint = []
+        pins: List[Term] = []
+        decision_symbols: Set[str] = set()
+        for name in signature.decision_vars:
+            term = env.get(name)
+            if term is None:
+                fingerprint.append((name, -1))
+                continue
+            interned = intern_term(term)
+            pins.append(interned)
+            fingerprint.append((name, term_key(interned)))
+            decision_symbols |= term_symbols(interned)
+        relevant = _relevant_constraints(constraints, decision_symbols)
+        constraint_keys = []
+        for constraint in relevant:
+            interned = intern_term(constraint)
+            pins.append(interned)
+            constraint_keys.append(term_key(interned))
+        key = (
+            signature.digest,
+            tuple(fingerprint),
+            frozenset(constraint_keys),
+            canonical_targets,
+        )
+        return key, tuple(pins)
 
 
-class _Inexact(Exception):
-    """Raised when the walk cannot stay exact (loop/budget/evaluation error)."""
+def _relevant_constraints(
+    constraints: Tuple[Term, ...], seed_symbols: Set[str]
+) -> List[Term]:
+    """The prefix constraints transitively connected to ``seed_symbols``.
+
+    For a satisfiable prefix P partitioned into a slice sharing symbols
+    (transitively) with the walk's guards and an independent remainder,
+    ``sat(P and G) == sat(slice and G)``: the remainder is satisfiable on
+    its own and mentions none of the slice's or the guards' symbols.  Only
+    the slice therefore belongs in the memo key -- which is exactly what
+    lets probes whose prefixes differ in irrelevant early branches share one
+    walk.
+    """
+    if not seed_symbols:
+        return []
+    pending = [(constraint, term_symbols(constraint)) for constraint in constraints]
+    symbols = set(seed_symbols)
+    relevant: List[Term] = []
+    changed = True
+    while changed and pending:
+        changed = False
+        remaining = []
+        for constraint, constraint_symbols in pending:
+            if constraint_symbols & symbols:
+                relevant.append(constraint)
+                symbols |= constraint_symbols
+                changed = True
+            else:
+                remaining.append((constraint, constraint_symbols))
+        pending = remaining
+    return relevant
 
 
 class _Walk:
-    """One lookahead traversal: DFS with guard pushes and env tracking."""
+    """One lookahead traversal: explicit-stack DFS with guard pushes.
+
+    The walk used to recurse per branch arm, so a CFG deeper than the
+    interpreter stack raised ``RecursionError`` -- silently treated as "all
+    targets reachable".  The explicit work stack makes depth a non-issue;
+    the only remaining degradation sources are the step budget, loop back
+    edges and evaluation/solver failures, each counted in the owner's
+    statistics.
+    """
 
     def __init__(
         self,
@@ -136,74 +413,170 @@ class _Walk:
         context: SolverContext,
         targets: Set[int],
         found: Set[int],
+        statistics: LookaheadStatistics,
     ):
         self.owner = owner
         self.context = context
         self.targets = targets
         self.found = found
+        self.statistics = statistics
         self.steps = 0
+        #: node id -> number of open visits on the current DFS path (the
+        #: explicit-stack replacement for the per-branch ``on_path`` sets).
+        self._on_path: Dict[int, int] = {}
 
-    def visit(self, node: CFGNode, env: Dict[str, Term], on_path: Set[int]) -> None:
-        cfg = self.owner.cfg
-        while True:
-            if self.found >= self.targets:
-                return
-            self.steps += 1
-            if self.steps > self.owner.budget:
-                raise _Inexact()
-            if node.node_id in self.targets:
-                self.found.add(node.node_id)
+    def run(self, node: CFGNode, env: Dict[str, Term]) -> bool:
+        """Walk from ``node``; returns False when forced to bail out.
+
+        On a bailout or early success the context may still hold pushed
+        guards -- the owner restores it with ``pop_to``.
+        """
+        owner = self.owner
+        cfg = owner.cfg
+        work: List[tuple] = [("visit", node, env)]
+        while work:
+            item = work.pop()
+            kind = item[0]
+            if kind == "pop":
+                self.context.pop()
+                continue
+            if kind == "leave":
+                for node_id in item[1]:
+                    self._on_path[node_id] -= 1
+                continue
+            if kind == "store":
+                # Both arms of a memo-probed branch finished: the targets
+                # found since the probe are exactly what a walk from that
+                # branch (under the probed key) can cover.
+                _, memo_key, memo_pins, store_node, found_at_entry = item
+                signature = owner.region_index.signature(store_node)
+                owner._memo[memo_key] = (
+                    frozenset(
+                        signature.index[node_id] for node_id in self.found - found_at_entry
+                    ),
+                    memo_pins,
+                )
+                continue
+            if kind == "guard":
+                _, guard, target, guard_env = item
                 if self.found >= self.targets:
-                    return
-            if node.kind in (NodeKind.END, NodeKind.ERROR):
-                return
-            if node.node_id in on_path:
-                # Back edge: deciding coverage across further loop iterations
-                # exactly would need bounded unrolling; stay conservative.
-                raise _Inexact()
-            on_path = on_path | {node.node_id}
-            if node.kind is NodeKind.BRANCH:
-                self._visit_branch(node, env, on_path)
-                return
-            if node.kind is NodeKind.ASSIGN:
-                try:
-                    value = evaluate_expression(node.expr, env)
-                except (UndefinedVariableError, EvaluationError, TypeError, ValueError):
-                    raise _Inexact()
-                env = dict(env)
-                env[node.target] = value
-            successors = cfg.successors(node)
-            if not successors:
-                return
-            if len(successors) > 1:
-                for successor in successors[1:]:
-                    self.visit(successor, env, on_path)
-                    if self.found >= self.targets:
-                        return
-            node = successors[0]
-
-    def _visit_branch(self, node: CFGNode, env: Dict[str, Term], on_path: Set[int]) -> None:
-        cfg = self.owner.cfg
-        try:
-            condition = simplify(evaluate_expression(node.condition, env))
-        except (UndefinedVariableError, EvaluationError, TypeError, ValueError):
-            raise _Inexact()
-        true_target = cfg.successor_on(node, TRUE_EDGE)
-        false_target = cfg.successor_on(node, FALSE_EDGE)
-        if isinstance(condition, BoolConst):
-            target = true_target if condition.value else false_target
-            self.visit(target, env, on_path)
-            return
-        for guard, target in ((condition, true_target), (negate(condition), false_target)):
-            if self.found >= self.targets:
-                return
-            self.context.push(guard)
-            try:
+                    continue
+                self.context.push(guard)
                 try:
                     feasible = self.context.is_satisfiable()
                 except SolverError:
-                    raise _Inexact()
-                if feasible:
-                    self.visit(target, env, on_path)
-            finally:
-                self.context.pop()
+                    self.statistics.solver_bailouts += 1
+                    return False
+                if not feasible:
+                    self.context.pop()
+                    continue
+                work.append(("pop",))
+                work.append(("visit", target, guard_env))
+                continue
+
+            # kind == "visit": follow straight-line flow inline, deferring
+            # only branch arms (and their guard pushes) to the work stack.
+            _, node, env = item
+            entered: Optional[List[int]] = []
+            while True:
+                if self.found >= self.targets:
+                    break
+                self.steps += 1
+                if self.steps > self.owner.budget:
+                    self.statistics.budget_bailouts += 1
+                    return False
+                node_id = node.node_id
+                if node_id in self.targets:
+                    self.found.add(node_id)
+                    if self.found >= self.targets:
+                        break
+                if node.kind in (NodeKind.END, NodeKind.ERROR):
+                    break
+                if self._on_path.get(node_id, 0) > 0:
+                    # Back edge: deciding coverage across further loop
+                    # iterations exactly would need bounded unrolling; stay
+                    # conservative.
+                    self.statistics.loop_bailouts += 1
+                    return False
+                self._on_path[node_id] = self._on_path.get(node_id, 0) + 1
+                entered.append(node_id)
+                if node.kind is NodeKind.BRANCH:
+                    try:
+                        condition = simplify(evaluate_expression(node.condition, env))
+                    except (UndefinedVariableError, EvaluationError, TypeError, ValueError):
+                        self.statistics.eval_bailouts += 1
+                        return False
+                    true_target = cfg.successor_on(node, TRUE_EDGE)
+                    false_target = cfg.successor_on(node, FALSE_EDGE)
+                    if isinstance(condition, BoolConst):
+                        # Concrete branch: follow the only possible side.
+                        node = true_target if condition.value else false_target
+                        continue
+                    if owner.memoize:
+                        remaining = self.targets - self.found
+                        memo_key, memo_pins = owner._walk_key(
+                            node, env, self.context.constraints(), remaining
+                        )
+                        cached = owner._memo.get(memo_key)
+                        if cached is not None and cached[0] is not _INEXACT:
+                            # A sibling probe already walked an identical
+                            # subtree under an equivalent prefix slice:
+                            # replay its finds and skip both arms.
+                            self.statistics.walk_memo_hits += 1
+                            signature = owner.region_index.signature(node)
+                            self.found.update(
+                                signature.nodes[position].node_id for position in cached[0]
+                            )
+                            break
+                        # An _INEXACT entry (stored by a budget-limited root
+                        # walk under the same key) is not replayed here: the
+                        # budget is per-query, so this walk may well finish
+                        # the subtree exactly -- and its store then upgrades
+                        # the entry.
+                        self.statistics.walk_memo_misses += 1
+                        # The store marker sits below the leave marker and
+                        # both arms, so it fires once the subtree completes;
+                        # bailouts abandon the whole stack, so no partial
+                        # subtree is ever recorded.
+                        work.append(("store", memo_key, memo_pins, node, set(self.found)))
+                    # The leave marker sits below both arms so the path marks
+                    # stay in place until the second arm finishes.
+                    work.append(("leave", entered))
+                    work.append(("guard", negate(condition), false_target, env))
+                    work.append(("guard", condition, true_target, env))
+                    entered = None
+                    break
+                if node.kind is NodeKind.ASSIGN:
+                    try:
+                        value = evaluate_expression(node.expr, env)
+                    except (UndefinedVariableError, EvaluationError, TypeError, ValueError):
+                        # The write's value is unknowable, but that only
+                        # matters if a later condition actually reads it:
+                        # poison the variable and bail there instead of
+                        # aborting walks over pass-through data-flow.
+                        env = dict(env)
+                        env.pop(node.target, None)
+                        value = None
+                    if value is not None:
+                        env = dict(env)
+                        env[node.target] = value
+                successors = cfg.successors(node)
+                if not successors:
+                    break
+                if len(successors) > 1:
+                    work.append(("leave", entered))
+                    work.append(("visit", successors[0], env))
+                    for successor in reversed(successors[1:]):
+                        work.append(("visit", successor, env))
+                    entered = None
+                    break
+                node = successors[0]
+            if entered:
+                # The straight-line run ended at a terminal (or with all
+                # targets found): unwind its path marks immediately.
+                for node_id in entered:
+                    self._on_path[node_id] -= 1
+            # Keep draining even when all targets are found: pending pop,
+            # leave and store markers still need to fire (the guard handler
+            # skips further descents, so the drain is O(stack)).
+        return True

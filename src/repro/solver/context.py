@@ -9,6 +9,13 @@ and ``pop()`` restores the parent frame in O(1).  This is the incremental
 regime Pinaka-style solvers exploit (see PAPERS.md, "Symbolic Execution
 meets Incremental Solving").
 
+Propagation is *worklist-based*: the context indexes every active atom by
+the variables it mentions, and a ``push`` seeds the worklist with only the
+delta atoms -- a prefix atom is re-examined only when one of its variables'
+domains actually narrows.  Whole-prefix re-propagation made one push O(depth)
+and one lookahead O(depth²); the worklist makes a push O(delta + touched
+constraint graph).
+
 Soundness/completeness split:
 
 * if delta propagation empties a domain, the conjunction is UNSAT -- final,
@@ -16,27 +23,40 @@ Soundness/completeness split:
 * if every active atom is definitely satisfied over the narrowed box and no
   deferred (disjunctive / boolean-equality) term is pending, the conjunction
   is SAT with a model read off the box (also an incremental hit);
+* two-variable unit equalities (``x == y + c``), which the box can never
+  decide on its own, get one more chance: the context substitutes them away
+  union-find style and re-checks the rewritten system over the merged
+  domains (see :func:`_substitute_equalities`);
 * otherwise the context falls back to the shared
   :class:`~repro.solver.core.ConstraintSolver`, whose result cache is keyed
   by interned term ids, so even fallbacks are cheap for repeated prefixes.
 
 The statistics land in the shared solver's
 :class:`~repro.solver.core.SolverStatistics` (``incremental_hits``,
-``prefix_reuses``, ``context_fallbacks``).
+``prefix_reuses``, ``context_fallbacks``, ``worklist_rounds``,
+``equality_substitutions``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.solver.core import ConstraintSolver, SolverResult
-from repro.solver.intervals import Domains, Interval, atom_definitely_satisfied, propagate
+from repro.solver.intervals import (
+    Domains,
+    Interval,
+    atom_definitely_satisfied,
+    propagate,
+    propagate_delta,
+    value_closest_to_zero,
+)
 from repro.solver.linear import (
     EQ,
     LinearAtom,
     LinearExpr,
     NonLinearError,
+    bool_symbol_atom,
     linearize_comparison,
 )
 from repro.solver.simplify import simplify
@@ -82,6 +102,13 @@ class SolverContext:
     def __init__(self, solver: Optional[ConstraintSolver] = None):
         self.solver = solver or ConstraintSolver()
         self._frames: List[_Frame] = []
+        #: Active atoms indexed by the variables they mention, maintained
+        #: incrementally as frames are pushed and popped; this is what lets a
+        #: push re-examine an atom only when one of its variables narrows.
+        self._atoms_by_var: Dict[str, List[LinearAtom]] = {}
+        #: Total (atom, variable) index entries, kept incrementally so the
+        #: worklist's step cap never needs an O(active atoms) rescan.
+        self._indexed_entries = 0
 
     # -- stack discipline -----------------------------------------------------
 
@@ -108,11 +135,12 @@ class SolverContext:
         return dict(top.domains) if top.domains is not None else {}
 
     def push(self, constraint: Term) -> None:
-        """Append one constraint, linearising only the delta.
+        """Append one constraint, linearising and propagating only the delta.
 
-        Propagation re-examines the prefix's atoms, but starts from the
-        already-narrowed parent domains, so it usually converges in a round
-        or two (a variable-indexed worklist is on the ROADMAP).
+        The delta atoms seed a variable-indexed worklist
+        (:func:`~repro.solver.intervals.propagate_delta`): a prefix atom is
+        re-examined only when one of its variables' domains narrows, so a
+        push costs O(delta + touched constraint graph) instead of O(prefix).
         """
         term = simplify(constraint)
         parent = self._frames[-1] if self._frames else None
@@ -132,9 +160,17 @@ class SolverContext:
                 if name not in base_domains:
                     bound = self.solver.bound
                     base_domains[name] = Interval(-bound, bound)
-        active_atoms = self._active_atoms() + list(atoms)
+        # The delta atoms join the index first so narrowing one of their own
+        # variables re-enqueues them like any other dependent atom.
+        self._index_atoms(atoms)
         if atoms:
-            narrowed = propagate(active_atoms, base_domains)
+            narrowed, steps = propagate_delta(
+                self._atoms_by_var,
+                atoms,
+                base_domains,
+                max_steps=64 * max(1, self._indexed_entries),
+            )
+            self.solver.statistics.worklist_rounds += steps
         else:
             narrowed = base_domains
         if narrowed is None:
@@ -146,12 +182,35 @@ class SolverContext:
         """Drop the most recent constraint, restoring the parent frame."""
         if not self._frames:
             raise IndexError("pop from an empty SolverContext")
-        self._frames.pop()
+        frame = self._frames.pop()
+        self._unindex_atoms(frame.atoms)
 
     def pop_to(self, depth: int) -> None:
         """Pop frames until the context holds exactly ``depth`` constraints."""
         while len(self._frames) > depth:
-            self._frames.pop()
+            self.pop()
+
+    def sync_to(self, constraints: Sequence[Term]) -> int:
+        """Align the stack with ``constraints`` by longest-common-prefix reuse.
+
+        Pops down to the longest common prefix and pushes only the remaining
+        suffix, so consecutive queries along a DFS pay for their delta
+        instead of a rebuild-from-empty.  Returns the number of retained
+        frames, which is also added to ``prefix_reuses`` (counting retained
+        frames, not pushes, means a regression to full rebuilds shows up as
+        the ratio collapsing).
+        """
+        common = 0
+        for frame, want in zip(self._frames, constraints):
+            have = frame.constraint
+            if have is not want and have != want:
+                break
+            common += 1
+        self.solver.statistics.prefix_reuses += common
+        self.pop_to(common)
+        for term in constraints[common:]:
+            self.push(term)
+        return common
 
     # -- queries --------------------------------------------------------------
 
@@ -171,10 +230,16 @@ class SolverContext:
             domains = top.domains or {}
             if all(atom_definitely_satisfied(atom, domains) for atom in atoms):
                 model = {
-                    name: _closest_to_zero(interval) for name, interval in domains.items()
+                    name: value_closest_to_zero(interval)
+                    for name, interval in domains.items()
                 }
                 self.solver.statistics.incremental_hits += 1
                 return SolverResult(True, model)
+            substituted = _substitute_equalities(atoms, domains)
+            if substituted is not None:
+                self.solver.statistics.incremental_hits += 1
+                self.solver.statistics.equality_substitutions += 1
+                return substituted
         self.solver.statistics.context_fallbacks += 1
         return self.solver.check(self.constraints())
 
@@ -202,6 +267,23 @@ class SolverContext:
     def _has_deferred(self) -> bool:
         return any(frame.deferred for frame in self._frames)
 
+    def _index_atoms(self, atoms: Sequence[LinearAtom]) -> None:
+        for atom in atoms:
+            for name in atom.variables():
+                self._atoms_by_var.setdefault(name, []).append(atom)
+                self._indexed_entries += 1
+
+    def _unindex_atoms(self, atoms: Sequence[LinearAtom]) -> None:
+        # Frames pop in LIFO order and atoms were appended in push order, so
+        # each per-variable list's tail is exactly this frame's contribution.
+        for atom in reversed(atoms):
+            for name in atom.variables():
+                entries = self._atoms_by_var[name]
+                entries.pop()
+                self._indexed_entries -= 1
+                if not entries:
+                    del self._atoms_by_var[name]
+
 
 def _linearize_delta(term: Term) -> Tuple[List[LinearAtom], List[Term], bool]:
     """Split one constraint into linear atoms plus deferred residue.
@@ -223,12 +305,12 @@ def _linearize_delta(term: Term) -> Tuple[List[LinearAtom], List[Term], bool]:
             if current.sort != BOOL_SORT:
                 deferred.append(current)
                 continue
-            atoms.append(LinearAtom(LinearExpr(((current.name, 1),), -1), EQ))
+            atoms.append(bool_symbol_atom(current.name, True))
             continue
         if isinstance(current, NotTerm):
             inner = current.operand
             if isinstance(inner, Symbol) and inner.sort == BOOL_SORT:
-                atoms.append(LinearAtom(LinearExpr(((inner.name, 1),), 0), EQ))
+                atoms.append(bool_symbol_atom(inner.name, False))
                 continue
             work.append(negate(inner))
             continue
@@ -260,7 +342,113 @@ def _linearize_delta(term: Term) -> Tuple[List[LinearAtom], List[Term], bool]:
     return atoms, deferred, False
 
 
-def _closest_to_zero(interval: Interval) -> int:
-    if interval.low <= 0 <= interval.high:
-        return 0
-    return interval.low if interval.low > 0 else interval.high
+def _substitution_pair(atom: LinearAtom) -> Optional[Tuple[str, str, int]]:
+    """Decompose a two-variable unit equality into ``(x, y, k)`` with x = y + k.
+
+    Only ``a - b + c == 0`` shapes (both coefficients of magnitude one, with
+    opposite signs) qualify; anything else returns None and stays with the
+    complete solver.
+    """
+    if atom.op != EQ or len(atom.expr.coeffs) != 2:
+        return None
+    (a_name, a_coef), (b_name, b_coef) = atom.expr.coeffs
+    if a_coef == 1 and b_coef == -1:
+        # a - b + c == 0  =>  a = b - c
+        return a_name, b_name, -atom.expr.constant
+    if a_coef == -1 and b_coef == 1:
+        # -a + b + c == 0  =>  b = a - c
+        return b_name, a_name, -atom.expr.constant
+    return None
+
+
+def _substitute_equalities(atoms: List[LinearAtom], domains: Domains) -> Optional[SolverResult]:
+    """Decide the conjunction by eliminating ``x == y + c`` equalities.
+
+    Interval propagation alone can never certify a two-variable equality
+    (the box has no way to express the coupling), so those atoms used to
+    force a fallback to the complete solver on every check.  Here they are
+    folded away instead: a union-find with offsets merges equated variables
+    into one representative, every remaining atom is rewritten over the
+    representatives, the representative domains are the intersections of the
+    members' (shifted) domains, and the rewritten system gets the ordinary
+    propagate + definitely-satisfied treatment.
+
+    Returns a definitive :class:`SolverResult` when the substitution settles
+    the query (either an offset conflict / empty merged domain / rewritten
+    conflict, or a fully satisfied rewritten box with a model derived for
+    the substituted variables), and None when the rewritten system is still
+    undecided -- the caller then falls back to the complete solver.
+    """
+    # var -> (parent, offset) meaning var = parent + offset.
+    parents: Dict[str, Tuple[str, int]] = {}
+
+    def find(name: str) -> Tuple[str, int]:
+        chain = []
+        offset = 0
+        while name in parents:
+            chain.append((name, offset))
+            parent, step = parents[name]
+            offset += step
+            name = parent
+        for seen, prior in chain:
+            parents[seen] = (name, offset - prior)
+        return name, offset
+
+    rewritten_source: List[LinearAtom] = []
+    conflict = False
+    found_equality = False
+    for atom in atoms:
+        pair = _substitution_pair(atom)
+        if pair is None:
+            rewritten_source.append(atom)
+            continue
+        found_equality = True
+        x, y, k = pair  # x = y + k
+        root_x, off_x = find(x)
+        root_y, off_y = find(y)
+        if root_x == root_y:
+            if off_x != off_y + k:
+                conflict = True
+                break
+            continue
+        parents[root_x] = (root_y, off_y + k - off_x)
+    if not found_equality:
+        return None
+    if conflict:
+        return SolverResult(False)
+
+    rewritten: List[LinearAtom] = []
+    for atom in rewritten_source:
+        coeffs: Dict[str, int] = {}
+        constant = atom.expr.constant
+        for name, coef in atom.expr.coeffs:
+            root, offset = find(name)
+            coeffs[root] = coeffs.get(root, 0) + coef
+            constant += coef * offset
+        expr = LinearExpr.from_dict(coeffs, constant)
+        candidate = LinearAtom(expr, atom.op)
+        if candidate.is_trivially_true():
+            continue
+        if candidate.is_trivially_false():
+            return SolverResult(False)
+        rewritten.append(candidate)
+
+    merged: Domains = {}
+    for name, interval in domains.items():
+        root, offset = find(name)
+        shifted = Interval(interval.low - offset, interval.high - offset)
+        existing = merged.get(root)
+        merged[root] = shifted if existing is None else existing.intersect(shifted)
+    if any(interval.is_empty for interval in merged.values()):
+        return SolverResult(False)
+
+    narrowed = propagate(rewritten, merged)
+    if narrowed is None:
+        return SolverResult(False)
+    if not all(atom_definitely_satisfied(atom, narrowed) for atom in rewritten):
+        return None
+    model: Dict[str, int] = {}
+    for name in domains:
+        root, offset = find(name)
+        model[name] = value_closest_to_zero(narrowed[root]) + offset
+    return SolverResult(True, model)

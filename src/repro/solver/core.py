@@ -33,6 +33,7 @@ from repro.solver.intervals import (
     atom_definitely_satisfied,
     initial_domains,
     propagate,
+    value_closest_to_zero,
 )
 from repro.solver.linear import (
     EQ,
@@ -41,6 +42,7 @@ from repro.solver.linear import (
     LinearAtom,
     LinearExpr,
     NonLinearError,
+    bool_symbol_atom,
     linearize_comparison,
     linearize_int,
 )
@@ -88,6 +90,12 @@ class SolverStatistics:
     #: (by context syncs and ``assume`` probes) instead of being rebuilt.
     prefix_reuses: int = 0
     context_fallbacks: int = 0
+    #: Atom examinations performed by the contexts' worklist propagation
+    #: (each is one bounds-consistency pass over a single atom).
+    worklist_rounds: int = 0
+    #: Context checks settled by eliminating ``x == y + c`` equalities
+    #: instead of falling back to the complete solver.
+    equality_substitutions: int = 0
 
     @property
     def interned_terms(self) -> int:
@@ -106,6 +114,8 @@ class SolverStatistics:
             "incremental_hits": self.incremental_hits,
             "prefix_reuses": self.prefix_reuses,
             "context_fallbacks": self.context_fallbacks,
+            "worklist_rounds": self.worklist_rounds,
+            "equality_substitutions": self.equality_substitutions,
             "interned_terms": self.interned_terms,
         }
 
@@ -128,7 +138,13 @@ class ConstraintSolver:
         self.bound = bound
         self.max_branch_steps = max_branch_steps
         self.statistics = SolverStatistics()
-        self._cache: Dict[Tuple[int, ...], SolverResult] = {}
+        #: key -> (result, pinned key terms).  Terms are interned weakly, so
+        #: each entry anchors the canonical instances its id-based key
+        #: refers to: a later structurally equal query re-interns onto them
+        #: and rebuilds the same key.  The pins live and die with the cache
+        #: (per-solver, cleared by :meth:`clear_cache`), so they cannot leak
+        #: across independent runs.
+        self._cache: Dict[Tuple[int, ...], Tuple[SolverResult, Tuple[Term, ...]]] = {}
 
     # -- public API ----------------------------------------------------------
 
@@ -137,9 +153,10 @@ class ConstraintSolver:
         self.statistics.queries += 1
         simplified = [simplify(term) for term in constraints]
         key = tuple(sorted(term_key(term) for term in simplified))
-        if key in self._cache:
+        cached = self._cache.get(key)
+        if cached is not None:
             self.statistics.cache_hits += 1
-            return self._cache[key]
+            return cached[0]
         result = self._solve(simplified)
         if result.satisfiable and result.model is not None:
             self._verify_model(simplified, result.model)
@@ -147,7 +164,7 @@ class ConstraintSolver:
             self.statistics.sat_results += 1
         else:
             self.statistics.unsat_results += 1
-        self._cache[key] = result
+        self._cache[key] = (result, tuple(simplified))
         return result
 
     def is_satisfiable(self, constraints: Sequence[Term]) -> bool:
@@ -186,12 +203,12 @@ class ConstraintSolver:
             if isinstance(term, Symbol):
                 if term.sort != BOOL_SORT:
                     raise SolverError(f"Integer symbol {term} used as a constraint")
-                atoms.append(self._bool_symbol_atom(term.name, True))
+                atoms.append(bool_symbol_atom(term.name, True))
                 continue
             if isinstance(term, NotTerm):
                 inner = term.operand
                 if isinstance(inner, Symbol) and inner.sort == BOOL_SORT:
-                    atoms.append(self._bool_symbol_atom(inner.name, False))
+                    atoms.append(bool_symbol_atom(inner.name, False))
                     continue
                 # negate() can expose new simplification opportunities, so this
                 # synthesized term is the one place the loop still simplifies.
@@ -259,12 +276,6 @@ class ConstraintSolver:
         """
         raise SolverError(f"Non-linear constraint is outside the decidable fragment: {term}")
 
-    @staticmethod
-    def _bool_symbol_atom(name: str, value: bool) -> LinearAtom:
-        """Encode a boolean symbol as the 0/1 integer variable ``name``."""
-        expr = LinearExpr(((name, 1),), -1 if value else 0)
-        return LinearAtom(expr, EQ)
-
     # -- linear core ---------------------------------------------------------
 
     def _solve_atoms(self, atoms: List[LinearAtom]) -> SolverResult:
@@ -314,7 +325,7 @@ class ConstraintSolver:
         # the one closest to zero so generated test inputs stay readable.
         if all(atom_definitely_satisfied(atom, narrowed) for atom in atoms):
             model = {
-                name: _value_closest_to_zero(interval) for name, interval in narrowed.items()
+                name: value_closest_to_zero(interval) for name, interval in narrowed.items()
             }
             return SolverResult(True, model)
         # All singleton but not all satisfied => this box is a single failing point.
@@ -338,7 +349,7 @@ class ConstraintSolver:
         interval = narrowed[name]
         midpoint = (interval.low + interval.high) // 2
         halves = [Interval(interval.low, midpoint), Interval(midpoint + 1, interval.high)]
-        halves.sort(key=lambda half: min(abs(half.low), abs(half.high), abs(_value_closest_to_zero(half))))
+        halves.sort(key=lambda half: min(abs(half.low), abs(half.high), abs(value_closest_to_zero(half))))
         for half in halves:
             child = dict(narrowed)
             child[name] = half
@@ -360,13 +371,6 @@ class ConstraintSolver:
                 raise SolverError(
                     f"Internal error: model {model} does not satisfy constraint {term}"
                 )
-
-
-def _value_closest_to_zero(interval: Interval) -> int:
-    """The integer of smallest magnitude inside a non-empty interval."""
-    if interval.low <= 0 <= interval.high:
-        return 0
-    return interval.low if interval.low > 0 else interval.high
 
 
 def atoms_to_terms(atoms: List[LinearAtom]) -> List[Term]:

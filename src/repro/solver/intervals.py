@@ -10,8 +10,9 @@ branch-and-bound search then explores.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.solver.linear import EQ, LE, NE, LinearAtom
 
@@ -79,6 +80,57 @@ def propagate(atoms: List[LinearAtom], domains: Domains, max_rounds: int = 64) -
         return current
     except Inconsistent:
         return None
+
+
+def propagate_delta(
+    atoms_by_var: Mapping[str, Sequence[LinearAtom]],
+    delta: Iterable[LinearAtom],
+    domains: Domains,
+    max_steps: Optional[int] = None,
+) -> Tuple[Optional[Domains], int]:
+    """Worklist propagation seeded only by the ``delta`` atoms.
+
+    ``atoms_by_var`` indexes *every* active atom (prefix and delta) by the
+    variables it mentions; an atom is (re-)examined only when it is in the
+    seed or one of its variables' domains has just narrowed.  Because
+    bounds-consistency narrowing is monotone, this chaotic iteration
+    converges to the same fixed point as re-running :func:`propagate` over
+    the whole atom set, while touching only the part of the constraint graph
+    the delta can actually influence -- this is what makes an incremental
+    ``push`` O(delta) instead of O(prefix).
+
+    ``domains`` is narrowed in place and must already contain an interval
+    for every variable of every indexed atom.  Returns ``(domains, steps)``
+    where ``steps`` counts atom examinations, or ``(None, steps)`` when a
+    conflict proves the conjunction unsatisfiable.  ``max_steps`` bounds the
+    examinations (mirroring :func:`propagate`'s round cap); on exhaustion
+    the current -- still sound, possibly wider -- box is returned.
+    """
+    queue = deque(delta)
+    queued = set(queue)
+    if max_steps is None:
+        max_steps = 64 * max(1, sum(len(atoms) for atoms in atoms_by_var.values()))
+    steps = 0
+    try:
+        while queue:
+            steps += 1
+            if steps > max_steps:
+                break
+            atom = queue.popleft()
+            queued.discard(atom)
+            before = {name: domains[name] for name in atom.variables()}
+            if not _propagate_atom(atom, domains):
+                continue
+            for name, interval in before.items():
+                if domains[name] == interval:
+                    continue
+                for dependent in atoms_by_var.get(name, ()):
+                    if dependent not in queued:
+                        queue.append(dependent)
+                        queued.add(dependent)
+        return domains, steps
+    except Inconsistent:
+        return None, steps
 
 
 def _propagate_atom(atom: LinearAtom, domains: Domains) -> bool:
@@ -196,6 +248,19 @@ def atom_definitely_violated(atom: LinearAtom, domains: Domains) -> bool:
     if atom.op == EQ:
         return high < 0 or low > 0
     return low == high == 0  # NE
+
+
+def value_closest_to_zero(interval: Interval) -> int:
+    """The integer of smallest magnitude inside a non-empty interval.
+
+    This is the shared model-extraction rule: both the complete solver's
+    branch-and-bound and the incremental context's fast SAT path pick the
+    point nearest zero so generated test inputs stay readable, and using one
+    helper keeps the two from drifting apart.
+    """
+    if interval.low <= 0 <= interval.high:
+        return 0
+    return interval.low if interval.low > 0 else interval.high
 
 
 def _floor_div(numerator: int, denominator: int) -> int:

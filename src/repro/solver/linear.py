@@ -132,6 +132,18 @@ class LinearAtom:
         return f"{self.expr} {self.op} 0"
 
 
+def bool_symbol_atom(name: str, value: bool) -> LinearAtom:
+    """Encode a boolean symbol as the 0/1 integer variable ``name``.
+
+    ``value=True`` yields ``name - 1 == 0`` and ``value=False`` yields
+    ``name == 0``.  This is the single encoding rule shared by the complete
+    solver's boolean rewriting and the incremental context's delta
+    linearisation, so the two layers cannot drift apart.
+    """
+    expr = LinearExpr(((name, 1),), -1 if value else 0)
+    return LinearAtom(expr, EQ)
+
+
 def linearize_int(term: Term) -> LinearExpr:
     """Convert an integer-sorted term to a :class:`LinearExpr`.
 

@@ -14,6 +14,7 @@ back constantly; the memo turns those repeat visits into dictionary hits.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict
 
 from repro.solver.terms import (
@@ -36,8 +37,12 @@ from repro.solver.terms import (
     mk_not,
 )
 
-#: intern id of a term -> its (interned) simplified form.
-_MEMO: Dict[int, Term] = {}
+#: intern id of a term -> its (interned) simplified form.  Values are held
+#: weakly, mirroring the weak intern table: a memo entry must not be the
+#: thing keeping a dead run's terms alive.  Intern ids are never reused, so
+#: a key whose argument term has died can never alias a new term -- its
+#: entry just lingers until its value dies too, then evaporates.
+_MEMO: "weakref.WeakValueDictionary[int, Term]" = weakref.WeakValueDictionary()
 
 
 def simplify_cache_info() -> Dict[str, int]:

@@ -21,6 +21,7 @@ simplification) all funnel through the interning constructors.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Tuple, Union
 
@@ -318,7 +319,19 @@ class NegTerm(Term):
 
 #: Canonical instance per structural key.  Keys use the ``id`` of interned
 #: children, so building one is O(1) instead of O(term size).
-_INTERN_TABLE: Dict[tuple, Term] = {}
+#:
+#: The table holds its terms *weakly*: once nothing outside the interning
+#: machinery references a term (no live state, path condition, cache entry or
+#: parent term), its entry evaporates, so the table tracks the live term
+#: population instead of every term ever built -- repeated independent runs
+#: in one process no longer grow it monotonically.  Weakness is safe by
+#: construction: a composite entry's key embeds ``id(child)``, and the entry's
+#: value holds its children strongly, so a child's id can never be recycled
+#: while any live entry mentions it.  An evicted term that is still reachable
+#: elsewhere keeps behaving correctly (structural equality, cached hash, its
+#: old ``term_id``); it merely stops being the canonical instance for new
+#: constructions, exactly like after :func:`clear_intern_table`.
+_INTERN_TABLE: "weakref.WeakValueDictionary[tuple, Term]" = weakref.WeakValueDictionary()
 _NEXT_TERM_ID = 0
 
 
@@ -334,7 +347,12 @@ def _register(key: tuple, term: Term) -> Term:
 
 
 def interned_count() -> int:
-    """Number of distinct terms currently interned (a solver statistic)."""
+    """Number of distinct terms currently alive in the intern table.
+
+    Interning is weak, so this tracks the *live* term population: terms
+    whose last outside reference is dropped disappear from the count (after
+    garbage collection, for terms kept alive by reference cycles).
+    """
     return len(_INTERN_TABLE)
 
 
@@ -400,22 +418,34 @@ def mk_neg(operand: Term) -> NegTerm:
 
 
 def intern_term(term: Term) -> Term:
-    """Return the canonical instance structurally equal to ``term``."""
+    """Return the canonical instance structurally equal to ``term``.
+
+    A plain term remembers (and strongly holds) its canonical twin: repeat
+    interning of the same instance is O(1), and -- since interning is weak
+    -- the twin provably outlives the plain term, so ``term_key`` stays
+    stable for as long as the term itself is referenced anywhere.
+    """
     if "term_id" in term.__dict__:
         return term
+    canonical = term.__dict__.get("_canonical")
+    if canonical is not None:
+        return canonical
     if isinstance(term, IntConst):
-        return mk_int(term.value)
-    if isinstance(term, BoolConst):
-        return mk_bool(term.value)
-    if isinstance(term, Symbol):
-        return mk_symbol(term.name, term.symbol_sort)
-    if isinstance(term, BinaryTerm):
-        return mk_binary(term.op, term.left, term.right)
-    if isinstance(term, NotTerm):
-        return mk_not(term.operand)
-    if isinstance(term, NegTerm):
-        return mk_neg(term.operand)
-    raise TypeError(f"Cannot intern term of type {type(term).__name__}")
+        canonical = mk_int(term.value)
+    elif isinstance(term, BoolConst):
+        canonical = mk_bool(term.value)
+    elif isinstance(term, Symbol):
+        canonical = mk_symbol(term.name, term.symbol_sort)
+    elif isinstance(term, BinaryTerm):
+        canonical = mk_binary(term.op, term.left, term.right)
+    elif isinstance(term, NotTerm):
+        canonical = mk_not(term.operand)
+    elif isinstance(term, NegTerm):
+        canonical = mk_neg(term.operand)
+    else:
+        raise TypeError(f"Cannot intern term of type {type(term).__name__}")
+    object.__setattr__(term, "_canonical", canonical)
+    return canonical
 
 
 def term_key(term: Term) -> int:

@@ -32,6 +32,10 @@ from repro.solver.terms import (
     IntConst,
     Symbol,
     Term,
+    intern_term,
+    mk_bool,
+    mk_int,
+    mk_symbol,
     negate,
     term_key,
 )
@@ -72,6 +76,11 @@ class ExecutionStatistics:
     lookahead_solver_queries: int = 0
     lookahead_cache_hits: int = 0
     lookahead_incremental_hits: int = 0
+    lookahead_prefix_reuses: int = 0
+    #: Lookahead queries answered from the memoized walk cache (no CFG walk,
+    #: no solver traffic) and context alignments performed for the rest.
+    lookahead_walk_memo_hits: int = 0
+    lookahead_prefix_syncs: int = 0
     #: Cross-version summary cache activity during this run.
     summary_cache_hits: int = 0
     summary_cache_misses: int = 0
@@ -100,6 +109,9 @@ class ExecutionStatistics:
             "lookahead_solver_queries": self.lookahead_solver_queries,
             "lookahead_cache_hits": self.lookahead_cache_hits,
             "lookahead_incremental_hits": self.lookahead_incremental_hits,
+            "lookahead_prefix_reuses": self.lookahead_prefix_reuses,
+            "lookahead_walk_memo_hits": self.lookahead_walk_memo_hits,
+            "lookahead_prefix_syncs": self.lookahead_prefix_syncs,
             "summary_cache_hits": self.summary_cache_hits,
             "summary_cache_misses": self.summary_cache_misses,
             "summary_cache_stores": self.summary_cache_stores,
@@ -266,13 +278,19 @@ class SymbolicExecutor:
     # -- initial state -------------------------------------------------------
 
     def initial_environment(self) -> Dict[str, Term]:
-        """Symbolic inputs for parameters, constants/symbols for globals."""
+        """Symbolic inputs for parameters, constants/symbols for globals.
+
+        Values are built with the interning constructors so every term a
+        state can ever hold is a canonical instance: the summary cache's
+        environment fingerprints key on intern ids, which stay stable
+        exactly as long as the terms they describe are alive.
+        """
         environment: Dict[str, Term] = {}
         for decl in self.program.globals:
             environment[decl.name] = self._global_initial_value(decl)
         for param in self.procedure.params:
             sort = BOOL_SORT if param.type_name == "bool" else INT_SORT
-            environment[param.name] = Symbol(param.name, sort)
+            environment[param.name] = mk_symbol(param.name, sort)
         return environment
 
     @staticmethod
@@ -281,14 +299,14 @@ class SymbolicExecutor:
             # Uninitialised globals are treated as symbolic inputs, matching
             # the paper's testX example where the field y is symbolic.
             sort = BOOL_SORT if decl.type_name == "bool" else INT_SORT
-            return Symbol(decl.name, sort)
+            return mk_symbol(decl.name, sort)
         init = decl.init
         if isinstance(init, IntLiteral):
-            return IntConst(init.value)
+            return mk_int(init.value)
         if isinstance(init, BoolLiteral):
-            return BoolConst(init.value)
+            return mk_bool(init.value)
         if isinstance(init, UnaryOp) and isinstance(init.operand, IntLiteral):
-            return IntConst(-init.operand.value)
+            return mk_int(-init.operand.value)
         raise ValueError(f"Unsupported global initialiser: {init}")
 
     def initial_state(self) -> SymbolicState:
@@ -366,13 +384,16 @@ class SymbolicExecutor:
         )
         self.statistics.prefix_reuses = self.solver.statistics.prefix_reuses - start_prefix
         if lookahead is not None and look_start is not None:
-            calls, queries, cache_hits, incremental = (
+            calls, queries, cache_hits, incremental, prefix_reuses, memo_hits, prefix_syncs = (
                 now - then for now, then in zip(lookahead.snapshot(), look_start)
             )
             self.statistics.lookahead_calls = calls
             self.statistics.lookahead_solver_queries = queries
             self.statistics.lookahead_cache_hits = cache_hits
             self.statistics.lookahead_incremental_hits = incremental
+            self.statistics.lookahead_prefix_reuses = prefix_reuses
+            self.statistics.lookahead_walk_memo_hits = memo_hits
+            self.statistics.lookahead_prefix_syncs = prefix_syncs
             if self.strategy.lookahead_shares_solver(self.solver):
                 # The lookahead metered the executor's solver, so its traffic
                 # is carved out of the raw deltas: the executor-facing
@@ -382,6 +403,7 @@ class SymbolicExecutor:
                 self.statistics.solver_queries -= queries
                 self.statistics.solver_cache_hits -= cache_hits
                 self.statistics.incremental_hits -= incremental
+                self.statistics.prefix_reuses -= prefix_reuses
         tree = ExecutionTree(tree_root) if self.build_tree else None
         return ExecutionResult(summary=summary, statistics=self.statistics, tree=tree)
 
@@ -741,6 +763,7 @@ class SymbolicExecutor:
                 records=tuple(records),
                 strategy_after=self.strategy.region_snapshot(recording.signature),
             ),
+            pins=self._key_pins(root),
         )
         self.statistics.summary_cache_stores += 1
 
@@ -793,8 +816,20 @@ class SymbolicExecutor:
                 digest=recording.signature.digest,
                 records=tuple(records),
             ),
+            pins=self._key_pins(root),
         )
         self.statistics.summary_cache_stores += 1
+
+    @staticmethod
+    def _key_pins(root: SymbolicState) -> Tuple[Term, ...]:
+        """The canonical instances whose intern ids the cache key mentions.
+
+        Interning is weak, so the cache must anchor the root environment's
+        terms itself: as long as the entry lives, a later version's
+        structurally identical environment re-interns to these instances
+        and reproduces the same fingerprint ids.
+        """
+        return tuple(intern_term(term) for _, term in root.environment)
 
     def _successors(self, state: SymbolicState) -> List[Tuple[SymbolicState, str]]:
         node = state.node
@@ -814,22 +849,10 @@ class SymbolicExecutor:
 
         The DFS visits states in stack order, so the context usually shares
         all but the last constraint with the previous query: backtracking is a
-        handful of pops, descending pushes only the delta.
+        handful of pops, descending pushes only the delta
+        (:meth:`~repro.solver.context.SolverContext.sync_to`).
         """
-        target = state.path_condition.constraints
-        current = self.context.constraints()
-        common = 0
-        for have, want in zip(current, target):
-            if have is not want and have != want:
-                break
-            common += 1
-        # Frames kept across queries are the prefix work the sync avoided
-        # redoing (counting retained frames, not pushes, means a regression
-        # to full rebuilds shows up as the ratio collapsing).
-        self.solver.statistics.prefix_reuses += common
-        self.context.pop_to(common)
-        for term in target[common:]:
-            self.context.push(term)
+        self.context.sync_to(state.path_condition.constraints)
 
     def _branch_successors(
         self, state: SymbolicState, node: CFGNode

@@ -47,20 +47,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Optional, Tuple
 
-from repro.solver.terms import Term, term_key
-
-#: Memo of term -> symbol set, keyed by interned term id (terms are
-#: hash-consed and kept alive by the intern table, so ids are stable).
-_SYMBOLS_MEMO: Dict[int, FrozenSet[str]] = {}
+from repro.solver.terms import Term
 
 
 def term_symbols(term: Term) -> FrozenSet[str]:
-    """The symbol names of ``term``, memoized across the process."""
-    key = term_key(term)
-    cached = _SYMBOLS_MEMO.get(key)
+    """The symbol names of ``term``, cached on the term instance.
+
+    Caching on the instance (rather than in a process-global table keyed by
+    intern id) ties the cache entry's lifetime to the term's own: when a
+    run's terms are garbage-collected the cached sets go with them, and a
+    plain (non-interned) term gets the same O(1) repeat lookups as an
+    interned one.
+    """
+    cached = term.__dict__.get("_symbols")
     if cached is None:
         cached = term.symbols()
-        _SYMBOLS_MEMO[key] = cached
+        object.__setattr__(term, "_symbols", cached)
     return cached
 
 
@@ -159,6 +161,14 @@ class _Entry:
     generation: int
     last_used: int
     missing_streak: int = 0
+    #: Terms whose intern ids appear in the entry's key (the recording
+    #: root's environment).  Interning is weak, so without this anchor the
+    #: canonical instances could be collected between versions; a later
+    #: probe would then re-intern structurally identical values under fresh
+    #: ids and the key would never match again.  Pinning them for the
+    #: entry's lifetime keeps the key resolvable exactly as long as it can
+    #: still hit.
+    pins: Tuple[Term, ...] = ()
 
 
 class SummaryCache:
@@ -241,6 +251,6 @@ class SummaryCache:
         self.statistics.hits += 1
         return entry.summary
 
-    def store(self, key: CacheKey, summary) -> None:
-        self._entries[key] = _Entry(summary, self.generation, self.generation)
+    def store(self, key: CacheKey, summary, pins: Tuple[Term, ...] = ()) -> None:
+        self._entries[key] = _Entry(summary, self.generation, self.generation, pins=pins)
         self.statistics.stores += 1

@@ -22,6 +22,7 @@ class TestLookaheadStatisticsSplit:
             solver.statistics.queries,
             solver.statistics.cache_hits,
             solver.statistics.incremental_hits,
+            solver.statistics.prefix_reuses,
         )
         result = run_dise(
             update_base_program(), update_modified_program(), procedure="update",
@@ -31,6 +32,7 @@ class TestLookaheadStatisticsSplit:
         total_queries = solver.statistics.queries - before[0]
         total_cache_hits = solver.statistics.cache_hits - before[1]
         total_incremental = solver.statistics.incremental_hits - before[2]
+        total_prefix_reuses = solver.statistics.prefix_reuses - before[3]
 
         # The lookahead did real work on the update example ...
         assert statistics.lookahead_calls > 0
@@ -44,11 +46,18 @@ class TestLookaheadStatisticsSplit:
             statistics.incremental_hits + statistics.lookahead_incremental_hits
             == total_incremental
         )
+        # The lookahead's persistent context reuses prefixes on the shared
+        # solver too; that traffic is carved out the same way.
+        assert (
+            statistics.prefix_reuses + statistics.lookahead_prefix_reuses
+            == total_prefix_reuses
+        )
         # Executor counters never go negative (the historical failure mode
         # of subtracting a shared counter twice).
         assert statistics.solver_queries >= 0
         assert statistics.solver_cache_hits >= 0
         assert statistics.incremental_hits >= 0
+        assert statistics.prefix_reuses >= 0
 
     def test_private_lookahead_solver_is_reported_but_not_subtracted(self):
         """Regression: a strategy built without a shared solver gives its
@@ -97,6 +106,10 @@ class TestLookaheadStatisticsSplit:
     def test_lookahead_bucket_snapshot_and_dict(self):
         from repro.core.lookahead import LookaheadStatistics
 
-        bucket = LookaheadStatistics(calls=2, solver_queries=3, solver_cache_hits=1)
-        assert bucket.snapshot() == (2, 3, 1, 0)
+        bucket = LookaheadStatistics(
+            calls=2, solver_queries=3, solver_cache_hits=1, walk_memo_hits=4, prefix_syncs=5
+        )
+        assert bucket.snapshot() == (2, 3, 1, 0, 0, 4, 5)
         assert bucket.as_dict()["solver_queries"] == 3
+        assert bucket.as_dict()["walk_memo_hits"] == 4
+        assert bucket.as_dict()["budget_bailouts"] == 0

@@ -58,8 +58,16 @@ class TestInterning:
 
     def test_interned_count_grows_with_new_terms(self):
         before = interned_count()
-        intern_term(cmp("==", int_symbol("fresh_intern_probe"), IntConst(123456)))
+        term = intern_term(cmp("==", int_symbol("fresh_intern_probe"), IntConst(123456)))
         assert interned_count() > before
+        # Interning is weak: dropping the last reference releases the
+        # entries again instead of growing the table forever.
+        grown = interned_count()
+        del term
+        import gc
+
+        gc.collect()
+        assert interned_count() < grown
 
 
 class TestSolverContext:

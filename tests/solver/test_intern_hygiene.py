@@ -1,0 +1,66 @@
+"""Interning hygiene: repeated independent runs must not grow process memory.
+
+The term intern table and the simplify memo are process-global.  Before this
+PR they were strong dictionaries that retained every term ever built, so a
+long-lived process (batch drivers, CI workers, services) grew without bound
+across independent runs.  Interning is now weak: once a run's states,
+results and caches are dropped, its terms -- and their intern-table, memo
+and symbol-cache entries -- are collectible.
+"""
+
+import gc
+
+from repro.artifacts.mutants import wbs_artifact
+from repro.evolution.history import VersionHistoryRunner
+from repro.solver.core import ConstraintSolver
+from repro.solver.simplify import simplify, simplify_cache_info
+from repro.solver.terms import BinaryTerm, IntConst, int_symbol, interned_count
+from repro.symexec.summary_cache import SummaryCache
+
+
+class TestInternTableHygiene:
+    def test_repeated_history_runs_do_not_grow_interned_terms(self):
+        counts = []
+        for _ in range(3):
+            runner = VersionHistoryRunner(
+                wbs_artifact(),
+                include_full=False,
+                summary_cache=SummaryCache(),
+                solver=ConstraintSolver(),
+            )
+            runner.run()
+            del runner
+            gc.collect()
+            counts.append(interned_count())
+        # The live population after each run is identical: nothing from a
+        # finished run keeps accumulating in the process-global table.
+        assert counts[1] <= counts[0]
+        assert counts[2] <= counts[0]
+
+    def test_dropping_a_run_releases_its_terms(self):
+        gc.collect()
+        before = interned_count()
+        runner = VersionHistoryRunner(
+            wbs_artifact(),
+            include_full=False,
+            summary_cache=SummaryCache(),
+            solver=ConstraintSolver(),
+        )
+        report = runner.run()
+        assert report.versions
+        del runner, report
+        gc.collect()
+        assert interned_count() <= before + 2
+
+    def test_simplify_memo_is_released_with_its_terms(self):
+        gc.collect()
+        entries_before = simplify_cache_info()["entries"]
+        kept = simplify(
+            BinaryTerm("+", int_symbol("hygiene_probe"), IntConst(0))
+        )
+        assert simplify_cache_info()["entries"] > entries_before
+        # While referenced, repeated simplification is an identity-stable hit.
+        assert simplify(BinaryTerm("+", int_symbol("hygiene_probe"), IntConst(0))) is kept
+        del kept
+        gc.collect()
+        assert simplify_cache_info()["entries"] <= entries_before + 2

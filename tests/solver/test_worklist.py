@@ -1,0 +1,172 @@
+"""Property tests for the worklist (delta) propagation and equality substitution.
+
+The incremental context narrows interval domains with a variable-indexed
+worklist seeded only by each push's delta atoms.  Bounds-consistency
+narrowing operators are monotone, so chaotic iteration must converge to the
+same fixed point as re-running whole-set propagation -- these tests pin that
+equivalence on seeded random atom sets, both for the raw
+:func:`~repro.solver.intervals.propagate_delta` helper and for the fixpoints
+a :class:`~repro.solver.context.SolverContext` accumulates push by push.
+
+The equality-substitution fast path is cross-checked against the complete
+solver on random mixed conjunctions.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.solver.context import SolverContext, _substitute_equalities
+from repro.solver.core import ConstraintSolver
+from repro.solver.intervals import (
+    Domains,
+    Interval,
+    initial_domains,
+    propagate,
+    propagate_delta,
+)
+from repro.solver.linear import EQ, LE, NE, LinearAtom, LinearExpr
+from repro.solver.terms import BinaryTerm, IntConst, int_symbol
+
+VARIABLES = ("x", "y", "z")
+OPS = (LE, EQ, NE)
+
+
+def random_atoms(seed: int, count: int) -> list:
+    rng = random.Random(seed)
+    atoms = []
+    for _ in range(count):
+        coeffs = {
+            name: rng.randint(-3, 3)
+            for name in rng.sample(VARIABLES, rng.randint(1, len(VARIABLES)))
+        }
+        expr = LinearExpr.from_dict(coeffs, rng.randint(-8, 8))
+        if expr.is_constant():
+            continue
+        atoms.append(LinearAtom(expr, rng.choice(OPS)))
+    return atoms
+
+
+def index_atoms(atoms) -> dict:
+    by_var = {}
+    for atom in atoms:
+        for name in atom.variables():
+            by_var.setdefault(name, []).append(atom)
+    return by_var
+
+
+class TestPropagateDeltaMatchesWholeSet:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=200, deadline=None)
+    def test_full_seed_equals_batch_propagate(self, seed):
+        atoms = random_atoms(seed, count=5)
+        domains = initial_domains(VARIABLES, bound=32)
+        batch = propagate(list(atoms), dict(domains))
+        delta_result, steps = propagate_delta(index_atoms(atoms), atoms, dict(domains))
+        if batch is None:
+            assert delta_result is None
+        else:
+            assert delta_result == batch
+            # Every delta atom is examined at least once on conflict-free runs.
+            assert steps >= len(atoms)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=200, deadline=None)
+    def test_incremental_prefix_plus_delta_reaches_batch_fixpoint(self, seed):
+        atoms = random_atoms(seed, count=6)
+        if len(atoms) < 2:
+            return
+        split = len(atoms) // 2
+        prefix, delta = atoms[:split], atoms[split:]
+        domains = initial_domains(VARIABLES, bound=32)
+        narrowed_prefix = propagate(list(prefix), dict(domains))
+        batch = propagate(list(atoms), dict(domains))
+        if narrowed_prefix is None:
+            # The prefix alone conflicts, so the whole set must conflict too.
+            assert batch is None
+            return
+        combined, _ = propagate_delta(index_atoms(atoms), delta, dict(narrowed_prefix))
+        if batch is None:
+            assert combined is None
+        else:
+            assert combined == batch
+
+
+class TestContextFixpointMatchesBatch:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=150, deadline=None)
+    def test_pushed_domains_equal_whole_prefix_propagation(self, seed):
+        rng = random.Random(seed)
+        solver = ConstraintSolver(bound=32)
+        context = SolverContext(solver)
+        pushed_atoms = []
+        for _ in range(rng.randint(1, 5)):
+            name = rng.choice(VARIABLES)
+            op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
+            constraint = BinaryTerm(op, int_symbol(name), IntConst(rng.randint(-8, 8)))
+            context.push(constraint)
+        frames_atoms = [atom for frame in context._frames for atom in frame.atoms]
+        top = context._frames[-1]
+        variables = set()
+        for atom in frames_atoms:
+            variables |= atom.variables()
+        batch = propagate(frames_atoms, initial_domains(variables, bound=solver.bound))
+        if top.unsat:
+            # The context proved UNSAT incrementally; batch propagation over
+            # the same single-variable atoms must agree (an earlier frame may
+            # already have conflicted, in which case later atoms were never
+            # linearised -- re-check satisfiability with the solver instead).
+            assert batch is None or not solver.check(context.constraints()).satisfiable
+        else:
+            assert batch is not None
+            assert context.current_domains() == batch
+
+
+class TestEqualitySubstitutionAgainstCompleteSolver:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=150, deadline=None)
+    def test_substitution_verdicts_agree_with_complete_solver(self, seed):
+        rng = random.Random(seed)
+        atoms = []
+        variables = set()
+        for _ in range(rng.randint(1, 4)):
+            x, y = rng.sample(VARIABLES, 2)
+            atoms.append(
+                LinearAtom(LinearExpr(((x, 1), (y, -1)), rng.randint(-4, 4)), EQ)
+            )
+            variables |= {x, y}
+        for _ in range(rng.randint(0, 3)):
+            name = rng.choice(VARIABLES)
+            atoms.append(
+                LinearAtom(LinearExpr(((name, 1),), rng.randint(-6, 6)), rng.choice(OPS))
+            )
+            variables.add(name)
+        domains: Domains = {name: Interval(-8, 8) for name in variables}
+        narrowed = propagate(list(atoms), dict(domains))
+        if narrowed is None:
+            # Propagation already proves UNSAT; the substitution path is
+            # never consulted in that situation.
+            return
+        verdict = _substitute_equalities(atoms, narrowed)
+        # Brute-force over the box is the ground truth.
+        names = sorted(variables)
+
+        def holds_somewhere(assignment, remaining):
+            if not remaining:
+                return all(atom.holds(assignment) for atom in atoms)
+            name = remaining[0]
+            interval = narrowed[name]
+            for value in range(max(interval.low, -8), min(interval.high, 8) + 1):
+                assignment[name] = value
+                if holds_somewhere(assignment, remaining[1:]):
+                    return True
+            del assignment[name]
+            return False
+
+        truth = holds_somewhere({}, names)
+        if verdict is None:
+            return  # undecided: the context would fall back to the solver
+        assert verdict.satisfiable == truth
+        if verdict.satisfiable:
+            assert verdict.model is not None
+            assert all(atom.holds(verdict.model) for atom in atoms)
