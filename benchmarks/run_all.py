@@ -20,7 +20,12 @@ gated on (CI machines vary); counters and ratios are what must not regress:
   counts per version must match exactly;
 * lookahead bench: per-artifact query/decision reductions must stay above
   the 40% floor (enforced inside the bench) and within tolerance of the
-  checked-in baseline, and memoized/baseline path conditions must match.
+  checked-in baseline, and memoized/baseline path conditions must match;
+* parallel bench: ``workers>1`` must match ``workers=1`` distinct path
+  conditions exactly, the persistent-store warm resume must replay >= 30%
+  of the seed leg, and at least one artifact history must show >= 1.5x
+  wall-clock speedup (absolute floor -- speedups are hardware-dependent,
+  so no baseline-relative gate).
 
 Exit status is non-zero when any benchmark raises or any gate fails, so
 this file doubles as the CI entry point for the perf ladder.
@@ -63,7 +68,12 @@ BENCHMARKS = {
     "bench_solver_incremental": "run_solver_benchmarks",
     "bench_version_history": "run_history_benchmarks",
     "bench_lookahead": "run_lookahead_benchmarks",
+    "bench_parallel": "run_parallel_benchmarks",
 }
+
+#: The parallel benchmark's worker count for gated runs; two keeps it honest
+#: on 2-vCPU CI runners (overridable from the environment).
+os.environ.setdefault("REPRO_PARALLEL_WORKERS", "2")
 
 
 def _load_baseline(filename):
@@ -125,6 +135,51 @@ def _check_history(baseline, report, failures):
                     )
 
 
+#: Hard floors for the parallel benchmark (see bench_parallel.py).
+PARALLEL_SPEEDUP_FLOOR = 1.5
+PARALLEL_REUSE_FLOOR = 0.30
+
+
+def _check_parallel(baseline, report, failures):
+    speedups = {}
+    for artifact in ("ASW", "WBS", "OAE"):
+        rows = report.get(artifact)
+        if rows is None:
+            failures.append(f"parallel/{artifact}: missing from report")
+            continue
+        sweep, warm = rows["sweep"], rows["warm_resume"]
+        speedups[artifact] = sweep.get("speedup") or 0.0
+        if not sweep.get("pcs_match"):
+            failures.append(f"parallel/{artifact}: workers>1 diverged from workers=1")
+        if not sweep.get("shards"):
+            failures.append(f"parallel/{artifact}: no frontier frames were sharded")
+        if not sweep.get("replayed_paths"):
+            failures.append(f"parallel/{artifact}: no worker summary was replayed")
+        if not warm.get("pcs_match"):
+            failures.append(f"parallel/{artifact}: store warm resume changed results")
+        reuse = warm.get("seed_path_reuse")
+        if reuse is None or reuse < PARALLEL_REUSE_FLOOR:
+            failures.append(
+                f"parallel/{artifact}: warm-resume seed reuse {reuse} below "
+                f"{PARALLEL_REUSE_FLOOR}"
+            )
+        if baseline is not None and artifact in baseline:
+            old_pcs = baseline[artifact]["sweep"].get("distinct_path_conditions")
+            new_pcs = sweep.get("distinct_path_conditions")
+            if old_pcs is not None and new_pcs != old_pcs:
+                failures.append(
+                    f"parallel/{artifact}: distinct path conditions {new_pcs} != "
+                    f"baseline {old_pcs}"
+                )
+    # Speedups are hardware-dependent, so they are gated on an absolute
+    # floor (at least one artifact history must beat plain serial) rather
+    # than against the checked-in baseline's numbers.
+    if speedups and max(speedups.values()) < PARALLEL_SPEEDUP_FLOOR:
+        failures.append(
+            f"parallel: no artifact reached {PARALLEL_SPEEDUP_FLOOR}x speedup: {speedups}"
+        )
+
+
 def _check_lookahead(baseline, report, failures):
     for artifact in ("ASW", "WBS", "OAE"):
         row = report.get(artifact)
@@ -178,11 +233,17 @@ def main(argv=None):
     # compare regressed-vs-regressed and pass).
     baselines = {
         name: _load_baseline(name)
-        for name in ("BENCH_solver.json", "BENCH_history.json", "BENCH_lookahead.json")
+        for name in (
+            "BENCH_solver.json",
+            "BENCH_history.json",
+            "BENCH_lookahead.json",
+            "BENCH_parallel.json",
+        )
     }
     solver_baseline = baselines["BENCH_solver.json"]
     history_baseline = baselines["BENCH_history.json"]
     lookahead_baseline = baselines["BENCH_lookahead.json"]
+    parallel_baseline = baselines["BENCH_parallel.json"]
 
     failures = []
     for name, entry in selected.items():
@@ -203,6 +264,8 @@ def main(argv=None):
             _check_history(history_baseline, report, failures)
         elif name == "bench_lookahead":
             _check_lookahead(lookahead_baseline, report, failures)
+        elif name == "bench_parallel":
+            _check_parallel(parallel_baseline, report, failures)
 
     if failures:
         for name, baseline in baselines.items():

@@ -16,6 +16,7 @@ Run with::
 The default version is v5 (the altimeter-quality decoding change).
 """
 
+import os
 import sys
 
 from repro.artifacts import asw_artifact
@@ -52,7 +53,13 @@ def main() -> None:
         changed=static.diff_map.changed_or_added_mod_nodes(),
         title=f"ASW {version}: affected nodes",
     )
-    dot_path = f"asw_{version}_affected.dot"
+    results_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "benchmarks",
+        "results",
+    )
+    os.makedirs(results_dir, exist_ok=True)
+    dot_path = os.path.join(results_dir, f"asw_{version}_affected.dot")
     with open(dot_path, "w", encoding="utf-8") as handle:
         handle.write(dot + "\n")
     print(f"Annotated CFG written to {dot_path} (render with: dot -Tpng {dot_path})")

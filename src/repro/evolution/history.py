@@ -185,6 +185,17 @@ class VersionHistoryRunner:
             benchmark harness, not for production batch runs.
         summary_cache: the shared cache (a fresh one is created when omitted).
         solver: the shared solver (a fresh one is created when omitted).
+        workers: with ``workers > 1`` both legs of every version shard their
+            exploration frontier across a process pool (see
+            :mod:`repro.parallel.shard`); results are identical, the subtree
+            work runs in parallel, and the workers' summaries land in the
+            shared cache where later versions reuse them.
+        store_path: when set, the shared summary cache is loaded from this
+            :class:`~repro.parallel.store.PersistentSummaryStore` file
+            before the history runs (warm resume across processes/CI jobs)
+            and dumped back to it afterwards.  Intern ids never touch the
+            disk -- entries are stored as term trees and re-interned on
+            load.
     """
 
     def __init__(
@@ -195,6 +206,8 @@ class VersionHistoryRunner:
         measure_baseline: bool = False,
         summary_cache: Optional[SummaryCache] = None,
         solver: Optional[ConstraintSolver] = None,
+        workers: int = 1,
+        store_path: Optional[str] = None,
     ):
         self.artifact = artifact
         self.depth_bound = depth_bound
@@ -202,6 +215,8 @@ class VersionHistoryRunner:
         self.measure_baseline = measure_baseline
         self.summary_cache = summary_cache if summary_cache is not None else SummaryCache()
         self.solver = solver or ConstraintSolver()
+        self.workers = workers
+        self.store_path = store_path
 
     # -- pieces ---------------------------------------------------------------
 
@@ -220,6 +235,7 @@ class VersionHistoryRunner:
             depth_bound=self.depth_bound,
             solver=self.solver if cached else ConstraintSolver(),
             summary_cache=self.summary_cache if cached else None,
+            workers=self.workers if cached else 1,
         )
         seconds = time.perf_counter() - started
         distinct = result.summary.distinct_path_conditions()
@@ -234,6 +250,7 @@ class VersionHistoryRunner:
             depth_bound=self.depth_bound,
             solver=self.solver if cached else ConstraintSolver(),
             summary_cache=self.summary_cache if cached else None,
+            workers=self.workers if cached else 1,
         ).run()
         seconds = time.perf_counter() - started
         distinct = result.execution.summary.distinct_path_conditions()
@@ -250,6 +267,16 @@ class VersionHistoryRunner:
         report = HistoryReport(
             artifact=self.artifact.name, procedure=self.artifact.procedure_name, seed=None
         )
+
+        store = None
+        store_loaded = 0
+        if self.store_path is not None:
+            # Imported lazily: repro.parallel depends on repro.evolution's
+            # sibling packages and keeping the base runner import-light.
+            from repro.parallel.store import PersistentSummaryStore
+
+            store = PersistentSummaryStore(self.store_path)
+            store_loaded = store.load_into(self.summary_cache)
 
         if self.include_full:
             # Seed the cache with the base version's summaries: every later
@@ -320,6 +347,10 @@ class VersionHistoryRunner:
             report.versions.append(row)
 
         report.cache = dict(self.summary_cache.statistics.as_dict(), entries=len(self.summary_cache))
+        if store is not None:
+            report.cache["store_loaded"] = store_loaded
+            report.cache["store_dumped"] = store.dump(self.summary_cache)
+            report.cache["store_path"] = self.store_path
         report.elapsed_seconds = time.perf_counter() - started
         return report
 

@@ -1,0 +1,68 @@
+"""Parallel exploration: sharded frontier workers + process-portable summaries.
+
+See ``src/repro/parallel/README.md`` for the sharding model, the
+determinism argument and the persistent store format.
+"""
+
+from repro.parallel.merge import (
+    merge_caches,
+    merge_encoded_entries,
+    merge_method_summaries,
+    merge_statistics,
+    merge_test_suites,
+)
+from repro.parallel.serialize import (
+    SerializationError,
+    decode_cache_entry,
+    decode_method_summary,
+    decode_state,
+    decode_term,
+    decode_value,
+    encode_cache_entries,
+    encode_cache_entry,
+    encode_method_summary,
+    encode_state,
+    encode_term,
+    encode_value,
+)
+from repro.parallel.shard import (
+    FrontierCollector,
+    ParallelReport,
+    ShardConfig,
+    prewarm_directed,
+    prewarm_full,
+    run_shard,
+    shutdown_pools,
+    warm_pool,
+)
+from repro.parallel.store import STORE_FORMAT, PersistentSummaryStore
+
+__all__ = [
+    "FrontierCollector",
+    "ParallelReport",
+    "PersistentSummaryStore",
+    "STORE_FORMAT",
+    "SerializationError",
+    "ShardConfig",
+    "decode_cache_entry",
+    "decode_method_summary",
+    "decode_state",
+    "decode_term",
+    "decode_value",
+    "encode_cache_entries",
+    "encode_cache_entry",
+    "encode_method_summary",
+    "encode_state",
+    "encode_term",
+    "encode_value",
+    "merge_caches",
+    "merge_encoded_entries",
+    "merge_method_summaries",
+    "merge_statistics",
+    "merge_test_suites",
+    "prewarm_directed",
+    "prewarm_full",
+    "run_shard",
+    "shutdown_pools",
+    "warm_pool",
+]

@@ -1,0 +1,110 @@
+"""Deterministic, shard-order-independent merging of parallel results.
+
+Two families of data come back from shard workers (and from the on-disk
+store):
+
+* **content-keyed caches** -- summary-cache entries whose keys are pure
+  functions of region content, environment values, strategy token and
+  budget.  Two entries with equal keys describe the same deterministic
+  subtree execution, so merging is a dict union and the winner for a
+  duplicated key is irrelevant to behaviour; first-in wins here, which
+  keeps already-pinned parent entries authoritative.
+* **per-shard run products** -- :class:`MethodSummary`, :class:`TestSuite`
+  and :class:`ExecutionStatistics` objects.  These are merged in *shard
+  index order* (the deterministic DFS order the frontier was collected
+  in), never in worker completion order, so the merged result is
+  independent of pool scheduling.
+
+The primary DiSE pipeline does not actually merge summaries -- its final
+summary is produced by the serial replay run, which is deterministic by
+construction -- but fan-out clients (e.g. a CI job running disjoint
+version ranges) use these helpers to combine shard products directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.evolution.testgen import TestSuite
+from repro.parallel.serialize import SerializationError, decode_cache_entry
+from repro.symexec.engine import ExecutionStatistics
+from repro.symexec.summary import MethodSummary
+from repro.symexec.summary_cache import SummaryCache
+
+
+def merge_encoded_entries(cache: SummaryCache, encoded_entries: Iterable[dict]) -> int:
+    """Decode worker/store entries into ``cache``; returns how many were added.
+
+    Malformed individual entries are skipped (a worker crash mid-encode or
+    a stale store must degrade to a cold cache, not a failed run).
+    """
+    adopted = 0
+    for data in encoded_entries:
+        try:
+            key, summary, pins = decode_cache_entry(data)
+        except (SerializationError, KeyError, TypeError, IndexError):
+            continue
+        if cache.adopt(key, summary, pins=pins):
+            adopted += 1
+    return adopted
+
+
+def merge_caches(target: SummaryCache, *sources: SummaryCache) -> int:
+    """In-process dict union of content-keyed caches (first-in wins).
+
+    Sources are consumed in argument order; since entries are content-keyed
+    and deterministic, any ordering yields a behaviourally identical cache
+    -- the fixed rule exists so merged *statistics* are reproducible too.
+    """
+    adopted = 0
+    for source in sources:
+        for key, summary, pins in source.iter_entries():
+            if target.adopt(key, summary, pins=pins):
+                adopted += 1
+    return adopted
+
+
+def merge_method_summaries(
+    procedure_name: str, summaries: Sequence[MethodSummary]
+) -> MethodSummary:
+    """Concatenate shard summaries in shard index order.
+
+    Callers must pass shards in their collection (DFS) order; the merge is
+    then independent of which worker finished first.  Records are kept
+    verbatim -- deduplication is the consumer's business
+    (:meth:`MethodSummary.distinct_path_conditions` is string-keyed and
+    order-stable, so equal record multisets in equal order give identical
+    distinct sets).
+    """
+    merged = MethodSummary(procedure_name)
+    for summary in summaries:
+        for record in summary.records:
+            merged.add(record)
+    return merged
+
+
+def merge_test_suites(procedure_name: str, suites: Sequence[TestSuite]) -> TestSuite:
+    """Union shard test suites in shard index order (hashed dedup, stable)."""
+    merged = TestSuite(procedure_name)
+    for suite in suites:
+        for case in suite:
+            merged.add(case)
+    return merged
+
+
+def merge_statistics(parts: Sequence[ExecutionStatistics]) -> ExecutionStatistics:
+    """Combine per-shard execution statistics.
+
+    Counters add; ``elapsed_seconds`` takes the maximum, because shards run
+    concurrently and the slowest one bounds the wall clock (the sum of
+    per-shard CPU time is reported separately by
+    :class:`~repro.parallel.shard.ParallelReport`).
+    """
+    merged = ExecutionStatistics()
+    for part in parts:
+        for name, value in part.as_dict().items():
+            if name == "elapsed_seconds":
+                merged.elapsed_seconds = max(merged.elapsed_seconds, value)
+            else:
+                setattr(merged, name, getattr(merged, name) + value)
+    return merged

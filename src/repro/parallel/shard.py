@@ -1,0 +1,613 @@
+"""Sharded frontier exploration across worker processes.
+
+The engine's DFS subtrees below independent branch frames are solver-
+independent (every per-path structure went context-local in PR 1-3), which
+makes divide-and-conquer parallelization possible.  The scheme here keeps
+the *output* provably identical to a serial run by reusing the summary
+cache's exact-replay machinery as the merge point:
+
+1. **Collect** (serial, in-process): a :class:`FrontierCollector` -- the
+   ordinary engine with one twist -- explores the shallow prefix of the
+   tree.  When it reaches a cache-eligible branch frame at or below the
+   configured split depth whose summary-cache key is computable (strategy
+   token present, environment fingerprint prefix-independent), it *defers*
+   the whole subtree as a :class:`FrontierTask` instead of exploring it.
+   Everything it does explore is recorded into the shared summary cache as
+   usual (recordings that lost a subtree to a deferral are aborted, never
+   stored), so no phase-1 work is wasted.
+2. **Execute** (parallel): the tasks ship to a ``multiprocessing`` pool.
+   Task payloads cross the process fence structurally (term *trees*, see
+   :mod:`repro.parallel.serialize`) because intern ids are process- and
+   lifetime-local.  Each worker re-parses the program (MiniLang parses are
+   deterministic, so node ids line up), re-interns the environment, and
+   runs the engine from the shipped frame with its **own**
+   :class:`~repro.solver.context.SolverContext`, lookahead walk memo and
+   :class:`~repro.symexec.summary_cache.SummaryCache`.  No state is shared
+   between workers.
+3. **Merge** (serial): each worker returns its summary cache's entries,
+   content-keyed exactly like the parent's.  They are decoded, re-interned
+   and adopted into the shared cache (:func:`repro.parallel.merge.merge_encoded_entries`).
+4. **Replay** (serial): the caller then runs the *normal* serial engine
+   over the shared cache.  Wherever it arrives at a deferred frame with
+   the same key, it replays the worker's summary -- exactness of that
+   replay is the summary cache's published contract, differentially tested
+   since PR 2.  Wherever the key does not match (a stateful strategy whose
+   global sets drifted from the collector's approximation), it simply
+   explores natively: speculation misses cost speed, never correctness.
+
+Determinism: the final summary is produced by the serial replay run in
+DFS order, so the result is independent of worker scheduling and shard
+order by construction -- parallel and serial runs emit the identical
+distinct path conditions.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.graph import ControlFlowGraph
+from repro.cfg.ir import NodeKind
+from repro.cfg.region_hash import RegionHashIndex
+from repro.core.affected import AffectedSets
+from repro.core.directed import DirectedExplorationStrategy
+from repro.lang.ast_nodes import Program
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.parallel.serialize import (
+    decode_environment,
+    encode_cache_entries,
+    encode_environment,
+)
+from repro.solver.core import ConstraintSolver
+from repro.symexec.engine import SymbolicExecutor
+from repro.symexec.state import SymbolicState
+from repro.symexec.strategy import ExplorationStrategy, ExploreEverything
+from repro.symexec.summary_cache import SummaryCache
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Tuning knobs for the frontier sharding scheme.
+
+    Attributes:
+        split_depth: number of branch decisions after which an eligible
+            frame is deferred to a worker instead of explored inline.
+            Shallower splits mean fewer, larger shards; deeper splits mean
+            more, smaller shards with better load balance but more payload
+            traffic.
+        max_shards: hard cap on deferred subtrees per run; frames beyond
+            the cap are explored natively by the collector (and still end
+            up in the cache via its ordinary recordings).
+        min_shards: when fewer tasks than this are collected, the pool is
+            skipped entirely and the caller's serial run explores them
+            natively -- process overhead would dominate the savings.
+        pool_timeout_seconds: upper bound on the whole pool phase.  A
+            worker killed mid-shard (OOM, CI memory cap) would otherwise
+            block ``pool.map`` forever; on expiry the prewarm gives up and
+            the caller's serial run explores everything natively.
+    """
+
+    split_depth: int = 2
+    max_shards: int = 256
+    min_shards: int = 2
+    pool_timeout_seconds: float = 600.0
+
+
+@dataclass
+class FrontierTask:
+    """One deferred subtree: its cache key plus the worker payload.
+
+    Deliberately *not* the captured :class:`SymbolicState` itself -- tasks
+    outlive the collection pass (they are held through the pool run), and
+    the payload's encoded term trees are all the worker needs; the merged
+    entries pin their own decoded terms.
+    """
+
+    key: tuple
+    payload: Dict
+
+
+@dataclass
+class ParallelReport:
+    """What the prewarm pass did (surfaced through DiSE metrics and benches)."""
+
+    workers: int = 0
+    frontier_frames: int = 0
+    shards: int = 0
+    merged_entries: int = 0
+    worker_paths: int = 0
+    worker_states: int = 0
+    collect_seconds: float = 0.0
+    pool_seconds: float = 0.0
+    merge_seconds: float = 0.0
+    worker_elapsed_total: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "workers": self.workers,
+            "frontier_frames": self.frontier_frames,
+            "shards": self.shards,
+            "merged_entries": self.merged_entries,
+            "worker_paths": self.worker_paths,
+            "worker_states": self.worker_states,
+            "collect_seconds": round(self.collect_seconds, 6),
+            "pool_seconds": round(self.pool_seconds, 6),
+            "merge_seconds": round(self.merge_seconds, 6),
+            "worker_elapsed_total": round(self.worker_elapsed_total, 6),
+        }
+
+
+# -- phase 1: frontier collection ---------------------------------------------
+
+
+class FrontierCollector(SymbolicExecutor):
+    """The engine, except that deep eligible subtrees are deferred, not explored.
+
+    The collector runs with the *shared* summary cache: shallow subtrees it
+    does complete are recorded for the replay run, cache hits short-circuit
+    exactly as in a serial run, and only recordings truncated by a deferral
+    are aborted.  Strategy note: ``on_state`` fires once for a deferred
+    frame here and once again in the replay run, mirroring how the replay
+    run itself revisits the frame; the built-in strategies' set updates are
+    idempotent, which is the documented requirement for custom ones.
+    """
+
+    def __init__(self, *args, config: ShardConfig, strategy_payload, **kwargs):
+        super().__init__(*args, **kwargs)
+        if self.summary_cache is None:
+            raise ValueError("FrontierCollector requires a summary cache")
+        self.config = config
+        #: Callback producing the strategy part of a worker payload at
+        #: capture time (strategy state is mutable; it must be snapshotted
+        #: the moment the frame is deferred).
+        self.strategy_payload = strategy_payload
+        self.tasks: List[FrontierTask] = []
+        self._task_keys = set()
+        self.frontier_frames = 0
+
+    def _visit(self, state, summary, tree_node, edge_label=""):
+        if self._defer(state, edge_label):
+            return [], None
+        return super()._visit(state, summary, tree_node, edge_label)
+
+    def _defer(self, state: SymbolicState, edge_label: str) -> bool:
+        """Decide whether to defer ``state``'s subtree; capture it if so."""
+        node = state.node
+        if state.depth < self.config.split_depth:
+            return False
+        if node.kind in (NodeKind.END, NodeKind.ERROR):
+            return False
+        if self.depth_bound is not None and state.depth > self.depth_bound:
+            return False
+        if not self._cache_root_eligible(node, edge_label):
+            return False
+        # The strategy token must reflect the sets *after* this node's
+        # on_state update, exactly as it will at replay-probe time.  When
+        # the frame is not deferred after all, the ordinary visit applies
+        # on_state again -- strategy set updates are idempotent (see the
+        # class docstring), so the early call is safe.
+        self.strategy.on_state(state)
+        signature = self.region_index.signature(node)
+        token = self.strategy.replay_token(state, signature)
+        if token is None:
+            return False
+        fingerprint = self._fingerprint(
+            state.env_map(), signature, state.path_condition.constraints
+        )
+        if fingerprint is None:
+            return False
+        budget = None if self.depth_bound is None else self.depth_bound - state.depth
+        key = ("suffix", signature.digest, fingerprint, token, budget)
+        if self.summary_cache.contains(key):
+            # Already summarised (earlier version, earlier shard, earlier
+            # sibling): let the ordinary visit replay it.
+            return False
+        duplicate = key in self._task_keys
+        if not duplicate and len(self.tasks) >= self.config.max_shards:
+            return False
+        # Committed to deferring.  No boundary-crossing capture is needed:
+        # every open segment recording is aborted below (its segment lost a
+        # subtree), so a capture could never be stored.
+        self.frontier_frames += 1
+        if duplicate:
+            # A duplicate frame: one worker execution serves both replays.
+            self._abort_open_recordings()
+            return True
+        self._task_keys.add(key)
+        self.tasks.append(
+            FrontierTask(
+                key=key,
+                payload={
+                    "root": node.node_id,
+                    "edge": edge_label,
+                    "environment": encode_environment(state.environment),
+                    "depth_bound": budget,
+                    "strategy": self.strategy_payload(state),
+                },
+            )
+        )
+        self._abort_open_recordings()
+        return True
+
+
+# -- worker-side strategy reconstruction --------------------------------------
+
+
+class _ShardDirectedStrategy(DirectedExplorationStrategy):
+    """A directed strategy resumed mid-run inside a worker process.
+
+    The Fig. 6 global sets are installed from the shipped snapshot instead
+    of the run-start reset; whether the *prefix* (which the worker never
+    sees) already covered an affected node arrives as a precomputed bit and
+    is folded into ``should_force_completion`` and the replay token's
+    covered-bit, so nested cache entries recorded by the worker carry the
+    same tokens a serial run would compute.
+    """
+
+    def __init__(self, *args, initial_sets: Dict[str, List[int]], prefix_covered: bool, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._initial_sets = initial_sets
+        self.prefix_covered = prefix_covered
+
+    def on_run_start(self, initial_state: SymbolicState) -> None:
+        super().on_run_start(initial_state)
+        self.unex_cond = set(self._initial_sets["unex_cond"])
+        self.unex_write = set(self._initial_sets["unex_write"])
+        self.ex_cond = set(self._initial_sets["ex_cond"])
+        self.ex_write = set(self._initial_sets["ex_write"])
+
+    def should_force_completion(self, state: SymbolicState) -> bool:
+        if self.prefix_covered and self.enable_pruning and self.complete_covered_paths:
+            return True
+        return super().should_force_completion(state)
+
+    def replay_token(self, state, region):
+        token = super().replay_token(state, region)
+        if token is None or not self.complete_covered_paths:
+            return token
+        return token[:-1] + (bool(token[-1]) or self.prefix_covered,)
+
+
+def _directed_strategy_payload(strategy: DirectedExplorationStrategy, state: SymbolicState) -> Dict:
+    """Snapshot a directed strategy for one deferred frame's worker."""
+    affected_ids = strategy.affected.acn | strategy.affected.awn
+    return {
+        "kind": "directed",
+        "acn": sorted(strategy.affected.acn),
+        "awn": sorted(strategy.affected.awn),
+        "sets": {
+            "unex_cond": sorted(strategy.unex_cond),
+            "unex_write": sorted(strategy.unex_write),
+            "ex_cond": sorted(strategy.ex_cond),
+            "ex_write": sorted(strategy.ex_write),
+        },
+        "enable_reset": strategy.enable_reset,
+        "enable_pruning": strategy.enable_pruning,
+        "complete_covered_paths": strategy.complete_covered_paths,
+        "prefix_covered": any(node_id in affected_ids for node_id in state.trace),
+        "lookahead": strategy.lookahead is not None,
+        "lookahead_memoize": strategy.lookahead.memoize if strategy.lookahead is not None else True,
+    }
+
+
+def _build_worker_strategy(spec: Dict, cfg: ControlFlowGraph, solver: ConstraintSolver) -> ExplorationStrategy:
+    kind = spec.get("kind")
+    if kind == "everything":
+        return ExploreEverything()
+    if kind == "directed":
+        affected = AffectedSets(cfg=cfg, acn=set(spec["acn"]), awn=set(spec["awn"]))
+        return _ShardDirectedStrategy(
+            cfg,
+            affected,
+            enable_reset=spec["enable_reset"],
+            enable_pruning=spec["enable_pruning"],
+            complete_covered_paths=spec["complete_covered_paths"],
+            solver=solver,
+            feasibility_lookahead=spec["lookahead"],
+            lookahead_memoize=spec["lookahead_memoize"],
+            initial_sets=spec["sets"],
+            prefix_covered=spec["prefix_covered"],
+        )
+    raise ValueError(f"Unknown worker strategy kind {kind!r}")
+
+
+# -- phase 2: the worker -------------------------------------------------------
+
+
+#: Worker-local parse/CFG memo: a pool worker serves many shards of the
+#: same program text (and of the same history's version texts), so each
+#: text is parsed and CFG-built once per worker process.
+_WORKER_PROGRAMS: Dict[Tuple[str, str], Tuple[Program, ControlFlowGraph]] = {}
+
+
+def _worker_program(source: str, procedure_name: str) -> Tuple[Program, ControlFlowGraph]:
+    key = (source, procedure_name)
+    cached = _WORKER_PROGRAMS.get(key)
+    if cached is None:
+        program = parse_program(source)
+        cached = (program, build_cfg(program.procedure(procedure_name)))
+        if len(_WORKER_PROGRAMS) >= 256:
+            _WORKER_PROGRAMS.clear()
+        _WORKER_PROGRAMS[key] = cached
+    return cached
+
+
+def run_shard(payload: Dict) -> Dict:
+    """Execute one deferred subtree in this (worker) process.
+
+    Top-level so it is picklable for ``multiprocessing``; everything it
+    needs arrives in the payload and everything it produces leaves as
+    JSON-compatible data -- no interned object ever crosses the fence.
+    """
+    started = time.perf_counter()
+    procedure_name = payload["procedure"]
+    program, cfg = _worker_program(payload["source"], procedure_name)
+    root = cfg.node(payload["root"])
+    environment = decode_environment(payload["environment"])
+    entry_state = SymbolicState.make(
+        node=root, environment=environment, trace=(root.node_id,)
+    )
+    # The worker's solver must decide exactly what the parent's would: a
+    # different integer bound could flip a subtree branch verdict and the
+    # replay run would trust the divergent summary.  The spec is required
+    # -- a payload without one fails loudly instead of silently deciding
+    # under default bounds.
+    solver_spec = payload["solver"]
+    solver = ConstraintSolver(
+        bound=solver_spec["bound"],
+        max_branch_steps=solver_spec["max_branch_steps"],
+    )
+    strategy = _build_worker_strategy(payload["strategy"], cfg, solver)
+    cache = SummaryCache()
+    executor = SymbolicExecutor(
+        program,
+        procedure_name=procedure_name,
+        cfg=cfg,
+        solver=solver,
+        depth_bound=payload["depth_bound"],
+        strategy=strategy,
+        summary_cache=cache,
+        entry_state=entry_state,
+        entry_edge_label=payload.get("edge", ""),
+    )
+    result = executor.run()
+    entries = cache.iter_entries()
+    if payload.get("roots_only"):
+        # The caller's cache is ephemeral (single parallel run): only the
+        # shard root's summaries can be replayed there, so shipping the
+        # nested entries would be pure encode/decode overhead.  A shared
+        # history cache gets everything -- nested regions seed later
+        # versions.
+        root_digest = executor.region_index.signature(root).digest
+        entries = (
+            (key, summary, pins)
+            for key, summary, pins in entries
+            if key[1] == root_digest
+        )
+    return {
+        "entries": encode_cache_entries(entries),
+        "paths": len(result.summary),
+        "states": result.statistics.states_explored,
+        "elapsed": time.perf_counter() - started,
+    }
+
+
+# -- pool management -----------------------------------------------------------
+
+_POOLS: Dict[int, multiprocessing.pool.Pool] = {}
+
+
+def _get_pool(workers: int) -> multiprocessing.pool.Pool:
+    """A lazily created, process-wide pool per worker count.
+
+    Workers are stateless (each task ships everything it needs), so pools
+    are safely reused across runs -- repeated ``DiSE(workers=N)`` calls in
+    a history sweep pay the fork cost once.
+    """
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = multiprocessing.get_context().Pool(processes=workers)
+        _POOLS[workers] = pool
+    return pool
+
+
+def _discard_pool(workers: int) -> None:
+    """Terminate and forget one cached pool (it misbehaved; never reuse it)."""
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.terminate()
+        pool.join()
+
+
+def warm_pool(workers: int) -> None:
+    """Pre-fork the worker pool so a later run's timing excludes the fork cost.
+
+    Benchmarks call this before their timed region; ordinary clients never
+    need to (the first parallel run forks lazily).
+    """
+    _get_pool(workers)
+
+
+def shutdown_pools() -> None:
+    """Terminate every cached worker pool (idempotent; also runs at exit)."""
+    for pool in _POOLS.values():
+        pool.terminate()
+        pool.join()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+# -- the scheduler -------------------------------------------------------------
+
+
+def prewarm_parallel(
+    program: Program,
+    procedure_name: str,
+    cfg: ControlFlowGraph,
+    collector_strategy: ExplorationStrategy,
+    strategy_payload,
+    summary_cache: SummaryCache,
+    workers: int,
+    depth_bound: Optional[int] = None,
+    config: Optional[ShardConfig] = None,
+    region_index: Optional[RegionHashIndex] = None,
+    solver: Optional[ConstraintSolver] = None,
+    source: Optional[str] = None,
+    roots_only: bool = False,
+) -> ParallelReport:
+    """Run the collect/execute/merge phases, leaving ``summary_cache`` warm.
+
+    ``roots_only`` asks workers to ship only their shard-root summaries;
+    callers set it when the cache is ephemeral (single run) and nested
+    entries could never be replayed anyway.
+
+    The caller then runs its ordinary serial engine against the same cache;
+    see the module docstring for why that guarantees serial-identical
+    output.  ``collector_strategy`` must be a fresh instance configured
+    like the caller's real strategy (it is consumed by the collection
+    pass); ``strategy_payload(state)`` snapshots it into a worker payload.
+    """
+    from repro.parallel.merge import merge_encoded_entries
+
+    config = config or ShardConfig()
+    report = ParallelReport(workers=workers)
+    source = source if source is not None else pretty_program(program)
+
+    started = time.perf_counter()
+    collector = FrontierCollector(
+        program,
+        procedure_name=procedure_name,
+        cfg=cfg,
+        solver=solver,
+        depth_bound=depth_bound,
+        strategy=collector_strategy,
+        summary_cache=summary_cache,
+        region_index=region_index,
+        config=config,
+        strategy_payload=strategy_payload,
+    )
+    collector.run()
+    report.collect_seconds = time.perf_counter() - started
+    report.frontier_frames = collector.frontier_frames
+    tasks = collector.tasks
+    report.shards = len(tasks)
+    if len(tasks) < config.min_shards:
+        report.shards = 0
+        return report
+
+    # Workers must mirror the caller's solver configuration (the collector
+    # shares the caller's solver, so read it from there when none was given).
+    run_solver = solver if solver is not None else collector.solver
+    solver_spec = {
+        "bound": run_solver.bound,
+        "max_branch_steps": run_solver.max_branch_steps,
+    }
+    payloads = []
+    for task in tasks:
+        payload = dict(task.payload)
+        payload["source"] = source
+        payload["procedure"] = procedure_name
+        payload["roots_only"] = roots_only
+        payload["solver"] = solver_spec
+        payloads.append(payload)
+
+    started = time.perf_counter()
+    try:
+        pool = _get_pool(workers)
+        results = pool.map_async(run_shard, payloads, chunksize=1).get(
+            config.pool_timeout_seconds
+        )
+    except Exception:
+        # Best-effort contract: a crashed, killed or wedged worker must
+        # degrade to "no prewarm" (the serial run explores everything
+        # natively), never to a failed or hung analysis.  The pool is
+        # discarded -- a pool that lost workers or timed out cannot be
+        # trusted by later runs.
+        _discard_pool(workers)
+        report.shards = 0
+        report.pool_seconds = time.perf_counter() - started
+        return report
+    report.pool_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    for result in results:
+        report.worker_paths += result["paths"]
+        report.worker_states += result["states"]
+        report.worker_elapsed_total += result["elapsed"]
+        report.merged_entries += merge_encoded_entries(summary_cache, result["entries"])
+    report.merge_seconds = time.perf_counter() - started
+    return report
+
+
+def prewarm_full(
+    program: Program,
+    procedure_name: str,
+    cfg: ControlFlowGraph,
+    summary_cache: SummaryCache,
+    workers: int,
+    depth_bound: Optional[int] = None,
+    config: Optional[ShardConfig] = None,
+    region_index: Optional[RegionHashIndex] = None,
+    solver: Optional[ConstraintSolver] = None,
+    roots_only: bool = False,
+) -> ParallelReport:
+    """Prewarm for *full* symbolic execution (stateless strategy)."""
+    return prewarm_parallel(
+        program,
+        procedure_name,
+        cfg,
+        collector_strategy=ExploreEverything(),
+        strategy_payload=lambda state: {"kind": "everything"},
+        summary_cache=summary_cache,
+        workers=workers,
+        depth_bound=depth_bound,
+        config=config,
+        region_index=region_index,
+        solver=solver,
+        roots_only=roots_only,
+    )
+
+
+def prewarm_directed(
+    program: Program,
+    procedure_name: str,
+    cfg: ControlFlowGraph,
+    strategy_factory,
+    summary_cache: SummaryCache,
+    workers: int,
+    depth_bound: Optional[int] = None,
+    config: Optional[ShardConfig] = None,
+    region_index: Optional[RegionHashIndex] = None,
+    solver: Optional[ConstraintSolver] = None,
+    roots_only: bool = False,
+) -> ParallelReport:
+    """Prewarm for DiSE's directed strategy.
+
+    ``strategy_factory()`` must build a fresh
+    :class:`~repro.core.directed.DirectedExplorationStrategy` configured
+    exactly like the one the caller's serial run will use (the collector
+    consumes its own instance; sharing one object would leak phase-1 set
+    mutations into the replay run).
+    """
+    collector_strategy = strategy_factory()
+    return prewarm_parallel(
+        program,
+        procedure_name,
+        cfg,
+        collector_strategy=collector_strategy,
+        strategy_payload=lambda state: _directed_strategy_payload(collector_strategy, state),
+        summary_cache=summary_cache,
+        workers=workers,
+        depth_bound=depth_bound,
+        config=config,
+        region_index=region_index,
+        solver=solver,
+        roots_only=roots_only,
+    )

@@ -1,0 +1,103 @@
+"""A persistent, process-portable summary store.
+
+The :class:`~repro.symexec.summary_cache.SummaryCache` is in-memory and
+per-process; its keys embed intern ids that are process- *and* lifetime-
+local (interning is weak).  A :class:`PersistentSummaryStore` dumps the
+cache's entries structurally -- term trees instead of intern ids, via
+:mod:`repro.parallel.serialize` -- so a later
+:class:`~repro.evolution.history.VersionHistoryRunner` invocation in a
+fresh process (or a fresh CI job restoring a cached file) can resume warm:
+entries are re-interned on load and replay exactly as they would have in
+the recording process.
+
+Format: one JSON document ``{"format": 1, "entries": [...]}``.  The format
+number is bumped whenever the entry encoding changes shape; a store whose
+format does not match (or whose content is unreadable) is ignored rather
+than trusted -- a stale cache file must never break or skew a run, it can
+only fail to warm it.  Writes go through a temp file + ``os.replace`` so a
+crashed run cannot leave a torn store behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Optional
+
+from repro.parallel.merge import merge_encoded_entries
+from repro.parallel.serialize import encode_cache_entries
+from repro.symexec.summary_cache import SummaryCache
+
+#: Bump when the serialized entry shape changes; mismatched stores are ignored.
+STORE_FORMAT = 1
+
+
+class PersistentSummaryStore:
+    """Dump/load a :class:`SummaryCache` to and from one JSON file."""
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    # -- write -----------------------------------------------------------------
+
+    def dump(self, cache: SummaryCache) -> int:
+        """Write every serializable entry of ``cache``; returns the count.
+
+        Entries whose fingerprint ids cannot be resolved from their pins
+        (which cannot be rebuilt in any other process) are skipped.
+        """
+        entries = encode_cache_entries(cache.iter_entries())
+        document = {"format": STORE_FORMAT, "entries": entries}
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", encoding="utf-8", dir=directory, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                json.dump(document, handle, sort_keys=True)
+            os.replace(handle.name, self.path)
+        except BaseException:
+            if os.path.exists(handle.name):
+                os.unlink(handle.name)
+            raise
+        return len(entries)
+
+    # -- read ------------------------------------------------------------------
+
+    def load_into(self, cache: SummaryCache) -> int:
+        """Adopt the stored entries into ``cache``; returns how many were added.
+
+        Robust by design: a missing file, unreadable JSON, wrong format
+        number or a malformed individual entry contributes zero entries
+        instead of raising -- persistent stores live in CI caches and
+        scratch directories where staleness is normal.
+        """
+        document = self._read_document()
+        if document is None:
+            return 0
+        return merge_encoded_entries(cache, document.get("entries", ()))
+
+    def entry_count(self) -> Optional[int]:
+        """Number of entries on disk, or None when the store is unusable."""
+        document = self._read_document()
+        if document is None:
+            return None
+        entries = document.get("entries")
+        return len(entries) if isinstance(entries, list) else None
+
+    def _read_document(self) -> Optional[dict]:
+        if not os.path.exists(self.path):
+            return None
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(document, dict) or document.get("format") != STORE_FORMAT:
+            return None
+        return document

@@ -96,6 +96,11 @@ class SolverStatistics:
     #: Context checks settled by eliminating ``x == y + c`` equalities
     #: instead of falling back to the complete solver.
     equality_substitutions: int = 0
+    #: Branch-and-bound starts whose box was tightened by a caller-provided
+    #: seed (a context's already-narrowed domains) instead of the default
+    #: ±2^16 bound.  Counted per start, so one query containing ``!=`` or
+    #: ``||`` case splits can contribute several.
+    box_seeds: int = 0
 
     @property
     def interned_terms(self) -> int:
@@ -116,6 +121,7 @@ class SolverStatistics:
             "context_fallbacks": self.context_fallbacks,
             "worklist_rounds": self.worklist_rounds,
             "equality_substitutions": self.equality_substitutions,
+            "box_seeds": self.box_seeds,
             "interned_terms": self.interned_terms,
         }
 
@@ -148,8 +154,19 @@ class ConstraintSolver:
 
     # -- public API ----------------------------------------------------------
 
-    def check(self, constraints: Sequence[Term]) -> SolverResult:
-        """Decide the conjunction of ``constraints``; returns sat/unsat + model."""
+    def check(
+        self, constraints: Sequence[Term], seed_box: Optional[Domains] = None
+    ) -> SolverResult:
+        """Decide the conjunction of ``constraints``; returns sat/unsat + model.
+
+        ``seed_box`` optionally narrows the branch-and-bound's starting
+        domains (an incremental context passes its already-propagated
+        intervals).  Soundness: a seed derived by interval propagation from
+        (a subset of) the same constraints over-approximates the solution
+        set within the solver's bound, so intersecting it changes no
+        verdict -- which is also why seeded and unseeded queries may share
+        one cache entry.
+        """
         self.statistics.queries += 1
         simplified = [simplify(term) for term in constraints]
         key = tuple(sorted(term_key(term) for term in simplified))
@@ -157,7 +174,7 @@ class ConstraintSolver:
         if cached is not None:
             self.statistics.cache_hits += 1
             return cached[0]
-        result = self._solve(simplified)
+        result = self._solve(simplified, seed_box=seed_box)
         if result.satisfiable and result.model is not None:
             self._verify_model(simplified, result.model)
         if result.satisfiable:
@@ -184,13 +201,17 @@ class ConstraintSolver:
     # -- boolean structure ---------------------------------------------------
 
     def _solve(
-        self, pending: List[Term], seed_atoms: Optional[List[LinearAtom]] = None
+        self,
+        pending: List[Term],
+        seed_atoms: Optional[List[LinearAtom]] = None,
+        seed_box: Optional[Domains] = None,
     ) -> SolverResult:
         """Decide ``pending`` (already simplified) plus previously collected atoms.
 
         ``seed_atoms`` carries the linear atoms accumulated before a ``||``
         case split so that alternatives do not round-trip atoms through term
-        form and re-linearise them on every split level.
+        form and re-linearise them on every split level; ``seed_box`` rides
+        along unchanged into every alternative's branch-and-bound start.
         """
         atoms: List[LinearAtom] = list(seed_atoms) if seed_atoms else []
         work = list(pending)
@@ -221,10 +242,14 @@ class ConstraintSolver:
                     continue
                 if term.op == "||":
                     self.statistics.case_splits += 1
-                    left_result = self._solve(work + [term.left], seed_atoms=atoms)
+                    left_result = self._solve(
+                        work + [term.left], seed_atoms=atoms, seed_box=seed_box
+                    )
                     if left_result.satisfiable:
                         return left_result
-                    return self._solve(work + [term.right], seed_atoms=atoms)
+                    return self._solve(
+                        work + [term.right], seed_atoms=atoms, seed_box=seed_box
+                    )
                 if term.op in COMPARISON_OPS:
                     converted = self._comparison_to_atoms(term)
                     if converted is None:
@@ -235,7 +260,7 @@ class ConstraintSolver:
                     continue
                 raise SolverError(f"Unsupported boolean term {term}")
             raise SolverError(f"Unsupported constraint {term!r}")
-        return self._solve_atoms(atoms)
+        return self._solve_atoms(atoms, seed_box=seed_box)
 
     def _comparison_to_atoms(
         self, term: BinaryTerm
@@ -278,7 +303,9 @@ class ConstraintSolver:
 
     # -- linear core ---------------------------------------------------------
 
-    def _solve_atoms(self, atoms: List[LinearAtom]) -> SolverResult:
+    def _solve_atoms(
+        self, atoms: List[LinearAtom], seed_box: Optional[Domains] = None
+    ) -> SolverResult:
         # Split every != atom into two < alternatives (ints: <= with shift).
         definite: List[LinearAtom] = []
         disequalities: List[LinearAtom] = []
@@ -291,29 +318,51 @@ class ConstraintSolver:
                 disequalities.append(atom)
             else:
                 definite.append(atom)
-        return self._solve_with_splits(definite, disequalities)
+        return self._solve_with_splits(definite, disequalities, seed_box)
 
     def _solve_with_splits(
-        self, definite: List[LinearAtom], disequalities: List[LinearAtom]
+        self,
+        definite: List[LinearAtom],
+        disequalities: List[LinearAtom],
+        seed_box: Optional[Domains] = None,
     ) -> SolverResult:
         if not disequalities:
-            return self._solve_box(definite)
+            return self._solve_box(definite, seed_box)
         head, rest = disequalities[0], disequalities[1:]
         self.statistics.case_splits += 1
         # expr != 0  ==>  expr <= -1  or  -expr <= -1
         less = LinearAtom(head.expr.shift(1), LE)
         greater = LinearAtom(head.expr.negate().shift(1), LE)
         for alternative in (less, greater):
-            result = self._solve_with_splits(definite + [alternative], rest)
+            result = self._solve_with_splits(definite + [alternative], rest, seed_box)
             if result.satisfiable:
                 return result
         return SolverResult(False)
 
-    def _solve_box(self, atoms: List[LinearAtom]) -> SolverResult:
+    def _solve_box(
+        self, atoms: List[LinearAtom], seed_box: Optional[Domains] = None
+    ) -> SolverResult:
         variables = set()
         for atom in atoms:
             variables |= atom.variables()
         domains = initial_domains(variables, self.bound)
+        if seed_box:
+            # Branch-and-bound starts from the caller's already-narrowed
+            # intervals instead of the full ±bound box (the remaining half
+            # of the PR 3 solver rung).  Only intersect: a seed may not
+            # widen the solver's own bound, and variables the seed does not
+            # mention keep their defaults.
+            tightened = False
+            for name, interval in seed_box.items():
+                current = domains.get(name)
+                if current is None:
+                    continue
+                merged = current.intersect(interval)
+                if merged != current:
+                    tightened = True
+                    domains[name] = merged
+            if tightened:
+                self.statistics.box_seeds += 1
         return self._search(atoms, domains, 0)
 
     def _search(self, atoms: List[LinearAtom], domains: Domains, depth: int) -> SolverResult:

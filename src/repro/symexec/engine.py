@@ -127,6 +127,9 @@ class ExecutionResult:
     summary: MethodSummary
     statistics: ExecutionStatistics
     tree: Optional[ExecutionTree] = None
+    #: Filled by :func:`symbolic_execute` when ``workers > 1``: what the
+    #: parallel prewarm pass did (see :class:`repro.parallel.shard.ParallelReport`).
+    parallel: Optional[object] = None
 
     @property
     def path_conditions(self) -> List[PathCondition]:
@@ -136,13 +139,18 @@ class ExecutionResult:
 class _Recording:
     """An open subtree recording: absolute records gathered under one root."""
 
-    __slots__ = ("root_state", "signature", "key", "records")
+    __slots__ = ("root_state", "signature", "key", "records", "aborted")
 
     def __init__(self, root_state: SymbolicState, signature: RegionSignature, key):
         self.root_state = root_state
         self.signature = signature
         self.key = key
         self.records: List[PathRecord] = []
+        #: Set when part of the subtree was skipped without emitting its
+        #: records (the parallel frontier collector defers whole subtrees to
+        #: worker processes); the recording is incomplete and must not be
+        #: stored.
+        self.aborted = False
 
 
 class _SegmentRecording:
@@ -227,6 +235,11 @@ class SymbolicExecutor:
             nodes).
         region_index: optional pre-built region hash index for ``cfg``
             (shared with the DiSE pipeline's invalidation step).
+        entry_state: optional initial state overriding the procedure-entry
+            default; this is how a parallel shard worker resumes exploration
+            at a frontier branch frame shipped from another process (see
+            :mod:`repro.parallel.shard`).  The state's node must belong to
+            ``cfg``.
     """
 
     def __init__(
@@ -241,6 +254,8 @@ class SymbolicExecutor:
         tracked_variables: Optional[Sequence[str]] = None,
         summary_cache: Optional[SummaryCache] = None,
         region_index: Optional[RegionHashIndex] = None,
+        entry_state: Optional[SymbolicState] = None,
+        entry_edge_label: str = "",
     ):
         if isinstance(program, Procedure):
             self.program = Program(globals=[], procedures=[program])
@@ -271,6 +286,11 @@ class SymbolicExecutor:
             if self.summary_cache is not None
             else None
         )
+        self.entry_state = entry_state
+        #: Edge label the entry state was originally reached over; a shard
+        #: worker resuming at a branch-arm frame needs it so the frame stays
+        #: summary-root eligible exactly as it was in the shipping process.
+        self.entry_edge_label = entry_edge_label
         self._recordings: List[_Recording] = []
         self._segment_recordings: List[_SegmentRecording] = []
         self.statistics = ExecutionStatistics()
@@ -310,6 +330,8 @@ class SymbolicExecutor:
         raise ValueError(f"Unsupported global initialiser: {init}")
 
     def initial_state(self) -> SymbolicState:
+        if self.entry_state is not None:
+            return self.entry_state
         assert self.cfg.begin is not None
         return SymbolicState.make(
             node=self.cfg.begin,
@@ -346,7 +368,9 @@ class SymbolicExecutor:
         # choice points (successors of branch nodes); if it rejects every
         # choice it may ask for the first feasible one to be taken anyway so
         # the current path still completes (should_force_completion).
-        first_successors, first_recordings = self._visit(initial, summary, tree_root)
+        first_successors, first_recordings = self._visit(
+            initial, summary, tree_root, self.entry_edge_label
+        )
         stack: List[_Frame] = [_Frame(initial, list(first_successors), tree_root, first_recordings)]
         while stack:
             frame = stack[-1]
@@ -725,6 +749,19 @@ class SymbolicExecutor:
             return successors
         return [(state, "")]
 
+    def _abort_open_recordings(self) -> None:
+        """Mark every open recording incomplete (no store when it closes).
+
+        Used by the parallel frontier collector when it skips a subtree
+        instead of exploring it: the records the subtree would have emitted
+        are missing from every enclosing recording, so storing any of them
+        would poison the cache with partial summaries.
+        """
+        for recording in self._recordings:
+            recording.aborted = True
+        for segment in self._segment_recordings:
+            segment.aborted = True
+
     def _finalize_recording(self, recording) -> None:
         """Close the innermost recording of its kind and store its summary."""
         if isinstance(recording, _SegmentRecording):
@@ -735,6 +772,8 @@ class SymbolicExecutor:
             return
         top = self._recordings.pop()
         assert top is recording, "recordings must close in LIFO order"
+        if recording.aborted:
+            return
         root = recording.root_state
         prefix_len = len(root.path_condition.constraints)
         trace_len = len(root.trace)
@@ -889,8 +928,24 @@ def symbolic_execute(
     build_tree: bool = False,
     tracked_variables: Optional[Sequence[str]] = None,
     summary_cache: Optional[SummaryCache] = None,
+    workers: int = 1,
+    parallel_config=None,
 ) -> ExecutionResult:
-    """Run full symbolic execution on one procedure and return the result."""
+    """Run full symbolic execution on one procedure and return the result.
+
+    With ``workers > 1`` the exploration frontier is sharded across a
+    process pool first (see :mod:`repro.parallel.shard`) and the serial
+    run below replays the workers' summaries, producing the identical
+    result with the subtree work done in parallel.  Ignored while building
+    the execution tree (replay materialises no tree nodes).
+    """
+    parallel_report = None
+    parallelize = workers > 1 and not build_tree
+    # With an ephemeral cache only the shard roots can ever replay, so
+    # workers skip shipping their nested entries.
+    roots_only = summary_cache is None
+    if parallelize and summary_cache is None:
+        summary_cache = SummaryCache()
     executor = SymbolicExecutor(
         program,
         procedure_name=procedure_name,
@@ -900,4 +955,22 @@ def symbolic_execute(
         tracked_variables=tracked_variables,
         summary_cache=summary_cache,
     )
-    return executor.run()
+    if parallelize:
+        # Imported here: repro.parallel depends on this module.
+        from repro.parallel.shard import prewarm_full
+
+        parallel_report = prewarm_full(
+            executor.program,
+            procedure_name=executor.procedure.name,
+            cfg=executor.cfg,
+            summary_cache=summary_cache,
+            workers=workers,
+            depth_bound=depth_bound,
+            config=parallel_config,
+            region_index=executor.region_index,
+            solver=executor.solver,
+            roots_only=roots_only,
+        )
+    result = executor.run()
+    result.parallel = parallel_report
+    return result

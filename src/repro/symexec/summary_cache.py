@@ -145,6 +145,11 @@ class SummaryCacheStatistics:
     misses: int = 0
     stores: int = 0
     invalidations: int = 0
+    #: Entries merged in from elsewhere (a worker process's cache or the
+    #: persistent on-disk store) rather than recorded by this process's own
+    #: exploration; kept separate from ``stores`` so reuse ratios can tell
+    #: local recording apart from imported warm state.
+    adopted: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -152,6 +157,7 @@ class SummaryCacheStatistics:
             "misses": self.misses,
             "stores": self.stores,
             "invalidations": self.invalidations,
+            "adopted": self.adopted,
         }
 
 
@@ -254,3 +260,29 @@ class SummaryCache:
     def store(self, key: CacheKey, summary, pins: Tuple[Term, ...] = ()) -> None:
         self._entries[key] = _Entry(summary, self.generation, self.generation, pins=pins)
         self.statistics.stores += 1
+
+    # -- merge / persistence support ------------------------------------------
+
+    def contains(self, key: CacheKey) -> bool:
+        """Membership probe that touches no statistics or LRU state."""
+        return key in self._entries
+
+    def adopt(self, key: CacheKey, summary, pins: Tuple[Term, ...] = ()) -> bool:
+        """Merge one externally produced entry (worker result, disk store).
+
+        Entries already present win -- they were recorded or adopted first
+        in this process and their pins are known-live -- which also makes a
+        multi-source merge independent of source order for identical keys
+        (content-keyed entries with equal keys replay identically by
+        construction).  Returns True when the entry was added.
+        """
+        if key in self._entries:
+            return False
+        self._entries[key] = _Entry(summary, self.generation, self.generation, pins=pins)
+        self.statistics.adopted += 1
+        return True
+
+    def iter_entries(self):
+        """Yield ``(key, summary, pins)`` for every live entry (stable order)."""
+        for key, entry in self._entries.items():
+            yield key, entry.summary, entry.pins

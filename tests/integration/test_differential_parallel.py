@@ -1,0 +1,143 @@
+"""Differential acceptance tests for the parallel exploration subsystem.
+
+Two pinned properties:
+
+* ``workers > 1`` produces the **identical distinct path-condition set** as
+  ``workers = 1`` on every version of every artifact history (ASW, WBS,
+  OAE -- 40 version pairs).  This holds by construction (workers feed the
+  exact-replay summary cache; speculation misses fall back to native
+  exploration) and is pinned here against regressions.
+* a cold history run that dumps the persistent summary store, followed by
+  a warm resume in a **fresh process** (new intern table, new caches, new
+  solver), reuses a substantial share of the stored summaries and reports
+  identical results.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.artifacts import all_artifacts
+from repro.core.dise import DiSE
+from repro.symexec.engine import symbolic_execute
+
+REUSE_FLOOR = 0.30
+
+
+def _pcs(summary):
+    return sorted(str(c) for c in summary.distinct_path_conditions())
+
+
+def _artifact(name):
+    return next(a for a in all_artifacts() if a.name == name)
+
+
+def _version_pairs(artifact):
+    history = artifact.history()
+    programs = {}
+
+    def parsed(source):
+        if source not in programs:
+            from repro.lang.parser import parse_program
+
+            programs[source] = parse_program(source)
+        return programs[source]
+
+    return [
+        (prev_name, name, parsed(prev_source), parsed(source))
+        for (prev_name, _, _, prev_source), (name, _, _, source) in zip(history, history[1:])
+    ]
+
+
+@pytest.mark.parametrize("artifact_name", ["ASW", "WBS", "OAE"])
+def test_parallel_dise_identical_distinct_pcs_all_versions(artifact_name):
+    artifact = _artifact(artifact_name)
+    for prev_name, name, base, modified in _version_pairs(artifact):
+        serial = DiSE(base, modified, procedure_name=artifact.procedure_name).run()
+        parallel = DiSE(
+            base, modified, procedure_name=artifact.procedure_name, workers=2
+        ).run()
+        assert _pcs(parallel.execution.summary) == _pcs(serial.execution.summary), (
+            f"{artifact_name} {prev_name}->{name}: parallel DiSE diverged from serial"
+        )
+
+
+@pytest.mark.parametrize("artifact_name", ["ASW", "WBS", "OAE"])
+def test_parallel_full_execution_identical_distinct_pcs(artifact_name):
+    artifact = _artifact(artifact_name)
+    for _, name, _, modified in _version_pairs(artifact):
+        serial = symbolic_execute(modified, procedure_name=artifact.procedure_name)
+        parallel = symbolic_execute(
+            modified, procedure_name=artifact.procedure_name, workers=2
+        )
+        assert _pcs(parallel.summary) == _pcs(serial.summary), (
+            f"{artifact_name} {name}: parallel full execution diverged from serial"
+        )
+
+
+_RESUME_SCRIPT = r"""
+import json, sys
+from repro.artifacts import all_artifacts
+from repro.evolution.history import VersionHistoryRunner
+
+artifact_name, store = sys.argv[1], sys.argv[2]
+artifact = next(a for a in all_artifacts() if a.name == artifact_name)
+runner = VersionHistoryRunner(artifact, store_path=store)
+report = runner.run()
+seed = report.seed or {}
+print(json.dumps({
+    "cache": report.cache,
+    "seed_paths": seed.get("paths", 0),
+    "seed_replayed": seed.get("replayed_paths", 0),
+    "seed_distinct": seed.get("distinct_path_conditions", 0),
+    "pcs": {
+        row.version: [list(row.dise_distinct_pcs), list(row.full_distinct_pcs)]
+        for row in report.versions
+    },
+}))
+"""
+
+
+def test_store_warm_resume_in_fresh_process(tmp_path):
+    """Cold run + dump, then a genuinely fresh process resumes warm."""
+    store = str(tmp_path / "asw_store.json")
+    src = os.path.abspath(
+        os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+
+    def run():
+        proc = subprocess.run(
+            [sys.executable, "-c", _RESUME_SCRIPT, "ASW", store],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        return json.loads(proc.stdout)
+
+    cold = run()
+    assert cold["cache"]["store_loaded"] == 0
+    assert cold["cache"]["store_dumped"] > 0
+    assert cold["seed_replayed"] == 0, "cold seed leg has nothing to replay"
+
+    warm = run()
+    assert warm["cache"]["store_loaded"] == cold["cache"]["store_dumped"]
+    assert warm["cache"]["adopted"] == warm["cache"]["store_loaded"]
+
+    # Identical results across the process fence.
+    assert warm["pcs"] == cold["pcs"]
+    assert warm["seed_distinct"] == cold["seed_distinct"]
+
+    # The seed leg re-executes the exact program the cold run recorded, so
+    # its reuse isolates what the on-disk store contributed: nothing else
+    # could have warmed a fresh process's cache.
+    assert warm["seed_paths"] > 0
+    seed_reuse = warm["seed_replayed"] / warm["seed_paths"]
+    assert seed_reuse >= REUSE_FLOOR, (
+        f"fresh-process warm resume replayed only {seed_reuse:.0%} of the seed leg"
+    )

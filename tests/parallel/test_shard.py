@@ -1,0 +1,319 @@
+"""Sharded frontier execution: collector behaviour and parallel ≡ serial."""
+
+import pytest
+
+from repro.artifacts import asw_artifact, wbs_artifact
+from repro.artifacts.simple import update_base_program, update_modified_program
+from repro.core.dise import DiSE
+from repro.parallel.shard import (
+    FrontierCollector,
+    ShardConfig,
+    prewarm_full,
+    run_shard,
+)
+from repro.symexec.engine import SymbolicExecutor, symbolic_execute
+from repro.symexec.strategy import ExploreEverything
+from repro.symexec.summary_cache import SummaryCache
+
+
+def _pcs(summary):
+    return sorted(str(c) for c in summary.distinct_path_conditions())
+
+
+def _record_keys(summary):
+    return [
+        (str(r.path_condition), tuple(map(str, r.final_environment)), r.is_error)
+        for r in summary.records
+    ]
+
+
+class TestFrontierCollector:
+    def test_collects_tasks_and_skips_their_subtrees(self):
+        program = update_modified_program()
+        cache = SummaryCache()
+        collector = FrontierCollector(
+            program,
+            procedure_name="update",
+            summary_cache=cache,
+            config=ShardConfig(split_depth=1, min_shards=1),
+            strategy_payload=lambda state: {"kind": "everything"},
+            strategy=ExploreEverything(),
+        )
+        result = collector.run()
+        assert collector.tasks, "expected deferred frontier tasks"
+        serial = symbolic_execute(program, procedure_name="update")
+        # Deferral means the collector completed fewer paths than a full run.
+        assert len(result.summary) < len(serial.summary)
+        cfg_node_ids = {node.node_id for node in collector.cfg.nodes}
+        for task in collector.tasks:
+            assert task.key[0] == "suffix"
+            assert task.payload["root"] in cfg_node_ids
+            assert task.payload["strategy"] == {"kind": "everything"}
+
+    def test_aborted_recordings_never_store_partial_summaries(self):
+        program = update_modified_program()
+        cache = SummaryCache()
+        collector = FrontierCollector(
+            program,
+            procedure_name="update",
+            summary_cache=cache,
+            config=ShardConfig(split_depth=1, min_shards=1),
+            strategy_payload=lambda state: {"kind": "everything"},
+            strategy=ExploreEverything(),
+        )
+        collector.run()
+        assert collector.tasks
+        # Recordings truncated by a deferral were aborted, so whatever the
+        # collector *did* store must be complete: a run over that cache has
+        # to reproduce a cold serial run exactly (deferred subtrees simply
+        # miss and are explored natively).
+        serial = symbolic_execute(program, procedure_name="update")
+        warm = symbolic_execute(program, procedure_name="update", summary_cache=cache)
+        assert _record_keys(warm.summary) == _record_keys(serial.summary)
+
+    def test_no_tasks_below_split_depth(self):
+        program = update_base_program()
+        cache = SummaryCache()
+        collector = FrontierCollector(
+            program,
+            procedure_name="update",
+            summary_cache=cache,
+            config=ShardConfig(split_depth=50, min_shards=1),
+            strategy_payload=lambda state: {"kind": "everything"},
+            strategy=ExploreEverything(),
+        )
+        result = collector.run()
+        assert collector.tasks == []
+        # Nothing deferred -> the collector *is* a full serial run and its
+        # recordings are complete and stored.
+        assert _pcs(result.summary) == _pcs(
+            symbolic_execute(program, procedure_name="update").summary
+        )
+        assert len(cache) > 0
+
+    def test_max_shards_cap_is_respected(self):
+        program = update_modified_program()
+        cache = SummaryCache()
+        collector = FrontierCollector(
+            program,
+            procedure_name="update",
+            summary_cache=cache,
+            config=ShardConfig(split_depth=1, max_shards=1, min_shards=1),
+            strategy_payload=lambda state: {"kind": "everything"},
+            strategy=ExploreEverything(),
+        )
+        collector.run()
+        assert len(collector.tasks) == 1
+
+
+class TestWorkerAssumptions:
+    def test_pretty_parse_round_trip_preserves_cfg_node_ids(self):
+        """Workers rebuild the CFG from pretty-printed source; every shipped
+        node id is only meaningful if that reparse assigns identical ids."""
+        from repro.cfg.builder import build_cfg
+        from repro.lang.parser import parse_program
+        from repro.lang.pretty import pretty_program
+        from repro.artifacts import all_artifacts
+
+        for artifact in all_artifacts():
+            for _, _, _, source in artifact.history():
+                original = parse_program(source)
+                reparsed = parse_program(pretty_program(original))
+                cfg_a = build_cfg(original.procedure(artifact.procedure_name))
+                cfg_b = build_cfg(reparsed.procedure(artifact.procedure_name))
+                nodes_a = sorted(
+                    (n.node_id, n.structural_key()) for n in cfg_a.nodes
+                )
+                nodes_b = sorted(
+                    (n.node_id, n.structural_key()) for n in cfg_b.nodes
+                )
+                assert nodes_a == nodes_b
+
+
+class TestWorker:
+    def test_run_shard_round_trips_subtree(self):
+        from repro.lang.pretty import pretty_program
+
+        program = update_modified_program()
+        cache = SummaryCache()
+        collector = FrontierCollector(
+            program,
+            procedure_name="update",
+            summary_cache=cache,
+            config=ShardConfig(split_depth=1, min_shards=1),
+            strategy_payload=lambda state: {"kind": "everything"},
+            strategy=ExploreEverything(),
+        )
+        collector.run()
+        assert collector.tasks
+        task = collector.tasks[0]
+        payload = dict(task.payload)
+        payload["source"] = pretty_program(program)
+        payload["procedure"] = "update"
+        payload["solver"] = {
+            "bound": collector.solver.bound,
+            "max_branch_steps": collector.solver.max_branch_steps,
+        }
+        result = run_shard(payload)
+        assert result["paths"] > 0
+        assert result["entries"], "worker must export its summary cache"
+
+    def test_worker_entries_make_serial_run_replay(self):
+        program = update_modified_program()
+        cache = SummaryCache()
+        cfg = SymbolicExecutor(program, procedure_name="update").cfg
+        report = prewarm_full(
+            program,
+            procedure_name="update",
+            cfg=cfg,
+            summary_cache=cache,
+            workers=2,
+            config=ShardConfig(split_depth=1, min_shards=1),
+        )
+        assert report.shards > 0
+        assert report.merged_entries > 0
+        warm = symbolic_execute(program, procedure_name="update", summary_cache=cache)
+        serial = symbolic_execute(program, procedure_name="update")
+        assert warm.statistics.replayed_paths > 0
+        assert _record_keys(warm.summary) == _record_keys(serial.summary)
+
+
+class TestPoolFailureFallback:
+    def test_worker_failure_degrades_to_serial_not_crash(self):
+        """A crashed/wedged pool must yield 'no prewarm', never an error."""
+        import repro.parallel.shard as shard_module
+
+        class _BrokenAsyncResult:
+            def get(self, timeout=None):
+                raise RuntimeError("worker exploded")
+
+        class _BrokenPool:
+            def map_async(self, *args, **kwargs):
+                return _BrokenAsyncResult()
+
+            def terminate(self):
+                pass
+
+            def join(self):
+                pass
+
+        previous = shard_module._POOLS.pop(2, None)
+        shard_module._POOLS[2] = _BrokenPool()
+        try:
+            program = update_modified_program()
+            serial = symbolic_execute(program, procedure_name="update")
+            result = symbolic_execute(
+                program,
+                procedure_name="update",
+                workers=2,
+                parallel_config=ShardConfig(split_depth=1, min_shards=1),
+            )
+            # The broken pool was consumed and discarded; the run completed
+            # natively with identical output and reports zero shards.
+            assert result.parallel is not None and result.parallel.shards == 0
+            assert 2 not in shard_module._POOLS
+            assert _record_keys(result.summary) == _record_keys(serial.summary)
+        finally:
+            shard_module._POOLS.pop(2, None)
+            if previous is not None:
+                shard_module._POOLS[2] = previous
+
+
+class TestParallelEqualsSerial:
+    def test_full_execution_identical_records(self):
+        program = update_modified_program()
+        serial = symbolic_execute(program, procedure_name="update")
+        parallel = symbolic_execute(
+            program,
+            procedure_name="update",
+            workers=2,
+            parallel_config=ShardConfig(split_depth=1, min_shards=1),
+        )
+        assert parallel.parallel is not None and parallel.parallel.shards > 0
+        assert _record_keys(parallel.summary) == _record_keys(serial.summary)
+
+    @pytest.mark.parametrize("version", ["v1", "v2", "v5"])
+    def test_dise_identical_distinct_pcs_asw(self, version):
+        artifact = asw_artifact()
+        base = artifact.base_program()
+        modified = artifact.version_program(version)
+        serial = DiSE(base, modified, procedure_name=artifact.procedure_name).run()
+        parallel = DiSE(
+            base, modified, procedure_name=artifact.procedure_name, workers=2
+        ).run()
+        assert _pcs(parallel.execution.summary) == _pcs(serial.execution.summary)
+
+    def test_dise_identical_with_shared_history_cache(self):
+        artifact = wbs_artifact()
+        base = artifact.base_program()
+        cache_serial = SummaryCache()
+        cache_parallel = SummaryCache()
+        for version in artifact.version_names()[:3]:
+            modified = artifact.version_program(version)
+            serial = DiSE(
+                base,
+                modified,
+                procedure_name=artifact.procedure_name,
+                summary_cache=cache_serial,
+            ).run()
+            parallel = DiSE(
+                base,
+                modified,
+                procedure_name=artifact.procedure_name,
+                summary_cache=cache_parallel,
+                workers=2,
+            ).run()
+            assert _pcs(parallel.execution.summary) == _pcs(serial.execution.summary)
+
+    def test_record_trace_falls_back_to_serial(self):
+        artifact = asw_artifact()
+        base = artifact.base_program()
+        modified = artifact.version_program("v1")
+        result = DiSE(
+            base,
+            modified,
+            procedure_name=artifact.procedure_name,
+            workers=2,
+            record_trace=True,
+        ).run()
+        assert result.parallel is None
+        assert result.strategy.trace_rows
+
+    def test_workers_one_is_plain_serial(self):
+        program = update_base_program()
+        result = symbolic_execute(program, procedure_name="update", workers=1)
+        assert result.parallel is None
+
+    def test_workers_inherit_nondefault_solver_bound(self):
+        """Constraints beyond the default ±2^16 box are only feasible under
+        the caller's wider bound; workers must decide them identically."""
+        from repro.lang.parser import parse_program
+        from repro.solver.core import ConstraintSolver
+
+        program = parse_program(
+            """
+            global int r = 0;
+            proc big(int a, int b, int c) {
+                if (a > 0) { r = 1; } else { r = 2; }
+                if (b > 100000) { r = r + 3; } else { r = r + 4; }
+                if (c > 500000) { r = r + 5; } else { r = r + 6; }
+            }
+            """
+        )
+        bound = 1 << 20
+        serial = symbolic_execute(
+            program, procedure_name="big", solver=ConstraintSolver(bound=bound)
+        )
+        # The wide bound makes both large-constant branches feasible; a
+        # worker on the default bound would prune them.
+        assert any("(c > 500000)" in str(c) for c in serial.path_conditions)
+        parallel = symbolic_execute(
+            program,
+            procedure_name="big",
+            solver=ConstraintSolver(bound=bound),
+            workers=2,
+            parallel_config=ShardConfig(split_depth=1, min_shards=1),
+        )
+        assert parallel.parallel is not None and parallel.parallel.shards > 0
+        assert parallel.statistics.replayed_paths > 0
+        assert _record_keys(parallel.summary) == _record_keys(serial.summary)

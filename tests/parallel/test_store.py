@@ -1,0 +1,112 @@
+"""Persistent summary store: dump/load round trips, resilience, versioning."""
+
+import json
+import os
+
+from repro.artifacts.simple import update_modified_program
+from repro.parallel.store import STORE_FORMAT, PersistentSummaryStore
+from repro.solver.terms import clear_intern_table
+from repro.symexec.engine import symbolic_execute
+from repro.symexec.summary_cache import SummaryCache
+
+
+def _record_cache(program):
+    cache = SummaryCache()
+    result = symbolic_execute(program, procedure_name="update", summary_cache=cache)
+    assert len(cache) > 0
+    return cache, result
+
+
+def test_dump_and_load_round_trip(tmp_path):
+    program = update_modified_program()
+    cache, cold = _record_cache(program)
+    store = PersistentSummaryStore(str(tmp_path / "store.json"))
+    dumped = store.dump(cache)
+    assert dumped > 0
+    assert store.exists()
+    assert store.entry_count() == dumped
+
+    # Fresh lifetime: new intern table, new cache, same disk file.
+    clear_intern_table()
+    warm_cache = SummaryCache()
+    loaded = store.load_into(warm_cache)
+    assert loaded == dumped
+    assert warm_cache.statistics.adopted == loaded
+
+    warm = symbolic_execute(program, procedure_name="update", summary_cache=warm_cache)
+    assert warm.statistics.summary_cache_hits > 0
+    assert warm.statistics.replayed_paths > 0
+    assert sorted(str(c) for c in warm.summary.distinct_path_conditions()) == sorted(
+        str(c) for c in cold.summary.distinct_path_conditions()
+    )
+
+
+def test_load_is_idempotent_and_first_in_wins(tmp_path):
+    program = update_modified_program()
+    cache, _ = _record_cache(program)
+    store = PersistentSummaryStore(str(tmp_path / "store.json"))
+    dumped = store.dump(cache)
+
+    target = SummaryCache()
+    assert store.load_into(target) == dumped
+    # Loading again adds nothing: every key is already present.
+    assert store.load_into(target) == 0
+    assert len(target) == dumped
+
+
+def test_missing_file_loads_nothing(tmp_path):
+    store = PersistentSummaryStore(str(tmp_path / "absent.json"))
+    cache = SummaryCache()
+    assert not store.exists()
+    assert store.load_into(cache) == 0
+    assert store.entry_count() is None
+
+
+def test_corrupt_file_is_ignored(tmp_path):
+    path = tmp_path / "corrupt.json"
+    path.write_text("{ this is not json", encoding="utf-8")
+    cache = SummaryCache()
+    assert PersistentSummaryStore(str(path)).load_into(cache) == 0
+    assert len(cache) == 0
+
+
+def test_unknown_format_is_ignored(tmp_path):
+    program = update_modified_program()
+    cache, _ = _record_cache(program)
+    store = PersistentSummaryStore(str(tmp_path / "store.json"))
+    store.dump(cache)
+
+    with open(store.path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    document["format"] = STORE_FORMAT + 1
+    with open(store.path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+    fresh = SummaryCache()
+    assert store.load_into(fresh) == 0
+    assert store.entry_count() is None
+
+
+def test_malformed_entries_are_skipped_not_fatal(tmp_path):
+    program = update_modified_program()
+    cache, _ = _record_cache(program)
+    store = PersistentSummaryStore(str(tmp_path / "store.json"))
+    dumped = store.dump(cache)
+
+    with open(store.path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    document["entries"][0] = {"kind": "suffix"}  # missing everything else
+    with open(store.path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+    fresh = SummaryCache()
+    assert store.load_into(fresh) == dumped - 1
+
+
+def test_dump_creates_parent_directories(tmp_path):
+    program = update_modified_program()
+    cache, _ = _record_cache(program)
+    nested = tmp_path / "a" / "b" / "store.json"
+    store = PersistentSummaryStore(str(nested))
+    assert store.dump(cache) > 0
+    assert os.path.exists(str(nested))

@@ -1,0 +1,94 @@
+"""Branch-and-bound seeding with a context's narrowed interval box."""
+
+from hypothesis import given, settings
+
+from repro.solver.context import SolverContext
+from repro.solver.core import ConstraintSolver
+from repro.solver.intervals import Interval
+from repro.solver.terms import bool_symbol, int_symbol, mk_binary, mk_int
+
+from tests.solver.test_property_solver import constraint_sets  # reuse generator
+
+X = int_symbol("x")
+Y = int_symbol("y")
+
+
+def _disjunction(left, right):
+    return mk_binary("||", left, right)
+
+
+def test_context_fallback_seeds_the_box():
+    solver = ConstraintSolver()
+    context = SolverContext(solver)
+    context.push(mk_binary("<", X, mk_int(10)))
+    context.push(mk_binary(">", X, mk_int(0)))
+    # A deferred disjunction forces the complete-solver fallback.
+    context.push(_disjunction(mk_binary("==", Y, X), mk_binary("==", Y, mk_int(99))))
+    result = context.check()
+    assert result.satisfiable
+    assert solver.statistics.context_fallbacks == 1
+    assert solver.statistics.box_seeds == 1
+
+
+def test_seed_never_widens_and_unknown_vars_are_ignored():
+    solver = ConstraintSolver(bound=16)
+    seed = {
+        "x": Interval(-1000, 1000),  # wider than the solver bound: no effect
+        "zz": Interval(0, 0),  # not a constraint variable: ignored
+    }
+    result = solver.check([mk_binary("<", X, mk_int(5))], seed_box=seed)
+    assert result.satisfiable
+    assert solver.statistics.box_seeds == 0  # nothing was actually tightened
+
+
+def test_seeded_unsat_stays_unsat_and_counts():
+    solver = ConstraintSolver()
+    constraints = [
+        _disjunction(mk_binary("==", X, mk_int(1)), mk_binary("==", X, mk_int(2))),
+        mk_binary(">", X, mk_int(5)),
+    ]
+    unseeded = solver.check(constraints)
+    assert not unseeded.satisfiable
+    seeded = ConstraintSolver()
+    result = seeded.check(constraints, seed_box={"x": Interval(6, 100)})
+    assert not result.satisfiable
+    assert seeded.statistics.box_seeds >= 1
+
+
+def test_seeding_reduces_branch_steps_on_wide_equalities():
+    """The point of the satellite: a tight start skips the ±2^16 bisection."""
+    constraints = [
+        # x == y (two-variable equality: undecidable by the box alone, so the
+        # context must fall back), plus a disjunction to defer.
+        mk_binary("==", X, Y),
+        _disjunction(mk_binary("<", X, mk_int(3)), bool_symbol("p")),
+        mk_binary("==", Y, mk_int(7)),
+        mk_binary("!=", X, mk_int(8)),
+    ]
+    cold = ConstraintSolver()
+    cold_result = cold.check(constraints)
+    warm = ConstraintSolver()
+    warm_result = warm.check(
+        constraints, seed_box={"x": Interval(7, 7), "y": Interval(7, 7)}
+    )
+    assert cold_result.satisfiable == warm_result.satisfiable
+    assert warm.statistics.branch_steps <= cold.statistics.branch_steps
+    # One per tightened branch-and-bound start; case splits each count.
+    assert warm.statistics.box_seeds >= 1
+
+
+@given(constraint_sets())
+@settings(max_examples=50, deadline=None)
+def test_context_check_with_seeding_matches_plain_solver(constraints):
+    """Differential: the context (whose fallbacks now seed the box) must
+    agree with a plain unseeded solve of the same conjunction."""
+    plain = ConstraintSolver()
+    try:
+        expected = plain.check(list(constraints)).satisfiable
+    except Exception:
+        return  # outside the decidable fragment; context would raise too
+    solver = ConstraintSolver()
+    context = SolverContext(solver)
+    for term in constraints:
+        context.push(term)
+    assert context.check().satisfiable == expected
