@@ -69,6 +69,7 @@ BENCHMARKS = {
     "bench_version_history": "run_history_benchmarks",
     "bench_lookahead": "run_lookahead_benchmarks",
     "bench_parallel": "run_parallel_benchmarks",
+    "bench_interproc": "run_interproc_benchmarks",
 }
 
 #: The parallel benchmark's worker count for gated runs; two keeps it honest
@@ -180,6 +181,52 @@ def _check_parallel(baseline, report, failures):
         )
 
 
+def _check_interproc(baseline, report, failures):
+    """Gates for the interprocedural benchmark (bench_interproc.py).
+
+    The bench enforces its own hard floors (callee-summary reuse >= 30%,
+    caller-only edits must not affect the whole flattened CFG, parallel
+    differential); this re-checks the floors on the report and compares the
+    structural metrics against the checked-in baseline.
+    """
+    for artifact in ("ASW-CALLS", "FCS"):
+        rows = report.get(artifact)
+        if rows is None:
+            failures.append(f"interproc/{artifact}: missing from report")
+            continue
+        for metric in ("reuse_min", "callee_preserving_reuse_min"):
+            value = rows.get(metric)
+            if value is None or value < REUSE_FLOOR:
+                failures.append(
+                    f"interproc/{artifact}.{metric}: {value} below {REUSE_FLOOR}"
+                )
+        if not rows.get("parallel", {}).get("pcs_match"):
+            failures.append(
+                f"interproc/{artifact}: workers>1 history diverged from serial"
+            )
+        if baseline is None or artifact not in baseline:
+            continue
+        old_rows = baseline[artifact]
+        for metric in ("reuse_min", "callee_preserving_reuse_min"):
+            old, new = old_rows.get(metric), rows.get(metric)
+            if old is not None and new is not None and new < old - RATIO_TOLERANCE:
+                failures.append(
+                    f"interproc/{artifact}.{metric}: {new:.3f} regressed below "
+                    f"baseline {old:.3f} - {RATIO_TOLERANCE}"
+                )
+        old_versions = {row["version"]: row for row in old_rows.get("versions", [])}
+        for row in rows.get("versions", []):
+            old_row = old_versions.get(row["version"])
+            if old_row is None:
+                continue
+            for metric in ("dise_distinct_pcs", "full_distinct_pcs"):
+                if row.get(metric) != old_row.get(metric):
+                    failures.append(
+                        f"interproc/{artifact}/{row['version']}.{metric}: "
+                        f"{row.get(metric)} != baseline {old_row.get(metric)}"
+                    )
+
+
 def _check_lookahead(baseline, report, failures):
     for artifact in ("ASW", "WBS", "OAE"):
         row = report.get(artifact)
@@ -238,12 +285,14 @@ def main(argv=None):
             "BENCH_history.json",
             "BENCH_lookahead.json",
             "BENCH_parallel.json",
+            "BENCH_interproc.json",
         )
     }
     solver_baseline = baselines["BENCH_solver.json"]
     history_baseline = baselines["BENCH_history.json"]
     lookahead_baseline = baselines["BENCH_lookahead.json"]
     parallel_baseline = baselines["BENCH_parallel.json"]
+    interproc_baseline = baselines["BENCH_interproc.json"]
 
     failures = []
     for name, entry in selected.items():
@@ -266,6 +315,8 @@ def main(argv=None):
             _check_lookahead(lookahead_baseline, report, failures)
         elif name == "bench_parallel":
             _check_parallel(parallel_baseline, report, failures)
+        elif name == "bench_interproc":
+            _check_interproc(interproc_baseline, report, failures)
 
     if failures:
         for name, baseline in baselines.items():

@@ -6,6 +6,13 @@ version and the sequence of modified versions used by the Table 2/3
 benchmarks.
 """
 
+from repro.artifacts.interproc import (
+    ASW_CALLS_ARTIFACT,
+    FCS_ARTIFACT,
+    asw_calls_artifact,
+    fcs_artifact,
+    interproc_artifacts,
+)
 from repro.artifacts.mutants import (
     Artifact,
     VersionSpec,
@@ -27,6 +34,11 @@ __all__ = [
     "Artifact",
     "VersionSpec",
     "all_artifacts",
+    "ASW_CALLS_ARTIFACT",
+    "FCS_ARTIFACT",
+    "asw_calls_artifact",
+    "fcs_artifact",
+    "interproc_artifacts",
     "asw_artifact",
     "oae_artifact",
     "wbs_artifact",

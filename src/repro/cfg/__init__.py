@@ -11,6 +11,13 @@ This subpackage provides:
 """
 
 from repro.cfg.builder import RETURN_VARIABLE, CFGBuilder, build_cfg
+from repro.cfg.callgraph import (
+    CallGraph,
+    CallGraphError,
+    CallSite,
+    build_call_graph,
+    procedure_digests,
+)
 from repro.cfg.control_dependence import ControlDependence, compute_control_dependence
 from repro.cfg.dataflow import DefUse, Reachability, ReachingDefinitions
 from repro.cfg.dominance import PostDominance, compute_post_dominance
@@ -32,6 +39,11 @@ __all__ = [
     "RETURN_VARIABLE",
     "CFGBuilder",
     "build_cfg",
+    "CallGraph",
+    "CallGraphError",
+    "CallSite",
+    "build_call_graph",
+    "procedure_digests",
     "ControlDependence",
     "compute_control_dependence",
     "DefUse",

@@ -19,17 +19,27 @@ class DefUse:
 
     def __init__(self, cfg: ControlFlowGraph):
         self.cfg = cfg
-        self._defs: Dict[int, str] = {}
+        self._defs: Dict[int, Tuple[str, ...]] = {}
         self._uses: Dict[int, Tuple[str, ...]] = {}
         for node in cfg.nodes:
-            defined = node.defined_variable()
-            if defined is not None:
+            defined = node.defined_variables()
+            if defined:
                 self._defs[node.node_id] = defined
             self._uses[node.node_id] = node.used_variables()
 
     def definition(self, node: CFGNode) -> str:
-        """``Def(n)``: the variable defined at ``node`` or ``None`` (paper's ⊥)."""
-        return self._defs.get(node.node_id)
+        """``Def(n)``: the variable defined at ``node`` or ``None`` (paper's ⊥).
+
+        ``CALL`` nodes define one variable per formal parameter; this keeps
+        the paper's single-variable view by reporting the first.  Use
+        :meth:`definitions` in analyses that must see them all.
+        """
+        defined = self._defs.get(node.node_id)
+        return defined[0] if defined else None
+
+    def definitions(self, node: CFGNode) -> Tuple[str, ...]:
+        """All variables defined at ``node`` (generalised ``Def(n)``)."""
+        return self._defs.get(node.node_id, ())
 
     def uses(self, node: CFGNode) -> Tuple[str, ...]:
         """``Use(n)``: the variables read at ``node`` (empty tuple for ⊥)."""
@@ -37,11 +47,11 @@ class DefUse:
 
     def defines(self, node: CFGNode, variable: str) -> bool:
         """True when ``node`` defines ``variable``."""
-        return self._defs.get(node.node_id) == variable
+        return variable in self._defs.get(node.node_id, ())
 
     def nodes_defining(self, variable: str) -> List[CFGNode]:
         """All nodes that define ``variable``."""
-        return [self.cfg.node(i) for i, v in self._defs.items() if v == variable]
+        return [self.cfg.node(i) for i, vs in self._defs.items() if variable in vs]
 
     def nodes_using(self, variable: str) -> List[CFGNode]:
         """All nodes that read ``variable``."""
@@ -91,10 +101,10 @@ class ReachingDefinitions:
                 new_in: Set[Tuple[str, int]] = set()
                 for pred in self.cfg.predecessors(node):
                     new_in |= self._out[pred.node_id]
-                defined = self.def_use.definition(node)
-                if defined is not None:
-                    new_out = {pair for pair in new_in if pair[0] != defined}
-                    new_out.add((defined, node.node_id))
+                defined = self.def_use.definitions(node)
+                if defined:
+                    new_out = {pair for pair in new_in if pair[0] not in defined}
+                    new_out.update((variable, node.node_id) for variable in defined)
                 else:
                     new_out = set(new_in)
                 if new_in != self._in[node.node_id] or new_out != self._out[node.node_id]:

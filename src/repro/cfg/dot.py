@@ -43,6 +43,8 @@ def cfg_to_dot(
             attributes.append("shape=ellipse")
         if node.kind is NodeKind.BRANCH:
             attributes.append("shape=diamond")
+        if node.kind in (NodeKind.CALL, NodeKind.CALL_RETURN):
+            attributes.append("shape=component")
         if node.node_id in highlight_ids:
             attributes.append("style=filled")
             attributes.append("fillcolor=lightgoldenrod")

@@ -43,12 +43,16 @@ class ControlFlowGraph:
         condition: Optional[Expr] = None,
         target: Optional[str] = None,
         expr: Optional[Expr] = None,
+        **call_fields,
     ) -> CFGNode:
         """Create a node, register it and return it.
 
         Statement nodes are numbered 0, 1, 2, ... in creation (source) order so
         that node names line up with the paper's ``n0``, ``n1``, ... labels;
         the synthetic begin and end nodes use reserved identifiers.
+        ``call_fields`` forwards the call-node attributes (``callee``,
+        ``call_args``, ``call_params``, ``scope_names``, ``callee_digest``,
+        ``call_depth``, ...) to the :class:`CFGNode` constructor.
         """
         if kind is NodeKind.BEGIN:
             node_id = BEGIN_NODE_ID
@@ -66,6 +70,7 @@ class ControlFlowGraph:
             condition=condition,
             target=target,
             expr=expr,
+            **call_fields,
         )
         self._nodes[node.node_id] = node
         self._successors[node.node_id] = []

@@ -24,6 +24,8 @@ class NodeKind(Enum):
     BRANCH = auto()  # a conditional branch instruction (Definition 3.4)
     NOP = auto()     # skip / declarations without initialisers / return without effect
     ERROR = auto()   # target of a failed assertion (de-sugared ``assert``)
+    CALL = auto()         # call entry: evaluates args, pushes a call frame
+    CALL_RETURN = auto()  # call exit: pops the frame, binds the return value
 
 
 @dataclass
@@ -38,8 +40,31 @@ class CFGNode:
         label: human-readable description used in traces, tables and DOT output.
         stmt: the originating AST statement, if any.
         condition: for ``BRANCH`` nodes, the branch predicate expression.
-        target: for ``ASSIGN`` nodes, the variable being defined.
+        target: for ``ASSIGN`` nodes, the variable being defined; for
+            ``CALL_RETURN`` nodes, the variable receiving the return value
+            (``None`` for bare calls).
         expr: for ``ASSIGN`` nodes, the right-hand side expression.
+        callee: for ``CALL``/``CALL_RETURN`` nodes, the called procedure.
+        call_args: for ``CALL`` nodes, the argument expressions (evaluated in
+            the caller's scope before the frame is pushed).
+        call_params: for ``CALL`` nodes, the callee's formal parameter names
+            (bound, in order, to the evaluated arguments).
+        scope_names: for ``CALL``/``CALL_RETURN`` nodes, every name the
+            callee's scope can bind (params, locals and the synthetic return
+            variable).  The engine switches scope wholesale (the call frame
+            saves every non-global caller binding, see
+            :class:`repro.symexec.state.CallFrame`); ``scope_names`` is what
+            the feasibility lookahead's walk -- which models the switch
+            in-place -- saves at the call and poisons at an unmatched
+            return.
+        return_node_id: for ``CALL`` nodes, the matching ``CALL_RETURN``.
+        call_node_id: for ``CALL_RETURN`` nodes, the matching ``CALL``.
+        callee_digest: for ``CALL``/``CALL_RETURN`` nodes, the transitive
+            content hash of the callee (name-independent), so region digests
+            are stable under callee renames-without-edit and change exactly
+            when the callee's IR changes.
+        call_depth: call-splice nesting level of the node in a flattened
+            interprocedural CFG (0 for the entry procedure's own nodes).
     """
 
     node_id: int
@@ -50,6 +75,14 @@ class CFGNode:
     condition: Optional[Expr] = None
     target: Optional[str] = None
     expr: Optional[Expr] = None
+    callee: Optional[str] = None
+    call_args: Tuple[Expr, ...] = ()
+    call_params: Tuple[str, ...] = ()
+    scope_names: Tuple[str, ...] = ()
+    return_node_id: Optional[int] = None
+    call_node_id: Optional[int] = None
+    callee_digest: Optional[str] = None
+    call_depth: int = 0
 
     @property
     def name(self) -> str:
@@ -67,14 +100,34 @@ class CFGNode:
 
     @property
     def is_write(self) -> bool:
-        """True if this node is a write instruction (Write set)."""
+        """True if this node is a write instruction (Write set).
+
+        ``CALL`` nodes define the callee's formals and ``CALL_RETURN`` nodes
+        define the call target, so both participate in the write-node rules
+        of the affected-location analysis.
+        """
+        if self.kind is NodeKind.CALL:
+            return bool(self.call_params)
+        if self.kind is NodeKind.CALL_RETURN:
+            return self.target is not None
         return self.kind is NodeKind.ASSIGN
 
     def defined_variable(self) -> Optional[str]:
-        """``Def(n)`` from Definition 3.6: the variable defined here, or None."""
-        if self.kind is NodeKind.ASSIGN:
+        """``Def(n)`` from Definition 3.6: the variable defined here, or None.
+
+        ``CALL`` nodes define several variables at once (one per formal); use
+        :meth:`defined_variables` to see all of them.
+        """
+        if self.kind in (NodeKind.ASSIGN, NodeKind.CALL_RETURN):
             return self.target
         return None
+
+    def defined_variables(self) -> Tuple[str, ...]:
+        """All variables defined at this node (generalises ``Def(n)``)."""
+        if self.kind is NodeKind.CALL:
+            return self.call_params
+        defined = self.defined_variable()
+        return (defined,) if defined is not None else ()
 
     def used_variables(self) -> Tuple[str, ...]:
         """``Use(n)`` from Definition 3.7: the variables read at this node."""
@@ -82,16 +135,40 @@ class CFGNode:
             return self.expr.variables()
         if self.kind is NodeKind.BRANCH and self.condition is not None:
             return self.condition.variables()
+        if self.kind is NodeKind.CALL:
+            seen = []
+            for arg in self.call_args:
+                for name in arg.variables():
+                    if name not in seen:
+                        seen.append(name)
+            return tuple(seen)
+        if self.kind is NodeKind.CALL_RETURN and self.target is not None:
+            from repro.cfg.builder import RETURN_VARIABLE  # local import: no cycle at module load
+
+            return (RETURN_VARIABLE,)
         return ()
 
     def structural_key(self) -> tuple:
-        """A key describing the node's behaviour, used by the CFG differ."""
+        """A key describing the node's behaviour, used by the CFG differ.
+
+        Call nodes key on the callee's *content digest* rather than its name,
+        so renaming a procedure without editing it leaves every region digest
+        that covers its call sites unchanged.
+        """
         if self.kind is NodeKind.ASSIGN:
             expr_key = self.expr.structural_key() if self.expr is not None else None
             return ("assign", self.target, expr_key)
         if self.kind is NodeKind.BRANCH:
             cond_key = self.condition.structural_key() if self.condition is not None else None
             return ("branch", cond_key)
+        if self.kind is NodeKind.CALL:
+            return (
+                "call",
+                self.callee_digest,
+                tuple(arg.structural_key() for arg in self.call_args),
+            )
+        if self.kind is NodeKind.CALL_RETURN:
+            return ("call_return", self.target, self.callee_digest)
         return (self.kind.name.lower(),)
 
     def __str__(self) -> str:

@@ -135,10 +135,16 @@ def _signature(
         used.update(node.used_variables())
         if node.kind is NodeKind.BRANCH:
             condition_reads.update(node.used_variables())
-        written = node.defined_variable()
-        if written is not None:
-            defined.add(written)
-            assignment_reads.setdefault(written, set()).update(node.used_variables())
+        if node.kind is NodeKind.CALL:
+            # A call defines every formal from its own argument expression;
+            # the per-parameter pairing keeps the decision closure tight.
+            for param, arg in zip(node.call_params, node.call_args):
+                defined.add(param)
+                assignment_reads.setdefault(param, set()).update(arg.variables())
+        else:
+            for written in node.defined_variables():
+                defined.add(written)
+                assignment_reads.setdefault(written, set()).update(node.used_variables())
         successors = tuple(
             sorted(
                 (edge.label, index.get(edge.target, BOUNDARY_INDEX))
@@ -210,19 +216,67 @@ class RegionHashIndex:
 
         A segment is only useful when the immediate post-dominator exists
         and is not the exit node (otherwise the suffix region already covers
-        it).
+        it).  For ``CALL`` nodes the boundary is the matching
+        ``CALL_RETURN``'s successor instead of the immediate post-dominator,
+        which makes the segment exactly one *per-procedure call summary*:
+        entry environment in, post-return environments out.
+
+        Segments must additionally be **call-balanced**: the engine's replay
+        materialises boundary states carrying the root state's call frames
+        verbatim, which is only correct when every frame pushed inside the
+        segment is popped inside it too.  Segments whose boundary sits at a
+        different call depth than the root (or at an unexecuted
+        ``CALL_RETURN``, whose pop has not happened yet when the boundary is
+        reached) are rejected.
         """
         if node.node_id in self._segments:
             return self._segments[node.node_id]
-        if self._post_dominance is None:
-            self._post_dominance = PostDominance(self.cfg)
-        boundary = self._post_dominance.immediate_post_dominator(node)
-        if boundary is None or boundary.kind is NodeKind.END:
-            result: Optional[RegionSignature] = None
-        else:
-            result = segment_signature(self.cfg, node, boundary)
+        result = self._compute_segment(node)
         self._segments[node.node_id] = result
         return result
+
+    def _compute_segment(self, node: CFGNode) -> Optional[RegionSignature]:
+        if node.kind is NodeKind.CALL and node.return_node_id is not None:
+            return_node = self.cfg.node(node.return_node_id)
+            successors = self.cfg.successors(return_node)
+            if not successors:
+                return None
+            boundary = successors[0]
+            if boundary.kind is NodeKind.END:
+                return None
+        else:
+            if self._post_dominance is None:
+                self._post_dominance = PostDominance(self.cfg)
+            boundary = self._post_dominance.immediate_post_dominator(node)
+            if boundary is None or boundary.kind is NodeKind.END:
+                return None
+        if not self._call_balanced(node, boundary):
+            return None
+        return segment_signature(self.cfg, node, boundary)
+
+    def _call_balanced(self, root: CFGNode, boundary: CFGNode) -> bool:
+        """Whether frames pushed between ``root`` and ``boundary`` all pop again.
+
+        The static ``call_depth`` stamped by the flattening builder makes
+        this a local check: boundary and root must sit at the same splice
+        depth, the boundary must not be a ``CALL_RETURN`` (its pop runs only
+        *after* the boundary state is captured), the root must not be one
+        either (the state at it still carries the callee's frame), and no
+        path inside the segment may escape below the root's depth.
+        """
+        if boundary.call_depth != root.call_depth:
+            return False
+        if boundary.kind is NodeKind.CALL_RETURN or root.kind is NodeKind.CALL_RETURN:
+            return False
+        for region_node in _canonical_order(self.cfg, root, boundary.node_id):
+            if region_node.kind is NodeKind.END:
+                # Reachable only through assertion-failure escapes, which
+                # terminate execution at the ERROR node without popping;
+                # the END node itself is never part of a captured state.
+                continue
+            if region_node.call_depth < root.call_depth:
+                return False
+        return True
 
     def all_digests(self) -> FrozenSet[str]:
         """Digests of every node's suffix region and segment (invalidation)."""

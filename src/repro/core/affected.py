@@ -176,13 +176,13 @@ class AffectedLocationAnalysis:
         changed = False
         for source_id in sorted(sets.awn):
             source = self.cfg.node(source_id)
-            defined = self.def_use.definition(source)
-            if defined is None:
+            defined = self.def_use.definitions(source)
+            if not defined:
                 continue
             for target in self.cfg.branch_nodes():
                 if target.node_id in sets.acn:
                     continue
-                if defined not in self.def_use.uses(target):
+                if not any(variable in self.def_use.uses(target) for variable in defined):
                     continue
                 if not self.reachability.is_cfg_path(source, target):
                     continue
@@ -201,13 +201,13 @@ class AffectedLocationAnalysis:
         changed = False
         for source_id in sorted(sets.awn):
             source = self.cfg.node(source_id)
-            defined = self.def_use.definition(source)
-            if defined is None:
+            defined = self.def_use.definitions(source)
+            if not defined:
                 continue
             for target in self.cfg.write_nodes():
                 if target.node_id in sets.awn:
                     continue
-                if defined not in self.def_use.uses(target):
+                if not any(variable in self.def_use.uses(target) for variable in defined):
                     continue
                 if not self.reachability.is_cfg_path(source, target):
                     continue
@@ -228,12 +228,12 @@ class AffectedLocationAnalysis:
             for source in self.cfg.write_nodes():
                 if source.node_id in sets.awn:
                     continue
-                defined = self.def_use.definition(source)
-                if defined is None:
+                defined = self.def_use.definitions(source)
+                if not defined:
                     continue
                 for target_id in sorted(sets.awn | sets.acn):
                     target = self.cfg.node(target_id)
-                    if defined not in self.def_use.uses(target):
+                    if not any(variable in self.def_use.uses(target) for variable in defined):
                         continue
                     if not self.reachability.is_cfg_path(source, target):
                         continue

@@ -51,6 +51,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.cfg.builder import RETURN_VARIABLE
 from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.ir import FALSE_EDGE, TRUE_EDGE, CFGNode, NodeKind
 from repro.cfg.region_hash import RegionHashIndex
@@ -77,6 +78,12 @@ DEFAULT_BUDGET = 4096
 #: query answered "all targets coverable"); deterministic per key, so it is
 #: as cacheable as an exact answer.
 _INEXACT = object()
+
+#: Reserved (non-string) key under which a walk keeps its call-frame stack
+#: inside the environment dict.  The evaluator only ever looks up string
+#: variable names, so the entry is invisible to expression evaluation, and
+#: it forks together with the environment at branch points.
+_WALK_FRAMES = ("@walk-frames",)
 
 
 @dataclass
@@ -425,6 +432,62 @@ class _Walk:
         #: explicit-stack replacement for the per-branch ``on_path`` sets).
         self._on_path: Dict[int, int] = {}
 
+    def _walk_call(self, node: CFGNode, env: Dict[str, Term]) -> Dict[str, Term]:
+        """Mirror the engine's CALL scope switch inside the walk.
+
+        Arguments are evaluated in the caller's view (failures poison the
+        formal), the caller's bindings of the callee's scope names are saved
+        on the walk's own frame stack, and the formals are rebound.  Caller
+        locals outside the callee's scope stay in the dict -- a validated
+        callee never reads them, so their walk values remain exact across
+        the call.
+        """
+        values = []
+        for arg in node.call_args:
+            try:
+                values.append(evaluate_expression(arg, env))
+            except (UndefinedVariableError, EvaluationError, TypeError, ValueError):
+                values.append(None)
+        env = dict(env)
+        saved = {name: env.get(name) for name in node.scope_names}
+        env[_WALK_FRAMES] = env.get(_WALK_FRAMES, ()) + (saved,)
+        for name in node.scope_names:
+            env.pop(name, None)
+        for param, value in zip(node.call_params, values):
+            if value is not None:
+                env[param] = value
+        return env
+
+    def _walk_call_return(self, node: CFGNode, env: Dict[str, Term]) -> Dict[str, Term]:
+        """Mirror the engine's CALL_RETURN pop inside the walk.
+
+        With a matching walk frame the caller's shadowed bindings are
+        restored exactly; a walk that *started* inside the callee has no
+        frame to pop, so the shadowed names are poisoned instead (the
+        conservative direction -- an unknown value can never justify
+        pruning).
+        """
+        env = dict(env)
+        result = env.get(RETURN_VARIABLE)
+        frames = env.get(_WALK_FRAMES, ())
+        if frames:
+            saved = frames[-1]
+            env[_WALK_FRAMES] = frames[:-1]
+            for name, value in saved.items():
+                if value is None:
+                    env.pop(name, None)
+                else:
+                    env[name] = value
+        else:
+            for name in node.scope_names:
+                env.pop(name, None)
+        if node.target is not None:
+            if result is not None:
+                env[node.target] = result
+            else:
+                env.pop(node.target, None)
+        return env
+
     def run(self, node: CFGNode, env: Dict[str, Term]) -> bool:
         """Walk from ``node``; returns False when forced to bail out.
 
@@ -512,7 +575,11 @@ class _Walk:
                         # Concrete branch: follow the only possible side.
                         node = true_target if condition.value else false_target
                         continue
-                    if owner.memoize:
+                    # Interior memoization is keyed on the region's decision
+                    # variables only; a walk that entered a call carries
+                    # frame-saved bindings the key cannot see, so such
+                    # branches are walked without probing or storing.
+                    if owner.memoize and not env.get(_WALK_FRAMES):
                         remaining = self.targets - self.found
                         memo_key, memo_pins = owner._walk_key(
                             node, env, self.context.constraints(), remaining
@@ -560,6 +627,10 @@ class _Walk:
                     if value is not None:
                         env = dict(env)
                         env[node.target] = value
+                elif node.kind is NodeKind.CALL:
+                    env = self._walk_call(node, env)
+                elif node.kind is NodeKind.CALL_RETURN:
+                    env = self._walk_call_return(node, env)
                 successors = cfg.successors(node)
                 if not successors:
                     break

@@ -1,15 +1,24 @@
 """Program differencing: the lightweight diff analysis DiSE starts from."""
 
-from repro.diff.ast_diff import ChangeKind, ProcedureDiff, diff_procedures
-from repro.diff.diff_map import DiffMap, build_diff_map
+from repro.diff.ast_diff import (
+    ChangeKind,
+    ProcedureDiff,
+    ProgramDiff,
+    diff_procedures,
+    diff_program,
+)
+from repro.diff.diff_map import DiffMap, build_diff_map, build_program_diff_map
 from repro.diff.source_diff import SourceDiff, diff_procedure_sources, diff_source
 
 __all__ = [
     "ChangeKind",
     "ProcedureDiff",
+    "ProgramDiff",
     "diff_procedures",
+    "diff_program",
     "DiffMap",
     "build_diff_map",
+    "build_program_diff_map",
     "SourceDiff",
     "diff_source",
     "diff_procedure_sources",

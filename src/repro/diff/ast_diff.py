@@ -26,8 +26,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.lang.ast_nodes import (
     Assert,
     Assign,
+    CallStmt,
     If,
     Procedure,
+    Program,
     Return,
     Skip,
     Stmt,
@@ -106,6 +108,64 @@ def diff_procedures(base: Procedure, modified: Procedure) -> ProcedureDiff:
     """Diff two versions of (what is assumed to be) the same procedure."""
     result = ProcedureDiff(base=base, modified=modified)
     _diff_statement_lists(base.body, modified.body, result)
+    return result
+
+
+@dataclass
+class ProgramDiff:
+    """The result of diffing two versions of a whole program.
+
+    Procedures are matched by name: a pair present in both versions is
+    diffed statement-by-statement, a procedure only in the base version is
+    *removed* and one only in the modified version is *added*.
+    """
+
+    base: Program
+    modified: Program
+    #: procedure name -> statement-level diff, for procedures in both versions.
+    procedure_diffs: Dict[str, ProcedureDiff] = field(default_factory=dict)
+    added_procedures: List[Procedure] = field(default_factory=list)
+    removed_procedures: List[Procedure] = field(default_factory=list)
+
+    def diff_of(self, name: str) -> Optional[ProcedureDiff]:
+        return self.procedure_diffs.get(name)
+
+    def changed_procedure_names(self) -> List[str]:
+        """Names of matched procedures whose statements changed."""
+        return [
+            name for name, diff in self.procedure_diffs.items() if diff.has_changes()
+        ]
+
+    def has_changes(self) -> bool:
+        return bool(
+            self.added_procedures
+            or self.removed_procedures
+            or self.changed_procedure_names()
+        )
+
+    def summary(self) -> str:
+        return (
+            f"diff(program): {len(self.changed_procedure_names())} changed, "
+            f"{len(self.added_procedures)} added, "
+            f"{len(self.removed_procedures)} removed procedure(s)"
+        )
+
+
+def diff_program(base: Program, modified: Program) -> ProgramDiff:
+    """Diff every procedure of two program versions (matched by name)."""
+    result = ProgramDiff(base=base, modified=modified)
+    modified_by_name = {proc.name: proc for proc in modified.procedures}
+    matched = set()
+    for base_proc in base.procedures:
+        mod_proc = modified_by_name.get(base_proc.name)
+        if mod_proc is None:
+            result.removed_procedures.append(base_proc)
+            continue
+        matched.add(base_proc.name)
+        result.procedure_diffs[base_proc.name] = diff_procedures(base_proc, mod_proc)
+    for mod_proc in modified.procedures:
+        if mod_proc.name not in matched:
+            result.added_procedures.append(mod_proc)
     return result
 
 
@@ -211,6 +271,8 @@ def _target_name(stmt: Stmt) -> Optional[str]:
         return stmt.name
     if isinstance(stmt, VarDecl):
         return stmt.name
+    if isinstance(stmt, CallStmt):
+        return stmt.target
     return None
 
 

@@ -12,6 +12,7 @@ from repro.lang.ast_nodes import (
     Assign,
     BinaryOp,
     BoolLiteral,
+    CallStmt,
     Expr,
     GlobalDecl,
     If,
@@ -32,7 +33,12 @@ from repro.lang.errors import LexerError, MiniLangError, ParseError, SemanticErr
 from repro.lang.lexer import Lexer, tokenize
 from repro.lang.parser import Parser, parse_procedure, parse_program
 from repro.lang.pretty import pretty_procedure, pretty_program
-from repro.lang.validate import validate_procedure, validate_program
+from repro.lang.validate import (
+    ProcedureSignature,
+    procedure_signature,
+    validate_procedure,
+    validate_program,
+)
 
 __all__ = [
     # AST
@@ -40,6 +46,7 @@ __all__ = [
     "Assign",
     "BinaryOp",
     "BoolLiteral",
+    "CallStmt",
     "Expr",
     "GlobalDecl",
     "If",
@@ -70,4 +77,6 @@ __all__ = [
     "pretty_procedure",
     "validate_program",
     "validate_procedure",
+    "ProcedureSignature",
+    "procedure_signature",
 ]

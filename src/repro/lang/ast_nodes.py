@@ -240,6 +240,37 @@ class Assert(Stmt):
 
 
 @dataclass
+class CallStmt(Stmt):
+    """A procedure call: ``f(a, b);`` or ``y = f(a, b);``.
+
+    Calls are statements, not expressions: a call may appear bare (return
+    value discarded) or as the entire right-hand side of an assignment,
+    which keeps the symbolic engine's evaluation of ordinary expressions
+    side-effect free.
+    """
+
+    callee: str
+    args: List[Expr] = field(default_factory=list)
+    target: Optional[str] = None
+    line: int = 0
+
+    def structural_key(self) -> tuple:
+        return (
+            "call",
+            self.target,
+            self.callee,
+            tuple(arg.structural_key() for arg in self.args),
+        )
+
+    def __str__(self) -> str:
+        args = ", ".join(str(arg) for arg in self.args)
+        call = f"{self.callee}({args})"
+        if self.target is not None:
+            return f"{self.target} = {call};"
+        return f"{call};"
+
+
+@dataclass
 class Return(Stmt):
     """A return statement with an optional value."""
 
@@ -328,6 +359,22 @@ class Procedure:
     def param_names(self) -> List[str]:
         return [p.name for p in self.params]
 
+    def local_names(self) -> List[str]:
+        """Names declared by ``VarDecl`` statements anywhere in the body."""
+        names: List[str] = []
+        for stmt in walk_statements(self.body):
+            if isinstance(stmt, VarDecl) and stmt.name not in names:
+                names.append(stmt.name)
+        return names
+
+    def called_procedures(self) -> List[str]:
+        """Names of procedures called anywhere in the body (first-call order)."""
+        names: List[str] = []
+        for stmt in walk_statements(self.body):
+            if isinstance(stmt, CallStmt) and stmt.callee not in names:
+                names.append(stmt.callee)
+        return names
+
     def __str__(self) -> str:
         params = ", ".join(str(p) for p in self.params)
         return f"proc {self.name}({params}) ..."
@@ -360,6 +407,9 @@ class Program:
 
     def global_names(self) -> List[str]:
         return [g.name for g in self.globals]
+
+    def has_procedure(self, name: str) -> bool:
+        return any(proc.name == name for proc in self.procedures)
 
     def __str__(self) -> str:
         names = ", ".join(p.name for p in self.procedures)

@@ -8,10 +8,12 @@ Grammar (EBNF)::
     params      ::= type IDENT ("," type IDENT)*
     type        ::= "int" | "bool"
     block       ::= "{" stmt* "}"
-    stmt        ::= var_decl | assign | if_stmt | while_stmt
+    stmt        ::= var_decl | assign | call_stmt | if_stmt | while_stmt
                   | assert_stmt | return_stmt | skip_stmt
     var_decl    ::= type IDENT ("=" expr)? ";"
-    assign      ::= IDENT "=" expr ";"
+    assign      ::= IDENT "=" (call | expr) ";"
+    call_stmt   ::= call ";"
+    call        ::= IDENT "(" (expr ("," expr)*)? ")"
     if_stmt     ::= "if" "(" expr ")" block ("else" (block | if_stmt))?
     while_stmt  ::= "while" "(" expr ")" block
     assert_stmt ::= "assert" expr ";"
@@ -31,6 +33,7 @@ from repro.lang.ast_nodes import (
     Assign,
     BinaryOp,
     BoolLiteral,
+    CallStmt,
     Expr,
     GlobalDecl,
     If,
@@ -80,6 +83,10 @@ class Parser:
 
     def _check(self, token_type: TokenType) -> bool:
         return self._peek().type == token_type
+
+    def _check_ahead(self, offset: int, token_type: TokenType) -> bool:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index].type == token_type
 
     def _advance(self) -> Token:
         token = self.tokens[self.pos]
@@ -175,6 +182,10 @@ class Parser:
         if token.type in _TYPE_TOKENS:
             return self._parse_var_decl()
         if token.type == TokenType.IDENT:
+            if self._check_ahead(1, TokenType.LPAREN):
+                call = self._parse_call(target=None)
+                self._expect(TokenType.SEMICOLON, "';'")
+                return call
             return self._parse_assign()
         if token.type == TokenType.IF:
             return self._parse_if()
@@ -199,12 +210,27 @@ class Parser:
         self._expect(TokenType.SEMICOLON, "';'")
         return VarDecl(type_token.value, name.value, init, line=type_token.line)
 
-    def _parse_assign(self) -> Assign:
+    def _parse_assign(self) -> Stmt:
         name = self._expect(TokenType.IDENT, "variable name")
         self._expect(TokenType.ASSIGN, "'='")
+        if self._check(TokenType.IDENT) and self._check_ahead(1, TokenType.LPAREN):
+            call = self._parse_call(target=name.value, line=name.line)
+            self._expect(TokenType.SEMICOLON, "';'")
+            return call
         value = self._parse_expr()
         self._expect(TokenType.SEMICOLON, "';'")
         return Assign(name.value, value, line=name.line)
+
+    def _parse_call(self, target: Optional[str], line: Optional[int] = None) -> CallStmt:
+        callee = self._expect(TokenType.IDENT, "procedure name")
+        self._expect(TokenType.LPAREN, "'('")
+        args: List[Expr] = []
+        if not self._check(TokenType.RPAREN):
+            args.append(self._parse_expr())
+            while self._match(TokenType.COMMA):
+                args.append(self._parse_expr())
+        self._expect(TokenType.RPAREN, "')'")
+        return CallStmt(callee.value, args, target=target, line=line or callee.line)
 
     def _parse_if(self) -> If:
         keyword = self._expect(TokenType.IF, "'if'")

@@ -11,6 +11,7 @@ from typing import List
 from repro.lang.ast_nodes import (
     Assert,
     Assign,
+    CallStmt,
     GlobalDecl,
     If,
     Procedure,
@@ -69,6 +70,11 @@ def _render_statement(stmt: Stmt, depth: int) -> List[str]:
         return [f"{pad}{stmt.type_name} {stmt.name};"]
     if isinstance(stmt, Assign):
         return [f"{pad}{stmt.name} = {stmt.value};"]
+    if isinstance(stmt, CallStmt):
+        call = f"{stmt.callee}({', '.join(str(arg) for arg in stmt.args)})"
+        if stmt.target is not None:
+            return [f"{pad}{stmt.target} = {call};"]
+        return [f"{pad}{call};"]
     if isinstance(stmt, Assert):
         return [f"{pad}assert {stmt.condition};"]
     if isinstance(stmt, Return):

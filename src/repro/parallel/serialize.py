@@ -49,7 +49,7 @@ from repro.solver.terms import (
     mk_symbol,
     term_key,
 )
-from repro.symexec.state import PathCondition, SymbolicState
+from repro.symexec.state import CallFrame, PathCondition, SymbolicState
 from repro.symexec.summary import MethodSummary, PathRecord
 from repro.symexec.summary_cache import (
     CacheKey,
@@ -163,6 +163,33 @@ def decode_environment(data) -> Dict[str, Term]:
     return {name: decode_term(term) for name, term in data}
 
 
+def encode_frames(frames: Tuple[CallFrame, ...]) -> list:
+    """Encode a state's call stack; ``None`` saved bindings travel as null."""
+    return [
+        [
+            frame.callee,
+            [
+                [name, None if term is None else encode_term(term)]
+                for name, term in frame.saved
+            ],
+        ]
+        for frame in frames
+    ]
+
+
+def decode_frames(data) -> Tuple[CallFrame, ...]:
+    return tuple(
+        CallFrame(
+            callee=callee,
+            saved=tuple(
+                (name, None if term is None else decode_term(term))
+                for name, term in saved
+            ),
+        )
+        for callee, saved in data
+    )
+
+
 def encode_state(state: SymbolicState) -> dict:
     """Encode a symbolic state; the CFG node travels as its ``node_id``."""
     return {
@@ -171,6 +198,7 @@ def encode_state(state: SymbolicState) -> dict:
         "constraints": [encode_term(term) for term in state.path_condition.constraints],
         "depth": state.depth,
         "trace": list(state.trace),
+        "frames": encode_frames(state.frames),
     }
 
 
@@ -182,6 +210,7 @@ def decode_state(data, cfg) -> SymbolicState:
         path_condition=PathCondition(tuple(decode_term(t) for t in data["constraints"])),
         depth=data["depth"],
         trace=tuple(data["trace"]),
+        frames=decode_frames(data.get("frames", [])),
     )
 
 
@@ -244,6 +273,7 @@ def encode_summary(summary) -> dict:
                     "writes": _encode_writes(record.writes),
                     "trace": list(record.trace),
                     "is_error": record.is_error,
+                    "removed": list(record.removed),
                 }
                 for record in summary.records
             ],
@@ -261,6 +291,7 @@ def encode_summary(summary) -> dict:
                     "trace": list(record.trace),
                     "depth_delta": record.depth_delta,
                     "is_error": record.is_error,
+                    "removed": list(record.removed),
                 }
                 for record in summary.records
             ],
@@ -280,6 +311,7 @@ def decode_summary(data):
                     writes=_decode_writes(record["writes"]),
                     trace=tuple(record["trace"]),
                     is_error=record["is_error"],
+                    removed=tuple(record.get("removed", ())),
                 )
                 for record in data["records"]
             ),
@@ -296,6 +328,7 @@ def decode_summary(data):
                     trace=tuple(record["trace"]),
                     depth_delta=record["depth_delta"],
                     is_error=record["is_error"],
+                    removed=tuple(record.get("removed", ())),
                 )
                 for record in data["records"]
             ),
@@ -319,15 +352,19 @@ def encode_cache_entry(key: CacheKey, summary, pins: Tuple[Term, ...]) -> dict:
         by_id[interned.__dict__["term_id"]] = interned
     encoded_fingerprint = []
     for name, value_id in fingerprint:
+        # Plain environment entries use string names; call-frame entries use
+        # tuple names like ("@saved", depth, var) which need the tagged
+        # container encoding to round-trip as tuples.
+        encoded_name = encode_value(name)
         if value_id == -1:
-            encoded_fingerprint.append([name, None])
+            encoded_fingerprint.append([encoded_name, None])
             continue
         term = by_id.get(value_id)
         if term is None:
             raise SerializationError(
                 f"Fingerprint id {value_id} for {name!r} is not covered by the entry's pins"
             )
-        encoded_fingerprint.append([name, encode_term(term)])
+        encoded_fingerprint.append([encoded_name, encode_term(term)])
     return {
         "kind": kind,
         "digest": digest,
@@ -347,7 +384,8 @@ def decode_cache_entry(data) -> Tuple[CacheKey, object, Tuple[Term, ...]]:
     """
     pins: List[Term] = []
     fingerprint = []
-    for name, encoded in data["fingerprint"]:
+    for encoded_name, encoded in data["fingerprint"]:
+        name = decode_value(encoded_name)
         if encoded is None:
             fingerprint.append((name, -1))
             continue

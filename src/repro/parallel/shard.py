@@ -60,8 +60,10 @@ from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_program
 from repro.parallel.serialize import (
     decode_environment,
+    decode_frames,
     encode_cache_entries,
     encode_environment,
+    encode_frames,
 )
 from repro.solver.core import ConstraintSolver
 from repro.symexec.engine import SymbolicExecutor
@@ -96,6 +98,15 @@ class ShardConfig:
     max_shards: int = 256
     min_shards: int = 2
     pool_timeout_seconds: float = 600.0
+    #: Adaptive deferral (ROADMAP "Shard scheduling"): when the summary
+    #: cache has already seen a subtree with this region digest, its
+    #: recorded path count estimates the subtree's solver work.  Subtrees
+    #: estimated below ``min_task_paths`` are explored inline -- shipping
+    #: them would cost more than solving them -- which is what lifts the
+    #: process-fence overhead on artifacts with cheap subtrees (WBS/OAE).
+    #: Unknown digests fall back to the fixed ``split_depth`` behaviour.
+    adaptive: bool = True
+    min_task_paths: int = 6
 
 
 @dataclass
@@ -119,6 +130,9 @@ class ParallelReport:
     workers: int = 0
     frontier_frames: int = 0
     shards: int = 0
+    #: Eligible frames the adaptive policy kept inline because their
+    #: estimated subtree was cheaper than the shipping cost.
+    adaptive_inline: int = 0
     merged_entries: int = 0
     worker_paths: int = 0
     worker_states: int = 0
@@ -132,6 +146,7 @@ class ParallelReport:
             "workers": self.workers,
             "frontier_frames": self.frontier_frames,
             "shards": self.shards,
+            "adaptive_inline": self.adaptive_inline,
             "merged_entries": self.merged_entries,
             "worker_paths": self.worker_paths,
             "worker_states": self.worker_states,
@@ -169,6 +184,7 @@ class FrontierCollector(SymbolicExecutor):
         self.tasks: List[FrontierTask] = []
         self._task_keys = set()
         self.frontier_frames = 0
+        self.adaptive_inline = 0
 
     def _visit(self, state, summary, tree_node, edge_label=""):
         if self._defer(state, edge_label):
@@ -193,11 +209,19 @@ class FrontierCollector(SymbolicExecutor):
         # class docstring), so the early call is safe.
         self.strategy.on_state(state)
         signature = self.region_index.signature(node)
+        if self.config.adaptive:
+            # A subtree the cache has seen before (any key with this region
+            # digest) comes with a path-count estimate; ship it only when
+            # the estimated solver work beats the process-fence cost.
+            estimate = self.summary_cache.size_hint(signature.digest)
+            if estimate is not None and estimate < self.config.min_task_paths:
+                self.adaptive_inline += 1
+                return False
         token = self.strategy.replay_token(state, signature)
         if token is None:
             return False
         fingerprint = self._fingerprint(
-            state.env_map(), signature, state.path_condition.constraints
+            state.env_map(), signature, state.path_condition.constraints, state.frames
         )
         if fingerprint is None:
             return False
@@ -226,6 +250,7 @@ class FrontierCollector(SymbolicExecutor):
                     "root": node.node_id,
                     "edge": edge_label,
                     "environment": encode_environment(state.environment),
+                    "frames": encode_frames(state.frames),
                     "depth_bound": budget,
                     "strategy": self.strategy_payload(state),
                 },
@@ -330,7 +355,7 @@ def _worker_program(source: str, procedure_name: str) -> Tuple[Program, ControlF
     cached = _WORKER_PROGRAMS.get(key)
     if cached is None:
         program = parse_program(source)
-        cached = (program, build_cfg(program.procedure(procedure_name)))
+        cached = (program, build_cfg(program, procedure_name))
         if len(_WORKER_PROGRAMS) >= 256:
             _WORKER_PROGRAMS.clear()
         _WORKER_PROGRAMS[key] = cached
@@ -350,7 +375,10 @@ def run_shard(payload: Dict) -> Dict:
     root = cfg.node(payload["root"])
     environment = decode_environment(payload["environment"])
     entry_state = SymbolicState.make(
-        node=root, environment=environment, trace=(root.node_id,)
+        node=root,
+        environment=environment,
+        trace=(root.node_id,),
+        frames=decode_frames(payload.get("frames", [])),
     )
     # The worker's solver must decide exactly what the parent's would: a
     # different integer bound could flip a subtree branch verdict and the
@@ -496,6 +524,7 @@ def prewarm_parallel(
     collector.run()
     report.collect_seconds = time.perf_counter() - started
     report.frontier_frames = collector.frontier_frames
+    report.adaptive_inline = collector.adaptive_inline
     tasks = collector.tasks
     report.shards = len(tasks)
     if len(tasks) < config.min_shards:

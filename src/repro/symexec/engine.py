@@ -17,7 +17,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cfg.builder import build_cfg
+from repro.cfg.builder import RETURN_VARIABLE, build_cfg
 from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.ir import FALSE_EDGE, TRUE_EDGE, CFGNode, NodeKind
 from repro.cfg.region_hash import RegionHashIndex, RegionSignature
@@ -40,7 +40,7 @@ from repro.solver.terms import (
     term_key,
 )
 from repro.symexec.evaluator import evaluate_expression
-from repro.symexec.state import PathCondition, SymbolicState
+from repro.symexec.state import CallFrame, PathCondition, SymbolicState
 from repro.symexec.strategy import ExplorationStrategy, ExploreEverything
 from repro.symexec.summary import MethodSummary, PathRecord
 from repro.symexec.summary_cache import (
@@ -270,7 +270,11 @@ class SymbolicExecutor:
                 self.procedure = program.procedure(procedure_name)
         else:
             raise TypeError("program must be a Program or a Procedure")
-        self.cfg = cfg or build_cfg(self.procedure)
+        self.cfg = cfg or build_cfg(self.program, self.procedure.name)
+        #: Names of the program's globals: the only environment entries that
+        #: survive a call-scope switch (callees see current global values and
+        #: their writes to globals persist past the return).
+        self._global_names = frozenset(decl.name for decl in self.program.globals)
         self.solver = solver or ConstraintSolver()
         #: Incremental context mirroring the DFS branch stack: at every branch
         #: only the delta constraint is linearised and propagated, instead of
@@ -532,16 +536,18 @@ class SymbolicExecutor:
         Recording at every visited state would store one summary per state
         (O(paths x depth) memory for near-zero extra reuse).  Roots where a
         future hit is plausible are the procedure entry (whole-run replay),
-        branch nodes (a diff upstream re-enters the same decision diamond)
-        and branch arms (a diff inside one arm leaves the sibling arm's
-        suffix intact) -- interior straight-line nodes are always dominated
-        by one of these.
+        branch nodes (a diff upstream re-enters the same decision diamond),
+        branch arms (a diff inside one arm leaves the sibling arm's
+        suffix intact) and ``CALL`` nodes (the per-procedure summary root:
+        an unchanged callee replays under every version that reaches the
+        call with a matching entry environment) -- interior straight-line
+        nodes are always dominated by one of these.
         """
-        if node.kind is NodeKind.BEGIN or node.kind is NodeKind.BRANCH:
+        if node.kind in (NodeKind.BEGIN, NodeKind.BRANCH, NodeKind.CALL):
             return True
         return edge_label in (TRUE_EDGE, FALSE_EDGE)
 
-    def _fingerprint(self, env, signature: RegionSignature, prefix_constraints):
+    def _fingerprint(self, env, signature: RegionSignature, prefix_constraints, frames=()):
         """Environment fingerprint for a region entry, or None when the
         observable environment shares symbols with the path-condition prefix
         (replay would not transfer to other roots in that case).
@@ -553,6 +559,12 @@ class SymbolicExecutor:
         delta and replay is only exact when the entry value matches -- but
         their symbols need no disjointness check, since their entry values
         merely pass through to paths that do not overwrite them.
+
+        For a root inside a spliced callee, the state's call frames are part
+        of the observable entry too: the frames' saved bindings are restored
+        by in-region ``CALL_RETURN`` pops and then flow into post-return
+        behaviour, so every saved binding joins the fingerprint (and the
+        prefix-disjointness requirement) exactly like a read variable.
         """
         fingerprint = []
         region_symbols = set()
@@ -563,6 +575,14 @@ class SymbolicExecutor:
                 continue
             fingerprint.append((name, term_key(term)))
             region_symbols.update(term_symbols(term))
+        for position, frame in enumerate(frames):
+            fingerprint.append((("@frame", position, frame.callee), -1))
+            for name, term in frame.saved:
+                if term is None:
+                    fingerprint.append((("@saved", position, name), -1))
+                    continue
+                fingerprint.append((("@saved", position, name), term_key(term)))
+                region_symbols.update(term_symbols(term))
         if region_symbols:
             for constraint in prefix_constraints:
                 if region_symbols & term_symbols(constraint):
@@ -601,7 +621,7 @@ class SymbolicExecutor:
         budget = None if self.depth_bound is None else self.depth_bound - state.depth
         recordings: List = []
 
-        fingerprint = self._fingerprint(env, signature, prefix)
+        fingerprint = self._fingerprint(env, signature, prefix, state.frames)
         if fingerprint is not None:
             key = ("suffix", signature.digest, fingerprint, token, budget)
             cached = (
@@ -624,7 +644,7 @@ class SymbolicExecutor:
         if self.strategy.supports_partial_replay:
             segment_sig = self.region_index.segment(node)
             if segment_sig is not None:
-                seg_fingerprint = self._fingerprint(env, segment_sig, prefix)
+                seg_fingerprint = self._fingerprint(env, segment_sig, prefix, state.frames)
                 if seg_fingerprint is not None:
                     seg_key = ("segment", segment_sig.digest, seg_fingerprint, token, budget)
                     cached = (
@@ -662,6 +682,8 @@ class SymbolicExecutor:
         for replay in cached.records:
             environment = dict(base_env)
             environment.update(replay.writes)
+            for name in replay.removed:
+                environment.pop(name, None)
             record = PathRecord(
                 path_condition=PathCondition(base_constraints + replay.constraints),
                 final_environment=tuple(sorted(environment.items())),
@@ -698,6 +720,8 @@ class SymbolicExecutor:
         for replay in cached.records:
             environment = dict(base_env)
             environment.update(replay.writes)
+            for name in replay.removed:
+                environment.pop(name, None)
             constraints = base_constraints + replay.constraints
             trace = base_trace + tuple(
                 signature.nodes[index].node_id for index in replay.trace
@@ -721,6 +745,9 @@ class SymbolicExecutor:
                 path_condition=PathCondition(constraints),
                 depth=state.depth + replay.depth_delta,
                 trace=trace + (boundary.node_id,),
+                # Segments are call-balanced (see RegionHashIndex.segment),
+                # so the boundary is reached with the root's frames intact.
+                frames=state.frames,
             )
             successors.extend(self._expand_replayed(continuation, summary))
         return successors
@@ -781,6 +808,7 @@ class SymbolicExecutor:
         index = recording.signature.index
         records = []
         for record in recording.records:
+            final_names = {name for name, _ in record.final_environment}
             writes = tuple(
                 (name, term)
                 for name, term in record.final_environment
@@ -792,6 +820,12 @@ class SymbolicExecutor:
                     writes=writes,
                     trace=tuple(index[node_id] for node_id in record.trace[trace_len:]),
                     is_error=record.is_error,
+                    # A root inside a callee records paths whose frame pops
+                    # delete the callee-scope names; replay must delete them
+                    # too, or rebased environments retain stale bindings.
+                    removed=tuple(
+                        name for name in root_env if name not in final_names
+                    ),
                 )
             )
         self.summary_cache.store(
@@ -821,6 +855,7 @@ class SymbolicExecutor:
                     for name, term in state.environment
                     if root_env.get(name) is not term and root_env.get(name) != term
                 )
+                boundary_names = {name for name, _ in state.environment}
                 records.append(
                     SegmentRecord(
                         constraints=state.path_condition.constraints[prefix_len:],
@@ -830,10 +865,14 @@ class SymbolicExecutor:
                         trace=tuple(index[i] for i in state.trace[trace_len:-1]),
                         depth_delta=state.depth - root.depth,
                         is_error=False,
+                        removed=tuple(
+                            name for name in root_env if name not in boundary_names
+                        ),
                     )
                 )
             else:
                 record = item
+                final_names = {name for name, _ in record.final_environment}
                 writes = tuple(
                     (name, term)
                     for name, term in record.final_environment
@@ -846,6 +885,9 @@ class SymbolicExecutor:
                         trace=tuple(index[i] for i in record.trace[trace_len:]),
                         depth_delta=0,
                         is_error=True,
+                        removed=tuple(
+                            name for name in root_env if name not in final_names
+                        ),
                     )
                 )
         self.summary_cache.store(
@@ -866,9 +908,15 @@ class SymbolicExecutor:
         Interning is weak, so the cache must anchor the root environment's
         terms itself: as long as the entry lives, a later version's
         structurally identical environment re-interns to these instances
-        and reproduces the same fingerprint ids.
+        and reproduces the same fingerprint ids.  The call frames' saved
+        bindings join the fingerprint, so their terms are pinned too.
         """
-        return tuple(intern_term(term) for _, term in root.environment)
+        pins = [intern_term(term) for _, term in root.environment]
+        for frame in root.frames:
+            pins.extend(
+                intern_term(term) for _, term in frame.saved if term is not None
+            )
+        return tuple(pins)
 
     def _successors(self, state: SymbolicState) -> List[Tuple[SymbolicState, str]]:
         node = state.node
@@ -881,7 +929,63 @@ class SymbolicExecutor:
         if node.kind is NodeKind.ASSIGN:
             value = evaluate_expression(node.expr, state.env_map())
             return [(state.with_assignment(target, node.target, value), "")]
+        if node.kind is NodeKind.CALL:
+            return [(self._enter_call(state, node, target), "")]
+        if node.kind is NodeKind.CALL_RETURN:
+            return [(self._leave_call(state, node, target), "")]
         return [(state.with_node(target), "")]
+
+    def _enter_call(
+        self, state: SymbolicState, node: CFGNode, target: CFGNode
+    ) -> SymbolicState:
+        """Execute a ``CALL`` node: evaluate args, push a frame, switch scope.
+
+        The callee's environment contains the current global values plus the
+        formals bound to the evaluated arguments -- nothing of the caller's
+        locals leaks in.  The frame saves every caller binding that is not a
+        global, so the matching ``CALL_RETURN`` restores the caller's scope
+        exactly.
+        """
+        env = state.env_map()
+        values = [evaluate_expression(arg, env) for arg in node.call_args]
+        saved = tuple(
+            (name, term)
+            for name, term in state.environment
+            if name not in self._global_names
+        )
+        callee_env: Dict[str, Term] = {
+            name: term for name, term in env.items() if name in self._global_names
+        }
+        callee_env.update(zip(node.call_params, values))
+        frame = CallFrame(callee=node.callee, saved=saved)
+        return state.with_call(target, callee_env, frame)
+
+    def _leave_call(
+        self, state: SymbolicState, node: CFGNode, target: CFGNode
+    ) -> SymbolicState:
+        """Execute a ``CALL_RETURN`` node: pop the frame, bind the result."""
+        if not state.frames:
+            raise RuntimeError(
+                f"CALL_RETURN at {node.name} with an empty call stack "
+                f"(corrupt entry state?)"
+            )
+        frame = state.frames[-1]
+        env = state.env_map()
+        caller_env: Dict[str, Term] = {
+            name: term for name, term in env.items() if name in self._global_names
+        }
+        caller_env.update(
+            (name, term) for name, term in frame.saved if term is not None
+        )
+        if node.target is not None:
+            result = env.get(RETURN_VARIABLE)
+            if result is None:
+                raise RuntimeError(
+                    f"Procedure {node.callee!r} returned no value for "
+                    f"{node.target!r} (line {node.line})"
+                )
+            caller_env[node.target] = result
+        return state.with_return(target, caller_env)
 
     def _sync_context(self, state: SymbolicState) -> None:
         """Align the incremental context with ``state``'s path condition.

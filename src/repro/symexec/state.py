@@ -47,6 +47,26 @@ class PathCondition:
 
 
 @dataclass(frozen=True)
+class CallFrame:
+    """One entry of a state's call stack (interprocedural execution).
+
+    Pushed when execution enters a ``CALL`` node: ``saved`` holds every
+    non-global binding of the caller's environment (the callee executes
+    under ``globals ∪ formals`` only, so the whole caller scope is set
+    aside).  Popped at the matching ``CALL_RETURN`` node, which rebuilds
+    the caller environment from the current globals plus these bindings
+    before assigning the return value to the call target.  ``None`` values
+    stand for "no binding" and are skipped on restore.
+    """
+
+    callee: str
+    saved: Tuple[Tuple[str, Optional[Term]], ...]
+
+    def saved_map(self) -> Dict[str, Optional[Term]]:
+        return dict(self.saved)
+
+
+@dataclass(frozen=True)
 class SymbolicState:
     """A symbolic execution state: location + symbolic environment + PC.
 
@@ -54,6 +74,10 @@ class SymbolicState:
     across the immutable state chain); the dictionary view needed by the
     evaluator at every ASSIGN/BRANCH node is computed once per state and
     cached (states are frozen, so the cache can never go stale).
+
+    ``frames`` is the call stack: empty while executing the entry
+    procedure's own nodes, one :class:`CallFrame` per active spliced call
+    while inside a callee's nodes.
     """
 
     node: CFGNode
@@ -61,6 +85,7 @@ class SymbolicState:
     path_condition: PathCondition = field(default_factory=PathCondition)
     depth: int = 0
     trace: Tuple[int, ...] = ()
+    frames: Tuple[CallFrame, ...] = ()
 
     @staticmethod
     def make(
@@ -69,6 +94,7 @@ class SymbolicState:
         path_condition: Optional[PathCondition] = None,
         depth: int = 0,
         trace: Tuple[int, ...] = (),
+        frames: Tuple[CallFrame, ...] = (),
     ) -> "SymbolicState":
         return SymbolicState(
             node=node,
@@ -76,6 +102,7 @@ class SymbolicState:
             path_condition=path_condition or PathCondition(),
             depth=depth,
             trace=trace,
+            frames=frames,
         )
 
     def env_map(self) -> Mapping[str, Term]:
@@ -104,6 +131,7 @@ class SymbolicState:
             path_condition=self.path_condition,
             depth=self.depth,
             trace=self.trace + (node.node_id,),
+            frames=self.frames,
         )
 
     def with_assignment(self, node: CFGNode, name: str, value: Term) -> "SymbolicState":
@@ -115,6 +143,7 @@ class SymbolicState:
             path_condition=self.path_condition,
             depth=self.depth,
             trace=self.trace + (node.node_id,),
+            frames=self.frames,
         )
 
     def with_constraint(self, node: CFGNode, constraint: Term) -> "SymbolicState":
@@ -124,6 +153,31 @@ class SymbolicState:
             path_condition=self.path_condition.extend(constraint),
             depth=self.depth + 1,
             trace=self.trace + (node.node_id,),
+            frames=self.frames,
+        )
+
+    def with_call(
+        self, node: CFGNode, environment: Dict[str, Term], frame: CallFrame
+    ) -> "SymbolicState":
+        """Enter a callee: push ``frame`` and switch to the callee-scope env."""
+        return SymbolicState.make(
+            node=node,
+            environment=environment,
+            path_condition=self.path_condition,
+            depth=self.depth,
+            trace=self.trace + (node.node_id,),
+            frames=self.frames + (frame,),
+        )
+
+    def with_return(self, node: CFGNode, environment: Dict[str, Term]) -> "SymbolicState":
+        """Leave a callee: pop the innermost frame, restore caller scope."""
+        return SymbolicState.make(
+            node=node,
+            environment=environment,
+            path_condition=self.path_condition,
+            depth=self.depth,
+            trace=self.trace + (node.node_id,),
+            frames=self.frames[:-1],
         )
 
     def describe(self) -> str:

@@ -74,14 +74,18 @@ class ReplayRecord:
     ``writes`` are the environment entries that differ from the root
     environment (terms are closed over the region's read variables, so they
     are valid verbatim under any root with a matching fingerprint);
-    ``trace`` uses canonical region indices so it can be rebased onto
-    another version's node ids.
+    ``removed`` are the root-environment names *absent* from the final
+    environment -- a root inside a spliced callee records paths whose
+    ``CALL_RETURN`` pops delete the callee-scope bindings, which a
+    set-only diff could not express; ``trace`` uses canonical region
+    indices so it can be rebased onto another version's node ids.
     """
 
     constraints: Tuple[Term, ...]
     writes: Tuple[Tuple[str, Term], ...]
     trace: Tuple[int, ...]
     is_error: bool = False
+    removed: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -112,6 +116,10 @@ class SegmentRecord:
     trace: Tuple[int, ...]
     depth_delta: int = 0
     is_error: bool = False
+    #: Root-environment names absent at capture (an error record that died
+    #: inside a nested call, after its scope switch removed them; balanced
+    #: boundary continuations never delete).
+    removed: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -198,6 +206,13 @@ class SummaryCache:
         self.generation = 0
         self.miss_tolerance = miss_tolerance
         self.stale_after = stale_after
+        #: region digest -> largest record count ever stored/adopted under
+        #: it.  The parallel frontier collector reads this as a solver-work
+        #: estimate for its adaptive deferral policy (a digest that survives
+        #: into the next version describes the same subtree content, so its
+        #: recorded path count transfers).  Hints are never evicted -- they
+        #: are a few bytes each and stale hints merely influence scheduling.
+        self._size_hints: Dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -259,7 +274,21 @@ class SummaryCache:
 
     def store(self, key: CacheKey, summary, pins: Tuple[Term, ...] = ()) -> None:
         self._entries[key] = _Entry(summary, self.generation, self.generation, pins=pins)
+        self._record_size_hint(summary)
         self.statistics.stores += 1
+
+    def _record_size_hint(self, summary) -> None:
+        digest = getattr(summary, "digest", None)
+        records = getattr(summary, "records", None)
+        if digest is None or records is None:
+            return
+        count = len(records)
+        if count > self._size_hints.get(digest, -1):
+            self._size_hints[digest] = count
+
+    def size_hint(self, digest: str) -> Optional[int]:
+        """Largest known record count for the region ``digest`` (or None)."""
+        return self._size_hints.get(digest)
 
     # -- merge / persistence support ------------------------------------------
 
@@ -279,6 +308,7 @@ class SummaryCache:
         if key in self._entries:
             return False
         self._entries[key] = _Entry(summary, self.generation, self.generation, pins=pins)
+        self._record_size_hint(summary)
         self.statistics.adopted += 1
         return True
 

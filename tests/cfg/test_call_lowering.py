@@ -1,0 +1,181 @@
+"""Flattened interprocedural CFG construction and call-aware region hashing."""
+
+import re
+
+import pytest
+
+from repro.cfg.builder import RETURN_VARIABLE, build_cfg
+from repro.cfg.ir import NodeKind
+from repro.cfg.region_hash import RegionHashIndex, region_signature
+from repro.lang.parser import parse_program
+
+SOURCE = """
+global int g = 0;
+
+proc inc(int a) {
+    if (a > 0) { g = g + a; return a; }
+    return 0;
+}
+
+proc main(int x) {
+    int got = 0;
+    got = inc(x);
+    if (got > 0) { g = g * 2; }
+    inc(g);
+}
+"""
+
+
+def _flat(source=SOURCE, entry="main"):
+    return build_cfg(parse_program(source), entry)
+
+
+class TestCallLowering:
+    def test_call_and_return_nodes_paired(self):
+        cfg = _flat()
+        calls = [n for n in cfg.nodes if n.kind is NodeKind.CALL]
+        returns = [n for n in cfg.nodes if n.kind is NodeKind.CALL_RETURN]
+        assert len(calls) == len(returns) == 2
+        for call in calls:
+            ret = cfg.node(call.return_node_id)
+            assert ret.kind is NodeKind.CALL_RETURN
+            assert ret.call_node_id == call.node_id
+            assert ret.callee == call.callee == "inc"
+            assert call.callee_digest == ret.callee_digest
+
+    def test_splice_depth_stamps(self):
+        cfg = _flat()
+        for node in cfg.nodes:
+            if node.kind in (NodeKind.CALL, NodeKind.CALL_RETURN):
+                assert node.call_depth == 0
+        spliced = [n for n in cfg.nodes if n.call_depth == 1]
+        assert spliced, "callee body nodes must be stamped with depth 1"
+
+    def test_scope_names_cover_params_locals_and_return(self):
+        cfg = _flat()
+        call = next(n for n in cfg.nodes if n.kind is NodeKind.CALL)
+        assert set(call.scope_names) == {"a", RETURN_VARIABLE}
+        assert call.call_params == ("a",)
+
+    def test_callee_returns_flow_to_call_return_not_exit(self):
+        cfg = _flat()
+        call = next(n for n in cfg.nodes if n.kind is NodeKind.CALL)
+        ret = cfg.node(call.return_node_id)
+        return_assigns = [
+            n
+            for n in cfg.nodes
+            if n.kind is NodeKind.ASSIGN and n.target == RETURN_VARIABLE
+        ]
+        assert return_assigns
+        for node in return_assigns[:2]:  # first splice's returns
+            successors = cfg.successors(node)
+            assert len(successors) == 1
+
+    def test_callee_assert_routes_to_flat_exit(self):
+        cfg = _flat(
+            """
+            proc f(int a) { assert a > 0; return a; }
+            proc m(int x) { int r = 0; r = f(x); }
+            """,
+            "m",
+        )
+        error = next(n for n in cfg.nodes if n.kind is NodeKind.ERROR)
+        assert [s.kind for s in cfg.successors(error)] == [NodeKind.END]
+
+    def test_single_procedure_numbering_unchanged(self):
+        """Call-free programs keep the paper's n0..nk numbering."""
+        source = "proc p(int x) { int y = 0; if (x > 0) { y = 1; } }"
+        flat = build_cfg(parse_program(source), "p")
+        bare = build_cfg(parse_program(source).procedure("p"))
+        assert [n.node_id for n in flat.nodes] == [n.node_id for n in bare.nodes]
+        assert [n.structural_key() for n in flat.nodes] == [
+            n.structural_key() for n in bare.nodes
+        ]
+
+    def test_bare_procedure_with_calls_needs_program(self):
+        program = parse_program(SOURCE)
+        with pytest.raises(ValueError, match="build the CFG from the Program"):
+            build_cfg(program.procedure("main"))
+
+    def test_recursion_rejected_by_builder(self):
+        program = parse_program("proc m(int x) { m(x); }")
+        with pytest.raises(ValueError, match="[Rr]ecursive"):
+            build_cfg(program, "m")
+
+    def test_unknown_entry_raises(self):
+        with pytest.raises(KeyError):
+            build_cfg(parse_program(SOURCE), "nope")
+
+    def test_arity_mismatch_raises(self):
+        program = parse_program("proc f(int a, int b) { skip; } proc m(int x) { f(x); }")
+        with pytest.raises(ValueError, match="argument"):
+            build_cfg(program, "m")
+
+
+def _rename(source, old, new):
+    return re.sub(rf"\b{old}\b", new, source)
+
+
+class TestCallAwareRegionHashing:
+    def test_region_digest_stable_under_callee_rename(self):
+        one = _flat()
+        two = _flat(_rename(SOURCE, "inc", "bump"))
+        sig_one = region_signature(one, one.begin)
+        sig_two = region_signature(two, two.begin)
+        assert sig_one.digest == sig_two.digest
+
+    def test_region_digest_changes_with_callee_edit(self):
+        one = _flat()
+        two = _flat(SOURCE.replace("a > 0", "a >= 0"))
+        assert (
+            region_signature(one, one.begin).digest
+            != region_signature(two, two.begin).digest
+        )
+
+    def test_downstream_region_survives_callee_edit_upstream(self):
+        """A region that reaches no call site keeps its digest."""
+        one = _flat()
+        two = _flat(SOURCE.replace("g = g + a;", "g = g + a + 1;"))
+        # The second call's splice region differs, but the suffix region of
+        # the *last* CALL_RETURN's successor (the exit) is call-free.
+        assert (
+            region_signature(one, one.end).digest
+            == region_signature(two, two.end).digest
+        )
+
+    def test_call_segment_is_the_whole_call(self):
+        """The segment of a CALL node runs to just after its CALL_RETURN."""
+        cfg = _flat()
+        index = RegionHashIndex(cfg)
+        call = next(n for n in cfg.nodes if n.kind is NodeKind.CALL)
+        segment = index.segment(call)
+        assert segment is not None
+        ret = cfg.node(call.return_node_id)
+        assert segment.boundary_id == cfg.successors(ret)[0].node_id
+        assert ret.node_id in segment.index
+
+    def test_unbalanced_segments_rejected(self):
+        """A branch root whose ipdom is a CALL_RETURN gets no segment."""
+        cfg = _flat(
+            """
+            proc f(int a) { if (a > 0) { return 1; } return 0; }
+            proc m(int x) { int r = 0; r = f(x); }
+            """,
+            "m",
+        )
+        index = RegionHashIndex(cfg)
+        branch = next(n for n in cfg.nodes if n.kind is NodeKind.BRANCH)
+        assert branch.call_depth == 1
+        segment = index.segment(branch)
+        # The in-callee branch's immediate post-dominator is the
+        # CALL_RETURN, whose pop has not run when the boundary is captured.
+        assert segment is None
+
+    def test_decision_vars_flow_through_call_bindings(self):
+        cfg = _flat()
+        signature = region_signature(cfg, cfg.begin)
+        # The callee branches on its formal `a`, which is bound from the
+        # caller's `x` (first call) and `g` (second call): both must be in
+        # the region's decision closure.
+        assert "x" in signature.decision_vars
+        assert "g" in signature.decision_vars

@@ -1,0 +1,136 @@
+"""Call graph construction and name-independent procedure content digests."""
+
+import random
+
+import pytest
+
+from repro.cfg.callgraph import (
+    CallGraphError,
+    build_call_graph,
+    procedure_digests,
+)
+from repro.lang.parser import parse_program
+
+THREE_PROC = """
+global int g = 0;
+
+proc leaf(int a) {
+    if (a > 0) { g = g + 1; return a; }
+    return 0;
+}
+
+proc mid(int b) {
+    int t = 0;
+    t = leaf(b);
+    return t + 1;
+}
+
+proc top(int x, int y) {
+    int r = 0;
+    r = mid(x);
+    r = leaf(y);
+    leaf(r);
+}
+"""
+
+
+class TestCallGraph:
+    def test_edges_and_sites(self):
+        graph = build_call_graph(parse_program(THREE_PROC))
+        assert graph.calls("top") == ("mid", "leaf")
+        assert graph.calls("mid") == ("leaf",)
+        assert graph.calls("leaf") == ()
+        assert graph.callers_of("leaf") == ("mid", "top")
+        assert len([s for s in graph.sites if s.caller == "top"]) == 3
+
+    def test_transitive_and_reaches(self):
+        graph = build_call_graph(parse_program(THREE_PROC))
+        assert graph.transitive_callees("top") == {"mid", "leaf"}
+        assert graph.reaches("top", "leaf")
+        assert graph.reaches("mid", "leaf")
+        assert not graph.reaches("leaf", "top")
+
+    def test_topological_order_callees_first(self):
+        graph = build_call_graph(parse_program(THREE_PROC))
+        order = graph.topological_order()
+        assert order.index("leaf") < order.index("mid") < order.index("top")
+
+    def test_undefined_callee_raises(self):
+        with pytest.raises(CallGraphError, match="undefined"):
+            build_call_graph(parse_program("proc m(int x) { nope(x); }"))
+
+    def test_cycle_raises(self):
+        program = parse_program(
+            "proc a(int x) { b(x); } proc b(int x) { a(x); }"
+        )
+        graph = build_call_graph(program)
+        with pytest.raises(CallGraphError, match="cycle"):
+            graph.topological_order()
+
+
+def _rename(source, old, new):
+    """Whole-word rename of a procedure and its call sites."""
+    import re
+
+    return re.sub(rf"\b{old}\b", new, source)
+
+
+class TestProcedureDigests:
+    def test_digest_stable_under_reparse(self):
+        one = procedure_digests(parse_program(THREE_PROC))
+        two = procedure_digests(parse_program(THREE_PROC))
+        assert one == two
+
+    def test_digest_stable_under_callee_rename(self):
+        """Renaming a callee (and its call sites) is not a content change."""
+        renamed = _rename(THREE_PROC, "leaf", "leaf_checker")
+        original = procedure_digests(parse_program(THREE_PROC))
+        after = procedure_digests(parse_program(renamed))
+        assert after["leaf_checker"] == original["leaf"]
+        assert after["mid"] == original["mid"]
+        assert after["top"] == original["top"]
+
+    def test_digest_changes_with_callee_edit_transitively(self):
+        edited = THREE_PROC.replace("a > 0", "a >= 0")
+        original = procedure_digests(parse_program(THREE_PROC))
+        after = procedure_digests(parse_program(edited))
+        assert after["leaf"] != original["leaf"]
+        assert after["mid"] != original["mid"]  # calls leaf
+        assert after["top"] != original["top"]  # calls leaf and mid
+
+    def test_caller_only_edit_leaves_callee_digest(self):
+        edited = THREE_PROC.replace("r = mid(x);", "r = mid(x + 1);")
+        original = procedure_digests(parse_program(THREE_PROC))
+        after = procedure_digests(parse_program(edited))
+        assert after["leaf"] == original["leaf"]
+        assert after["mid"] == original["mid"]
+        assert after["top"] != original["top"]
+
+    def test_param_reorder_changes_digest(self):
+        base = "proc f(int a, int b) { return a; } proc m(int x) { int r = 0; r = f(x, 0); }"
+        swapped = "proc f(int b, int a) { return a; } proc m(int x) { int r = 0; r = f(x, 0); }"
+        one = procedure_digests(parse_program(base))
+        two = procedure_digests(parse_program(swapped))
+        assert one["f"] != two["f"]
+        assert one["m"] != two["m"]
+
+    def test_random_edits_change_exactly_reaching_digests(self):
+        """Seeded property: an edit changes a digest iff the procedure reaches it."""
+        rng = random.Random(7)
+        graph = build_call_graph(parse_program(THREE_PROC))
+        original = procedure_digests(parse_program(THREE_PROC))
+        edits = {
+            "leaf": ("g = g + 1;", "g = g + 2;"),
+            "mid": ("return t + 1;", "return t + 3;"),
+            "top": ("leaf(r);", "leaf(r + 1);"),
+        }
+        for _ in range(8):
+            name = rng.choice(list(edits))
+            old, new = edits[name]
+            after = procedure_digests(parse_program(THREE_PROC.replace(old, new)))
+            for proc in ("leaf", "mid", "top"):
+                should_change = proc == name or graph.reaches(proc, name)
+                assert (after[proc] != original[proc]) == should_change, (
+                    f"edit in {name}: digest of {proc} "
+                    f"{'should' if should_change else 'should not'} change"
+                )

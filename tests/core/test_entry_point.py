@@ -1,0 +1,68 @@
+"""Entry-point selection must be honoured end-to-end (regression: the DiSE
+pipeline and the engine used to silently analyse ``procedures[0]``)."""
+
+import pytest
+
+from repro.cfg.builder import build_cfg
+from repro.core.dise import DiSE, run_dise
+from repro.lang.parser import parse_program
+from repro.symexec.engine import symbolic_execute
+
+TWO_ENTRY_SOURCE = """
+global int g = 0;
+
+proc first(int a) {
+    if (a > 0) { g = 1; }
+}
+
+proc second(int b, int c) {
+    if (b > c) { g = 2; } else { g = 3; }
+    if (c > 0) { g = g + 1; }
+}
+"""
+
+
+class TestEntryPointSelection:
+    def test_symbolic_execute_non_first_entry(self):
+        program = parse_program(TWO_ENTRY_SOURCE)
+        result = symbolic_execute(program, procedure_name="second")
+        assert result.summary.procedure_name == "second"
+        assert len(result.summary) == 4  # two independent branches
+
+    def test_symbolic_execute_unknown_entry_raises(self):
+        with pytest.raises(KeyError):
+            symbolic_execute(parse_program(TWO_ENTRY_SOURCE), procedure_name="missing")
+
+    def test_build_cfg_unknown_entry_raises(self):
+        with pytest.raises(KeyError):
+            build_cfg(parse_program(TWO_ENTRY_SOURCE), "missing")
+
+    def test_dise_non_first_entry(self):
+        base = parse_program(TWO_ENTRY_SOURCE)
+        modified = parse_program(TWO_ENTRY_SOURCE.replace("b > c", "b >= c"))
+        result = run_dise(base, modified, procedure="second")
+        assert result.procedure_name == "second"
+        # The edit is inside `second`: the analysis must see it.
+        assert result.changed_node_count > 0
+        assert len(result.path_conditions) > 0
+
+    def test_dise_edit_in_other_procedure_not_misattributed(self):
+        """Analysing `first` while `second` changed must report no changes."""
+        base = parse_program(TWO_ENTRY_SOURCE)
+        modified = parse_program(TWO_ENTRY_SOURCE.replace("b > c", "b >= c"))
+        result = run_dise(base, modified, procedure="first")
+        assert result.procedure_name == "first"
+        assert result.changed_node_count == 0
+        assert result.affected_node_count == 0
+
+    def test_dise_unknown_entry_raises(self):
+        base = parse_program(TWO_ENTRY_SOURCE)
+        with pytest.raises(KeyError):
+            DiSE(base, base, procedure_name="missing")
+
+    def test_dise_default_is_first_procedure(self):
+        base = parse_program(TWO_ENTRY_SOURCE)
+        modified = parse_program(TWO_ENTRY_SOURCE.replace("a > 0", "a >= 0"))
+        result = run_dise(base, modified)
+        assert result.procedure_name == "first"
+        assert result.changed_node_count > 0

@@ -1,0 +1,145 @@
+"""Parser, pretty-printer and validator coverage for procedure calls."""
+
+import pytest
+
+from repro.lang.ast_nodes import Assign, CallStmt
+from repro.lang.errors import ParseError, SemanticError
+from repro.lang.parser import parse_program
+from repro.lang.pretty import pretty_program
+from repro.lang.validate import procedure_signature, validate_program
+
+
+def _validate(source):
+    validate_program(parse_program(source))
+
+
+class TestCallParsing:
+    def test_bare_call(self):
+        program = parse_program("proc f(int x) { skip; } proc m(int y) { f(y); }")
+        stmt = program.procedure("m").body[0]
+        assert isinstance(stmt, CallStmt)
+        assert stmt.callee == "f"
+        assert stmt.target is None
+        assert len(stmt.args) == 1
+
+    def test_targeted_call(self):
+        program = parse_program(
+            "proc f(int x) { return x; } proc m(int y) { int r = 0; r = f(y + 1); }"
+        )
+        stmt = program.procedure("m").body[1]
+        assert isinstance(stmt, CallStmt)
+        assert stmt.target == "r"
+        assert stmt.callee == "f"
+
+    def test_zero_and_many_args(self):
+        program = parse_program(
+            "proc f() { skip; } proc g(int a, int b, int c) { skip; }"
+            "proc m(int x) { f(); g(x, x + 1, 2 * x); }"
+        )
+        calls = program.procedure("m").body
+        assert [len(c.args) for c in calls] == [0, 3]
+
+    def test_assignment_from_variable_still_parses(self):
+        program = parse_program("proc m(int y) { int r = 0; r = y; }")
+        assert isinstance(program.procedure("m").body[1], Assign)
+
+    def test_call_is_not_an_expression(self):
+        with pytest.raises(ParseError):
+            parse_program("proc f(int x) { return x; } proc m(int y) { int r = f(y) + 1; }")
+
+    def test_pretty_roundtrip(self):
+        source = (
+            "global int g = 0;\n"
+            "proc f(int x) { g = g + x; return x; }\n"
+            "proc m(int y) { int r = 0; r = f(y + 2); f(r); }\n"
+        )
+        program = parse_program(source)
+        printed = pretty_program(program)
+        assert parse_program(printed).structural_key() == program.structural_key()
+        assert "r = f((y + 2));" in printed
+        assert "f(r);" in printed
+
+    def test_structural_key_distinguishes_target_callee_args(self):
+        one = parse_program("proc f(int x) { return x; } proc m(int y) { f(y); }")
+        two = parse_program("proc f(int x) { return x; } proc m(int y) { f(y + 1); }")
+        assert one.structural_key() != two.structural_key()
+
+
+class TestCallValidation:
+    def test_valid_program(self):
+        _validate(
+            """
+            global int g = 0;
+            proc helper(int a) { if (a > 0) { return a; } return 0 - a; }
+            proc main(int x) { int r = 0; r = helper(x); g = r; helper(g); }
+            """
+        )
+
+    def test_undefined_callee(self):
+        with pytest.raises(SemanticError, match="undefined procedure"):
+            _validate("proc m(int x) { nope(x); }")
+
+    def test_direct_recursion(self):
+        with pytest.raises(SemanticError, match="[Rr]ecursi"):
+            _validate("proc m(int x) { m(x); }")
+
+    def test_indirect_recursion(self):
+        with pytest.raises(SemanticError, match="[Rr]ecursi"):
+            _validate(
+                "proc a(int x) { b(x); }"
+                "proc b(int x) { c(x); }"
+                "proc c(int x) { a(x); }"
+            )
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SemanticError, match="argument"):
+            _validate("proc f(int a, int b) { skip; } proc m(int x) { f(x); }")
+
+    def test_argument_type_mismatch(self):
+        with pytest.raises(SemanticError, match="must be int"):
+            _validate("proc f(int a) { skip; } proc m(bool x) { f(x); }")
+
+    def test_valueless_callee_cannot_be_assigned(self):
+        with pytest.raises(SemanticError, match="returns no value"):
+            _validate("proc f(int a) { skip; } proc m(int x) { int r = 0; r = f(x); }")
+
+    def test_callee_missing_return_on_some_path(self):
+        with pytest.raises(SemanticError, match="every path"):
+            _validate(
+                "proc f(int a) { if (a > 0) { return a; } }"
+                "proc m(int x) { int r = 0; r = f(x); }"
+            )
+
+    def test_return_type_mismatch(self):
+        with pytest.raises(SemanticError, match="bool result"):
+            _validate(
+                "proc f(int a) { return a > 0; }"
+                "proc m(int x) { int r = 0; r = f(x); }"
+            )
+
+    def test_inconsistent_returns(self):
+        with pytest.raises(SemanticError, match="returns both"):
+            _validate("proc f(int a) { if (a > 0) { return a; } return a > 1; }")
+
+    def test_local_shadowing_global_rejected(self):
+        with pytest.raises(SemanticError, match="shadows a global"):
+            _validate("global int g = 0; proc m(int x) { int g = 1; }")
+
+    def test_bare_call_to_valued_procedure_is_fine(self):
+        _validate("proc f(int a) { return a; } proc m(int x) { f(x); }")
+
+
+class TestProcedureSignature:
+    def test_signature_fields(self):
+        program = parse_program(
+            "proc f(int a, bool b) { if (b) { return a; } return 0; }"
+        )
+        signature = procedure_signature(program.procedure("f"), {})
+        assert signature.param_types == ("int", "bool")
+        assert signature.return_type == "int"
+        assert not signature.may_miss_return
+
+    def test_may_miss_return(self):
+        program = parse_program("proc f(int a) { if (a > 0) { return a; } }")
+        signature = procedure_signature(program.procedure("f"), {})
+        assert signature.may_miss_return

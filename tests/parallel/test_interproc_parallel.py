@@ -1,0 +1,163 @@
+"""Call frames across the process fence + adaptive shard scheduling."""
+
+from repro.cfg.builder import build_cfg
+from repro.cfg.ir import NodeKind
+from repro.lang.parser import parse_program
+from repro.parallel.serialize import (
+    decode_cache_entry,
+    decode_state,
+    encode_cache_entry,
+    encode_state,
+)
+from repro.parallel.shard import FrontierCollector, ShardConfig, prewarm_full
+from repro.solver.terms import mk_int, mk_symbol
+from repro.symexec.engine import SymbolicExecutor, symbolic_execute
+from repro.symexec.state import CallFrame, SymbolicState
+from repro.symexec.summary_cache import SummaryCache
+
+CALLS_SOURCE = """
+global int g = 0;
+
+proc vote(int s1, int s2) {
+    int v = 0;
+    if (s1 > 0) { v = v + 1; }
+    if (s2 > 0) { v = v + 1; }
+    return v;
+}
+
+proc main(int a, int b, int c, int d) {
+    int x = 0;
+    int y = 0;
+    x = vote(a, b);
+    y = vote(c, d);
+    g = x + y;
+}
+"""
+
+
+def _distinct(summary):
+    return tuple(sorted(str(pc) for pc in summary.distinct_path_conditions()))
+
+
+class TestFrameCodec:
+    def test_state_with_frames_roundtrips(self):
+        program = parse_program(CALLS_SOURCE)
+        cfg = build_cfg(program, "main")
+        branch = next(n for n in cfg.nodes if n.kind is NodeKind.BRANCH)
+        frame = CallFrame(
+            callee="vote",
+            saved=(("x", mk_int(3)), ("y", None)),
+        )
+        state = SymbolicState.make(
+            node=branch,
+            environment={"s1": mk_symbol("a", "int"), "g": mk_int(0)},
+            trace=(branch.node_id,),
+            frames=(frame,),
+        )
+        decoded = decode_state(encode_state(state), cfg)
+        assert decoded.frames == state.frames
+        assert decoded.environment == state.environment
+
+    def test_cache_entry_with_frame_fingerprint_roundtrips(self):
+        """Fingerprint entries with tuple names survive the codec."""
+        program = parse_program(CALLS_SOURCE)
+        executor = SymbolicExecutor(
+            program, procedure_name="main", summary_cache=SummaryCache()
+        )
+        executor.run()
+        entries = list(executor.summary_cache.iter_entries())
+        assert entries
+        framed = [
+            (key, summary, pins)
+            for key, summary, pins in entries
+            if any(isinstance(name, tuple) for name, _ in key[2])
+        ]
+        assert framed, "expected at least one cache entry keyed inside a callee"
+        for key, summary, pins in framed[:3]:
+            decoded_key, _, _ = decode_cache_entry(
+                encode_cache_entry(key, summary, pins)
+            )
+            assert decoded_key == key
+
+    def test_parallel_interproc_matches_serial(self):
+        program = parse_program(CALLS_SOURCE)
+        serial = symbolic_execute(program, procedure_name="main")
+        parallel = symbolic_execute(program, procedure_name="main", workers=2)
+        assert _distinct(parallel.summary) == _distinct(serial.summary)
+        assert parallel.parallel is not None
+
+    def test_shipped_frames_resume_inside_callee(self):
+        """Frontier frames inside a spliced callee cross the fence intact."""
+        program = parse_program(CALLS_SOURCE)
+        cache = SummaryCache()
+        report = prewarm_full(
+            program,
+            procedure_name="main",
+            cfg=build_cfg(program, "main"),
+            summary_cache=cache,
+            workers=2,
+            config=ShardConfig(split_depth=1, min_shards=1, adaptive=False),
+        )
+        assert report.shards > 0
+        result = symbolic_execute(
+            program, procedure_name="main", summary_cache=cache
+        )
+        cold = symbolic_execute(parse_program(CALLS_SOURCE), procedure_name="main")
+        assert _distinct(result.summary) == _distinct(cold.summary)
+        assert result.statistics.replayed_paths > 0
+
+
+class TestAdaptiveScheduling:
+    def _collect(self, cache, config):
+        program = parse_program(CALLS_SOURCE)
+        collector = FrontierCollector(
+            program,
+            procedure_name="main",
+            summary_cache=cache,
+            config=config,
+            strategy_payload=lambda state: {"kind": "everything"},
+        )
+        collector.run()
+        return collector
+
+    def test_warm_cache_keeps_cheap_subtrees_inline(self):
+        cache = SummaryCache()
+        # Warm pass records every subtree's path count as a size hint.
+        symbolic_execute(
+            parse_program(CALLS_SOURCE), procedure_name="main", summary_cache=cache
+        )
+        # A fresh cache with only the *hints* carried over simulates the
+        # next version: digests known, keys (token/fingerprint) missing.
+        hinted = SummaryCache()
+        hinted._size_hints.update(cache._size_hints)
+
+        eager = self._collect(
+            hinted, ShardConfig(split_depth=1, min_shards=1, adaptive=False)
+        )
+        adaptive = self._collect(
+            hinted,
+            ShardConfig(
+                split_depth=1, min_shards=1, adaptive=True, min_task_paths=1000
+            ),
+        )
+        assert eager.tasks, "baseline collector must defer something"
+        assert adaptive.adaptive_inline > 0
+        assert len(adaptive.tasks) < len(eager.tasks)
+
+    def test_unknown_digests_fall_back_to_split_depth(self):
+        cold = self._collect(
+            SummaryCache(), ShardConfig(split_depth=1, min_shards=1, adaptive=True)
+        )
+        eager = self._collect(
+            SummaryCache(), ShardConfig(split_depth=1, min_shards=1, adaptive=False)
+        )
+        assert len(cold.tasks) == len(eager.tasks)
+        assert cold.adaptive_inline == 0
+
+    def test_size_hints_recorded_on_store_and_adopt(self):
+        cache = SummaryCache()
+        symbolic_execute(
+            parse_program(CALLS_SOURCE), procedure_name="main", summary_cache=cache
+        )
+        hints = [cache.size_hint(key[1]) for key, _, _ in cache.iter_entries()]
+        assert hints and all(h is not None and h >= 1 for h in hints)
