@@ -1,0 +1,187 @@
+"""Fault-tolerance benchmark (ours, not a paper table).
+
+Two legs, written to ``BENCH_faults.json``:
+
+* **salvage** -- full symbolic execution of every ASW history version with
+  workers under an injected worker-crash schedule (``seed:6,crash:0.3``),
+  with retries and inline quarantine *disabled* so the measurement is the
+  honest pool-level one: a crashed shard is really lost and only partial
+  salvage keeps its siblings.  Gated on ``salvage_ratio`` (surviving
+  shards / dispatched shards) >= 0.5 -- the pre-PR pipeline scored 0 here,
+  because one crashed shard discarded the whole ``map_async`` batch -- and
+  on distinct-PC equality with a clean serial oracle (losing a shard may
+  cost speed, never output).
+* **concurrent_store** -- two live processes dumping independent summary
+  corpora to one :class:`~repro.parallel.store.PersistentSummaryStore`
+  path.  Gated on ``lost_entries == 0``: the lock-merge-publish sequence
+  must union the corpora, where last-writer-wins clobbering would silently
+  drop one process's entries.
+
+Both schedules are seeded, so the gated numbers are deterministic across
+runs and machines.
+"""
+
+import json
+import multiprocessing
+import os
+import warnings
+
+from repro import faults
+from repro.artifacts import asw_artifact
+from repro.artifacts.simple import update_base_program, update_modified_program
+from repro.lang.parser import parse_program
+from repro.parallel.shard import ShardConfig, warm_pool
+from repro.parallel.store import PersistentSummaryStore
+from repro.symexec.engine import symbolic_execute
+from repro.symexec.summary_cache import SummaryCache
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "BENCH_faults.json")
+STORE_DIR = os.path.join(os.path.dirname(__file__), "results", "faults_store")
+
+WORKERS = int(os.environ.get("REPRO_PARALLEL_WORKERS", "4"))
+FAULT_SPEC = "seed:6,crash:0.3"
+SALVAGE_FLOOR = 0.5
+
+#: No retries, no inline rescue: measure what pool-level partial salvage
+#: alone preserves when ~30% of shards crash.
+SALVAGE_CONFIG = ShardConfig(
+    split_depth=1,
+    min_shards=1,
+    max_task_retries=0,
+    retry_backoff_seconds=0.01,
+    quarantine_inline=False,
+)
+
+
+def _distinct(result):
+    return sorted(str(c) for c in result.summary.distinct_path_conditions())
+
+
+def _salvage_leg(workers):
+    artifact = asw_artifact()
+    programs = [
+        (name, parse_program(source)) for name, _, _, source in artifact.history()
+    ]
+    plan = faults.parse_spec(FAULT_SPEC)
+    shards = failed = retried = 0
+    salvaged_entries = 0
+    failure_samples = []
+    pcs_match = True
+    with faults.injected(plan):
+        for name, program in programs:
+            with faults.suspended():
+                serial = symbolic_execute(
+                    program, procedure_name=artifact.procedure_name
+                )
+            with warnings.catch_warnings():
+                # The degradation warnings are the expected condition here.
+                warnings.simplefilter("ignore", RuntimeWarning)
+                chaotic = symbolic_execute(
+                    program,
+                    procedure_name=artifact.procedure_name,
+                    workers=workers,
+                    parallel_config=SALVAGE_CONFIG,
+                )
+            report = chaotic.parallel
+            if report is not None:
+                shards += report.shards
+                failed += report.failed_shards
+                retried += report.retried_shards
+                salvaged_entries += report.salvaged_entries
+                if report.failure_reasons and len(failure_samples) < 5:
+                    failure_samples.append(report.failure_reasons[0])
+            if _distinct(chaotic) != _distinct(serial):
+                pcs_match = False
+    return {
+        "spec": FAULT_SPEC,
+        "versions": len(programs),
+        "shards": shards,
+        "failed_shards": failed,
+        "salvaged_shards": shards - failed,
+        "salvage_ratio": round((shards - failed) / shards, 4) if shards else None,
+        "retried_shards": retried,
+        "salvaged_entries": salvaged_entries,
+        "failure_samples": failure_samples,
+        "pcs_match": pcs_match,
+    }
+
+
+def _store_writer(path, which):
+    program = update_base_program() if which == "base" else update_modified_program()
+    cache = SummaryCache()
+    symbolic_execute(program, procedure_name="update", summary_cache=cache)
+    PersistentSummaryStore(path).dump(cache)
+
+
+def _concurrent_store_leg():
+    os.makedirs(STORE_DIR, exist_ok=True)
+    shared_path = os.path.join(STORE_DIR, "concurrent_store.json")
+    if os.path.exists(shared_path):
+        os.unlink(shared_path)
+    writers = [
+        multiprocessing.Process(target=_store_writer, args=(shared_path, which))
+        for which in ("base", "modified")
+    ]
+    for writer in writers:
+        writer.start()
+    for writer in writers:
+        writer.join(timeout=120)
+
+    # What each writer would have produced alone, for the union oracle.
+    expected = set()
+    for which in ("base", "modified"):
+        solo_path = os.path.join(STORE_DIR, f"solo_{which}.json")
+        if os.path.exists(solo_path):
+            os.unlink(solo_path)
+        _store_writer(solo_path, which)
+        expected |= PersistentSummaryStore(solo_path).checksums() or set()
+
+    final = PersistentSummaryStore(shared_path).checksums() or set()
+    return {
+        "writers": len(writers),
+        "writer_exitcodes": [writer.exitcode for writer in writers],
+        "expected_entries": len(expected),
+        "final_entries": len(final),
+        "lost_entries": len(expected - final),
+    }
+
+
+def run_faults_benchmarks(workers=None):
+    workers = workers or WORKERS
+    warm_pool(workers)
+    report = {
+        "workers": workers,
+        "salvage": _salvage_leg(workers),
+        "concurrent_store": _concurrent_store_leg(),
+    }
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def test_faults_benchmark(run_once):
+    report = run_once(run_faults_benchmarks)
+    print()
+    salvage, store = report["salvage"], report["concurrent_store"]
+    print(
+        f"salvage: {salvage['salvaged_shards']}/{salvage['shards']} shards survived "
+        f"a {FAULT_SPEC} schedule (ratio {salvage['salvage_ratio']}), "
+        f"pcs_match={salvage['pcs_match']}; concurrent store lost "
+        f"{store['lost_entries']} of {store['expected_entries']} entries"
+    )
+    assert salvage["shards"] > 0, "no shards were dispatched under the fault schedule"
+    assert salvage["failed_shards"] > 0, (
+        "the crash schedule fired nothing -- the salvage gate measured a clean run"
+    )
+    assert salvage["pcs_match"], "losing shards changed the output"
+    assert salvage["salvage_ratio"] >= SALVAGE_FLOOR, (
+        f"partial salvage kept only {salvage['salvage_ratio']:.0%} of shards"
+    )
+    assert store["writer_exitcodes"] == [0, 0]
+    assert store["lost_entries"] == 0, "concurrent dumps lost entries"
+    assert os.path.exists(RESULTS_PATH)
+
+
+if __name__ == "__main__":
+    print(json.dumps(run_faults_benchmarks(), indent=2, sort_keys=True))

@@ -143,6 +143,8 @@ def _warm_resume(artifact):
         "store_entries_preexisting": preexisting,
         "store_loaded_first": first.cache.get("store_loaded", 0),
         "store_loaded_resumed": resumed.cache.get("store_loaded", 0),
+        "store_skipped_first": first.cache.get("store_skipped", 0),
+        "store_skipped_resumed": resumed.cache.get("store_skipped", 0),
         "seed_path_reuse": seed_reuse,
         "first_seconds": round(first.elapsed_seconds, 6),
         "resumed_seconds": round(resumed.elapsed_seconds, 6),
@@ -187,6 +189,13 @@ def test_parallel_benchmark(run_once):
         assert sweep["shards"] > 0, f"{name}: no frontier frames were sharded"
         assert sweep["replayed_paths"] > 0, f"{name}: no worker summary was replayed"
         assert warm["pcs_match"], f"{name}: store resume changed results"
+        # A healthy store loses nothing: every dumped entry must load back.
+        assert warm["store_skipped_first"] == 0, (
+            f"{name}: warm resume silently dropped {warm['store_skipped_first']} entries"
+        )
+        assert warm["store_skipped_resumed"] == 0, (
+            f"{name}: warm resume silently dropped {warm['store_skipped_resumed']} entries"
+        )
         assert warm["seed_path_reuse"] is not None
         assert warm["seed_path_reuse"] >= REUSE_FLOOR, (
             f"{name}: warm resume replayed only {warm['seed_path_reuse']:.0%}"

@@ -25,7 +25,10 @@ gated on (CI machines vary); counters and ratios are what must not regress:
   conditions exactly, the persistent-store warm resume must replay >= 30%
   of the seed leg, and at least one artifact history must show >= 1.5x
   wall-clock speedup (absolute floor -- speedups are hardware-dependent,
-  so no baseline-relative gate).
+  so no baseline-relative gate);
+* faults bench: under an injected worker-crash schedule the pool phase
+  must salvage >= 50% of shards with unchanged distinct path conditions,
+  and two concurrent store writers must lose zero entries.
 
 Exit status is non-zero when any benchmark raises or any gate fails, so
 this file doubles as the CI entry point for the perf ladder.
@@ -70,6 +73,7 @@ BENCHMARKS = {
     "bench_lookahead": "run_lookahead_benchmarks",
     "bench_parallel": "run_parallel_benchmarks",
     "bench_interproc": "run_interproc_benchmarks",
+    "bench_faults": "run_faults_benchmarks",
 }
 
 #: The parallel benchmark's worker count for gated runs; two keeps it honest
@@ -227,6 +231,30 @@ def _check_interproc(baseline, report, failures):
                     )
 
 
+#: Hard floor for the fault benchmark's pool-level partial salvage (see
+#: bench_faults.py; the pre-retry pipeline scored 0 here because one
+#: crashed shard discarded the whole batch).
+SALVAGE_FLOOR = 0.5
+
+
+def _check_faults(baseline, report, failures):
+    salvage = report.get("salvage") or {}
+    if not salvage.get("shards"):
+        failures.append("faults: no shards were dispatched under the fault schedule")
+    elif not salvage.get("failed_shards"):
+        failures.append("faults: the crash schedule fired nothing (clean run measured)")
+    if not salvage.get("pcs_match"):
+        failures.append("faults: losing shards changed the distinct path conditions")
+    ratio = salvage.get("salvage_ratio")
+    if ratio is None or ratio < SALVAGE_FLOOR:
+        failures.append(f"faults: salvage_ratio {ratio} below {SALVAGE_FLOOR}")
+    store = report.get("concurrent_store") or {}
+    if store.get("lost_entries") != 0:
+        failures.append(
+            f"faults: concurrent store writers lost {store.get('lost_entries')} entries"
+        )
+
+
 def _check_lookahead(baseline, report, failures):
     for artifact in ("ASW", "WBS", "OAE"):
         row = report.get(artifact)
@@ -286,6 +314,7 @@ def main(argv=None):
             "BENCH_lookahead.json",
             "BENCH_parallel.json",
             "BENCH_interproc.json",
+            "BENCH_faults.json",
         )
     }
     solver_baseline = baselines["BENCH_solver.json"]
@@ -293,17 +322,25 @@ def main(argv=None):
     lookahead_baseline = baselines["BENCH_lookahead.json"]
     parallel_baseline = baselines["BENCH_parallel.json"]
     interproc_baseline = baselines["BENCH_interproc.json"]
+    faults_baseline = baselines["BENCH_faults.json"]
 
     failures = []
+    crashes = {}
     for name, entry in selected.items():
         started = time.perf_counter()
         try:
             module = importlib.import_module(name)
             runner = getattr(module, entry)
             report = runner()
-        except Exception:
-            failures.append(f"{name}: raised\n{traceback.format_exc()}")
-            print(f"  FAIL {name}")
+        except Exception as error:
+            # One crashed benchmark must not stop the sweep or bury the
+            # others' results under its traceback: record a one-line
+            # summary here, keep running, and print the full tracebacks
+            # together at the end.
+            failures.append(f"{name}: {type(error).__name__}: {error}")
+            crashes[name] = traceback.format_exc()
+            elapsed = time.perf_counter() - started
+            print(f"  FAIL {name:<32} {elapsed:6.2f}s  {type(error).__name__}: {error}")
             continue
         elapsed = time.perf_counter() - started
         print(f"  ok   {name:<32} {elapsed:6.2f}s")
@@ -317,6 +354,8 @@ def main(argv=None):
             _check_parallel(parallel_baseline, report, failures)
         elif name == "bench_interproc":
             _check_interproc(interproc_baseline, report, failures)
+        elif name == "bench_faults":
+            _check_faults(faults_baseline, report, failures)
 
     if failures:
         for name, baseline in baselines.items():
@@ -324,9 +363,13 @@ def main(argv=None):
                 with open(os.path.join(BENCH_DIR, name), "w", encoding="utf-8") as handle:
                     json.dump(baseline, handle, indent=2, sort_keys=True)
                     handle.write("\n")
-        print(f"\n{len(failures)} regression(s) (baseline JSONs restored):", file=sys.stderr)
+        print(f"\n{len(failures)} failure(s) (baseline JSONs restored):", file=sys.stderr)
         for failure in failures:
             print(f"  - {failure}", file=sys.stderr)
+        if crashes:
+            print("\nfull tracebacks:", file=sys.stderr)
+            for name, formatted in crashes.items():
+                print(f"\n--- {name} ---\n{formatted}", file=sys.stderr)
         return 1
     print(f"\nall {len(selected)} benchmarks passed their gates")
     return 0

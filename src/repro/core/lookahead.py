@@ -56,7 +56,7 @@ from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.ir import FALSE_EDGE, TRUE_EDGE, CFGNode, NodeKind
 from repro.cfg.region_hash import RegionHashIndex
 from repro.solver.context import SolverContext
-from repro.solver.core import ConstraintSolver, SolverError
+from repro.solver.core import BudgetExhausted, ConstraintSolver, SolverError
 from repro.solver.simplify import simplify
 from repro.solver.terms import (
     BoolConst,
@@ -222,6 +222,15 @@ class FeasibleReachability:
         self.statistics.calls += 1
         try:
             return self._reachable_targets(state, targets, assume_feasible)
+        except BudgetExhausted:
+            # Deadline-budget degradation: a query the budget refused is
+            # answered conservatively -- every probed target counts as
+            # reachable, so nothing is ever pruned on an unproven verdict.
+            # (Most budget refusals inside the walk are already converted to
+            # the same answer by its SolverError bailout; this catches the
+            # remaining paths, e.g. the feasibility pre-check.)
+            self.statistics.solver_bailouts += 1
+            return set(targets)
         finally:
             self.statistics.solver_queries += solver_stats.queries - before[0]
             self.statistics.solver_cache_hits += solver_stats.cache_hits - before[1]

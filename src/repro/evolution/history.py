@@ -156,6 +156,12 @@ class HistoryReport:
     seed: Optional[Dict]
     versions: List[VersionRunReport] = field(default_factory=list)
     cache: Dict = field(default_factory=dict)
+    #: Parallel-phase health, summed over every cached leg of the history
+    #: (empty for serial runs): shards, failed_shards, retried_shards,
+    #: quarantined_shards, salvaged_entries and failure_reasons.  A history
+    #: that survived worker faults reports the casualties here instead of
+    #: hiding them in per-leg noise.
+    parallel: Dict = field(default_factory=dict)
     elapsed_seconds: float = 0.0
 
     def as_dict(self) -> Dict:
@@ -165,8 +171,30 @@ class HistoryReport:
             "seed": self.seed,
             "versions": [report.as_dict() for report in self.versions],
             "cache": self.cache,
+            "parallel": self.parallel,
             "elapsed_seconds": round(self.elapsed_seconds, 6),
         }
+
+
+#: ParallelReport counters summed across a history's cached legs.
+_PARALLEL_COUNTERS = (
+    "shards",
+    "failed_shards",
+    "retried_shards",
+    "quarantined_shards",
+    "salvaged_entries",
+)
+
+
+def _accumulate_parallel(totals: Dict, parallel_report) -> None:
+    """Fold one leg's :class:`~repro.parallel.shard.ParallelReport` into ``totals``."""
+    if parallel_report is None:
+        return
+    for name in _PARALLEL_COUNTERS:
+        totals[name] = totals.get(name, 0) + getattr(parallel_report, name, 0)
+    reasons = getattr(parallel_report, "failure_reasons", None)
+    if reasons:
+        totals.setdefault("failure_reasons", []).extend(reasons)
 
 
 class VersionHistoryRunner:
@@ -270,6 +298,8 @@ class VersionHistoryRunner:
 
         store = None
         store_loaded = 0
+        store_skipped = 0
+        parallel_totals: Dict = {}
         if self.store_path is not None:
             # Imported lazily: repro.parallel depends on repro.evolution's
             # sibling packages and keeping the base runner import-light.
@@ -277,18 +307,21 @@ class VersionHistoryRunner:
 
             store = PersistentSummaryStore(self.store_path)
             store_loaded = store.load_into(self.summary_cache)
+            store_skipped = store.skipped_entries
 
         if self.include_full:
             # Seed the cache with the base version's summaries: every later
             # version whose edit leaves a suffix or segment of the base
             # intact replays it from here.
-            seed_leg, _ = self._full_leg(history[0][3], cached=True)
+            seed_leg, seed_result = self._full_leg(history[0][3], cached=True)
             report.seed = seed_leg
+            _accumulate_parallel(parallel_totals, seed_result.parallel)
 
         for (prev_name, _, _, prev_prog), (name, description, changes, prog) in zip(
             history, history[1:]
         ):
             dise_leg, dise_result = self._dise_leg(prev_prog, prog, cached=True)
+            _accumulate_parallel(parallel_totals, dise_result.parallel)
             row = VersionRunReport(
                 artifact=self.artifact.name,
                 version=name,
@@ -306,6 +339,7 @@ class VersionHistoryRunner:
             legs = [dise_leg]
             if self.include_full:
                 full_leg, full_result = self._full_leg(prog, cached=True)
+                _accumulate_parallel(parallel_totals, full_result.parallel)
                 row.full = full_leg
                 row.full_distinct_pcs = tuple(
                     sorted(map(str, full_result.summary.distinct_path_conditions()))
@@ -347,8 +381,10 @@ class VersionHistoryRunner:
             report.versions.append(row)
 
         report.cache = dict(self.summary_cache.statistics.as_dict(), entries=len(self.summary_cache))
+        report.parallel = parallel_totals
         if store is not None:
             report.cache["store_loaded"] = store_loaded
+            report.cache["store_skipped"] = store_skipped
             report.cache["store_dumped"] = store.dump(self.summary_cache)
             report.cache["store_path"] = self.store_path
         report.elapsed_seconds = time.perf_counter() - started

@@ -23,7 +23,7 @@ version ranges) use these helpers to combine shard products directly.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Sequence, Tuple
 
 from repro.evolution.testgen import TestSuite
 from repro.parallel.serialize import SerializationError, decode_cache_entry
@@ -38,15 +38,29 @@ def merge_encoded_entries(cache: SummaryCache, encoded_entries: Iterable[dict]) 
     Malformed individual entries are skipped (a worker crash mid-encode or
     a stale store must degrade to a cold cache, not a failed run).
     """
+    return merge_encoded_entries_counted(cache, encoded_entries)[0]
+
+
+def merge_encoded_entries_counted(
+    cache: SummaryCache, encoded_entries: Iterable[dict]
+) -> Tuple[int, int]:
+    """Like :func:`merge_encoded_entries` but also counts the casualties.
+
+    Returns ``(adopted, skipped)`` where ``skipped`` counts entries dropped
+    because they failed to decode (corrupt frames, truncated writes, stale
+    encodings).  Already-present keys are neither adopted nor skipped.
+    """
     adopted = 0
+    skipped = 0
     for data in encoded_entries:
         try:
             key, summary, pins = decode_cache_entry(data)
         except (SerializationError, KeyError, TypeError, IndexError):
+            skipped += 1
             continue
         if cache.adopt(key, summary, pins=pins):
             adopted += 1
-    return adopted
+    return adopted, skipped
 
 
 def merge_caches(target: SummaryCache, *sources: SummaryCache) -> int:

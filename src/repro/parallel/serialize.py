@@ -409,10 +409,24 @@ def encode_cache_entries(entries) -> list:
     skipped (they could never be rebuilt on the other side); everything
     else is encoded structurally.
     """
+    from repro import faults
+
+    plan = faults.active_plan()
     encoded = []
-    for key, summary, pins in entries:
+    for index, (key, summary, pins) in enumerate(entries):
         try:
-            encoded.append(encode_cache_entry(key, summary, pins))
+            entry = encode_cache_entry(key, summary, pins)
         except SerializationError:
             continue
+        if plan is not None and plan.fires(
+            "corrupt-frame", f"entry{index}:{key[1]}"
+        ):
+            # Fault site ``corrupt-frame``: mangle this entry's serialized
+            # form (models a worker corrupting a result frame mid-encode).
+            # The decoder must reject it -- merge skips it, counted; it may
+            # never be adopted.
+            entry = dict(entry)
+            entry.pop("summary", None)
+            entry["kind"] = "corrupt"
+        encoded.append(entry)
     return encoded

@@ -44,11 +44,14 @@ distinct path conditions.
 from __future__ import annotations
 
 import atexit
+import hashlib
 import multiprocessing
 import time
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import faults
 from repro.cfg.builder import build_cfg
 from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.ir import NodeKind
@@ -90,14 +93,28 @@ class ShardConfig:
             natively -- process overhead would dominate the savings.
         pool_timeout_seconds: upper bound on the whole pool phase.  A
             worker killed mid-shard (OOM, CI memory cap) would otherwise
-            block ``pool.map`` forever; on expiry the prewarm gives up and
-            the caller's serial run explores everything natively.
+            block the dispatch loop forever; on expiry the remaining tasks
+            are quarantined and their subtrees left to native exploration.
+        task_timeout_seconds: per-task deadline for one shard attempt.  A
+            single wedged shard costs one timeout, not the phase budget.
+        max_task_retries: how many times a crashed or timed-out shard is
+            re-dispatched to the pool before it is quarantined.
+        retry_backoff_seconds: pause between retry rounds (lets a respawned
+            worker settle; keeps a crash-looping schedule from spinning).
+        quarantine_inline: when True, a quarantined task is executed inline
+            in the parent as a last resort; when False (or when the inline
+            run also fails) its subtree is simply left to the caller's
+            native exploration -- a pure speed loss, never a wrong answer.
     """
 
     split_depth: int = 2
     max_shards: int = 256
     min_shards: int = 2
     pool_timeout_seconds: float = 600.0
+    task_timeout_seconds: float = 60.0
+    max_task_retries: int = 2
+    retry_backoff_seconds: float = 0.05
+    quarantine_inline: bool = True
     #: Adaptive deferral (ROADMAP "Shard scheduling"): when the summary
     #: cache has already seen a subtree with this region digest, its
     #: recorded path count estimates the subtree's solver work.  Subtrees
@@ -136,6 +153,21 @@ class ParallelReport:
     merged_entries: int = 0
     worker_paths: int = 0
     worker_states: int = 0
+    #: Shards that produced no result at all (pool attempts exhausted and
+    #: the quarantine pass failed or was disabled); their subtrees are left
+    #: to the caller's native exploration.
+    failed_shards: int = 0
+    #: Shards re-dispatched to the pool at least once after a crash/timeout.
+    retried_shards: int = 0
+    #: Shards that exhausted their pool retries and went to the quarantine
+    #: pass (inline execution or native fallback).
+    quarantined_shards: int = 0
+    #: Entries merged from *surviving* shards of a run that had failures --
+    #: what partial salvage rescued (0 on a clean run, where it would just
+    #: duplicate ``merged_entries``).
+    salvaged_entries: int = 0
+    #: Human-readable "shard N attempt A: ExcType: message" strings (capped).
+    failure_reasons: List[str] = field(default_factory=list)
     collect_seconds: float = 0.0
     pool_seconds: float = 0.0
     merge_seconds: float = 0.0
@@ -150,6 +182,11 @@ class ParallelReport:
             "merged_entries": self.merged_entries,
             "worker_paths": self.worker_paths,
             "worker_states": self.worker_states,
+            "failed_shards": self.failed_shards,
+            "retried_shards": self.retried_shards,
+            "quarantined_shards": self.quarantined_shards,
+            "salvaged_entries": self.salvaged_entries,
+            "failure_reasons": list(self.failure_reasons),
             "collect_seconds": round(self.collect_seconds, 6),
             "pool_seconds": round(self.pool_seconds, 6),
             "merge_seconds": round(self.merge_seconds, 6),
@@ -370,6 +407,27 @@ def run_shard(payload: Dict) -> Dict:
     JSON-compatible data -- no interned object ever crosses the fence.
     """
     started = time.perf_counter()
+    plan = None
+    fault_spec = payload.get("faults")
+    if fault_spec:
+        # Chaos schedules ship inside the payload (workers are forked
+        # lazily and reused across runs; environment-based arming would be
+        # both racy and sticky).  The install is cleared before returning
+        # so a reused worker never fires a stale schedule on a clean task.
+        plan = faults.FaultPlan.from_payload(fault_spec)
+        plan.in_worker = True
+        faults.install(plan)
+    try:
+        return _run_shard_inner(payload, plan, started)
+    finally:
+        if plan is not None:
+            faults.clear()
+
+
+def _run_shard_inner(payload: Dict, plan, started: float) -> Dict:
+    if plan is not None:
+        ident = f"{payload.get('fault_ident', 'task')}|a{payload.get('fault_attempt', 0)}"
+        plan.maybe_worker_fault(ident)
     procedure_name = payload["procedure"]
     program, cfg = _worker_program(payload["source"], procedure_name)
     root = cfg.node(payload["root"])
@@ -548,31 +606,173 @@ def prewarm_parallel(
         payloads.append(payload)
 
     started = time.perf_counter()
-    try:
-        pool = _get_pool(workers)
-        results = pool.map_async(run_shard, payloads, chunksize=1).get(
-            config.pool_timeout_seconds
-        )
-    except Exception:
-        # Best-effort contract: a crashed, killed or wedged worker must
-        # degrade to "no prewarm" (the serial run explores everything
-        # natively), never to a failed or hung analysis.  The pool is
-        # discarded -- a pool that lost workers or timed out cannot be
-        # trusted by later runs.
-        _discard_pool(workers)
-        report.shards = 0
-        report.pool_seconds = time.perf_counter() - started
-        return report
+    results = _dispatch_tasks(payloads, workers, config, report)
     report.pool_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
     for result in results:
+        if result is None:
+            continue
         report.worker_paths += result["paths"]
         report.worker_states += result["states"]
         report.worker_elapsed_total += result["elapsed"]
         report.merged_entries += merge_encoded_entries(summary_cache, result["entries"])
     report.merge_seconds = time.perf_counter() - started
+    if report.failure_reasons:
+        # Partial salvage: whatever the surviving shards produced is in the
+        # cache; failed shards cost only their own subtrees (explored
+        # natively by the caller's replay run).
+        report.salvaged_entries = report.merged_entries
+        warnings.warn(
+            f"parallel prewarm degraded: {report.failed_shards} of "
+            f"{report.shards} shards failed permanently "
+            f"({report.retried_shards} retried, "
+            f"{report.quarantined_shards} quarantined); first failure: "
+            f"{report.failure_reasons[0]}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return report
+
+
+#: Cap on recorded failure-reason strings per report (a crash-looping
+#: schedule should not grow an unbounded list).
+_MAX_FAILURE_REASONS = 20
+
+
+def _record_failure(report: ParallelReport, index: int, attempt: int, error: BaseException) -> None:
+    if len(report.failure_reasons) < _MAX_FAILURE_REASONS:
+        report.failure_reasons.append(
+            f"shard {index} attempt {attempt}: {type(error).__name__}: {error}"
+        )
+
+
+def _fault_ident(index: int, payload: Dict) -> str:
+    """A chaos-roll ident for one task: index plus a content digest.
+
+    The digest (program text + shard root) varies across versions of a
+    history sweep, so a seeded fault schedule hits *different* shard
+    indices per run instead of deterministically killing the same index
+    everywhere -- while staying a pure function of the task's content
+    (reproducible across processes and test orderings).
+    """
+    material = f"{payload.get('source', '')}|{payload.get('root', '')}"
+    digest = hashlib.blake2b(material.encode("utf-8"), digest_size=4).hexdigest()
+    return f"task{index}|{digest}"
+
+
+def _dispatch_tasks(
+    payloads: List[Dict],
+    workers: int,
+    config: ShardConfig,
+    report: ParallelReport,
+) -> List[Optional[Dict]]:
+    """Run every payload through the pool with per-task isolation.
+
+    Each task carries its own deadline; a crashed or timed-out task is
+    retried (with backoff) up to ``config.max_task_retries`` times, then
+    quarantined: executed inline in the parent when
+    ``config.quarantine_inline`` is set, otherwise dropped with its subtree
+    left to native exploration.  The returned list is index-aligned with
+    ``payloads``; ``None`` marks a shard that produced no result.  Failures
+    only ever shrink the result list -- surviving shards always merge.
+    """
+    plan = faults.active_plan()
+    fault_payload = plan.worker_payload() if plan is not None else None
+
+    results: List[Optional[Dict]] = [None] * len(payloads)
+    attempts = [0] * len(payloads)
+    retried = set()
+    pending = list(range(len(payloads)))
+    quarantine: List[int] = []
+    pool_broken = False
+    saw_timeout = False
+    phase_deadline = time.monotonic() + config.pool_timeout_seconds
+
+    while pending and not pool_broken:
+        try:
+            pool = _get_pool(workers)
+        except Exception as error:  # pool creation itself failed
+            _record_failure(report, pending[0], attempts[pending[0]], error)
+            pool_broken = True
+            break
+        handles: List[Tuple[int, object]] = []
+        for index in pending:
+            payload = dict(payloads[index])
+            if fault_payload is not None:
+                payload["faults"] = fault_payload
+                payload["fault_ident"] = _fault_ident(index, payload)
+                # Folded into the worker's roll scope: a retried attempt
+                # draws a fresh fault schedule instead of deterministically
+                # re-failing forever.
+                payload["fault_attempt"] = attempts[index]
+            try:
+                handles.append((index, pool.apply_async(run_shard, (payload,))))
+            except Exception as error:
+                # The pool object itself is unusable (lost its workers,
+                # already terminated, ...).  Everything not yet submitted
+                # goes straight to quarantine.
+                _record_failure(report, index, attempts[index], error)
+                pool_broken = True
+                break
+        submitted = {index for index, _ in handles}
+        retry_round: List[int] = []
+        for index in pending:
+            if index not in submitted:
+                quarantine.append(index)
+        for index, handle in handles:
+            budget = min(
+                config.task_timeout_seconds, phase_deadline - time.monotonic()
+            )
+            try:
+                results[index] = handle.get(max(0.0, budget))
+            except multiprocessing.TimeoutError as error:
+                saw_timeout = True
+                _record_failure(report, index, attempts[index], error)
+                attempts[index] += 1
+                if attempts[index] <= config.max_task_retries:
+                    retry_round.append(index)
+                else:
+                    quarantine.append(index)
+            except Exception as error:
+                # The worker raised (injected crash, real bug, lost process
+                # turned into a pool error) -- same retry policy.
+                _record_failure(report, index, attempts[index], error)
+                attempts[index] += 1
+                if attempts[index] <= config.max_task_retries:
+                    retry_round.append(index)
+                else:
+                    quarantine.append(index)
+        retried.update(retry_round)
+        pending = retry_round
+        if pending and config.retry_backoff_seconds > 0:
+            time.sleep(config.retry_backoff_seconds)
+
+    if pool_broken:
+        # Any task still in flight or unsubmitted when the pool broke.
+        quarantine.extend(index for index in pending if results[index] is None)
+    if pool_broken or saw_timeout:
+        # A pool that lost workers or still holds a wedged task cannot be
+        # trusted by later runs.
+        _discard_pool(workers)
+
+    report.retried_shards = len(retried)
+    quarantine = sorted(set(quarantine))
+    report.quarantined_shards = len(quarantine)
+    for index in quarantine:
+        if config.quarantine_inline:
+            payload = dict(payloads[index])
+            # Inline execution runs in the parent: worker-fault sites are
+            # disarmed (no shipped plan; the parent plan is not in_worker).
+            payload.pop("faults", None)
+            try:
+                results[index] = run_shard(payload)
+                continue
+            except Exception as error:
+                _record_failure(report, index, attempts[index], error)
+        # Subtree left to the caller's native exploration.
+    report.failed_shards = sum(1 for result in results if result is None)
+    return results
 
 
 def prewarm_full(

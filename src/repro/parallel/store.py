@@ -1,4 +1,4 @@
-"""A persistent, process-portable summary store.
+"""A persistent, process-portable, crash-safe summary store.
 
 The :class:`~repro.symexec.summary_cache.SummaryCache` is in-memory and
 per-process; its keys embed intern ids that are process- *and* lifetime-
@@ -10,34 +10,75 @@ fresh process (or a fresh CI job restoring a cached file) can resume warm:
 entries are re-interned on load and replay exactly as they would have in
 the recording process.
 
-Format: one JSON document ``{"format": 1, "entries": [...]}``.  The format
-number is bumped whenever the entry encoding changes shape; a store whose
-format does not match (or whose content is unreadable) is ignored rather
-than trusted -- a stale cache file must never break or skew a run, it can
-only fail to warm it.  Writes go through a temp file + ``os.replace`` so a
-crashed run cannot leave a torn store behind.
+Format (version 2): JSON Lines.  The first line is a header
+``{"format": 2}``; every following line is one self-contained entry
+``{"checksum": "<sha256>", "entry": {...}}`` where the checksum covers the
+entry's canonical JSON rendering.  Two properties fall out of the per-line
+layout:
+
+* **Crash safety / torn-write salvage.**  A store truncated at any byte
+  offset (a torn OS-level write, a killed process, a half-restored CI
+  cache) still yields every intact prefix line; a line that fails to parse
+  or whose checksum does not match is skipped and counted
+  (``skipped_entries``), never adopted.  A corrupt store salvages its
+  intact entries instead of being discarded wholesale.
+* **Concurrent-writer union.**  :meth:`dump` takes an exclusive lock file
+  and merges with the entries already on disk (union by checksum) before
+  the atomic temp-file + ``os.replace`` publish, so two concurrent
+  :class:`VersionHistoryRunner` processes sharing one store path union
+  their entries instead of last-writer clobbering.
+
+A store whose header is missing or carries the wrong format number is
+ignored rather than trusted -- a stale cache file must never break or skew
+a run, it can only fail to warm it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
-from typing import Optional
+from typing import Dict, List, Optional, Set
 
-from repro.parallel.merge import merge_encoded_entries
+from repro import faults
+from repro.parallel.merge import merge_encoded_entries_counted
 from repro.parallel.serialize import encode_cache_entries
 from repro.symexec.summary_cache import SummaryCache
 
+try:
+    import fcntl
+except ImportError:  # non-POSIX platform: dumps proceed unlocked
+    fcntl = None
+
 #: Bump when the serialized entry shape changes; mismatched stores are ignored.
-STORE_FORMAT = 1
+STORE_FORMAT = 2
+
+
+def _canonical(entry: dict) -> str:
+    """The canonical JSON rendering a checksum covers.
+
+    Encoded entries are pure structural data (term trees, strings, ints),
+    so this rendering -- and therefore the checksum -- is identical across
+    processes and interpreter lifetimes.
+    """
+    return json.dumps(entry, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(canonical: str) -> str:
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 class PersistentSummaryStore:
-    """Dump/load a :class:`SummaryCache` to and from one JSON file."""
+    """Dump/load a :class:`SummaryCache` to and from one JSONL file."""
 
     def __init__(self, path: str):
         self.path = os.fspath(path)
+        #: Entries dropped by the most recent :meth:`load_into`: unparsable
+        #: lines, checksum mismatches and entries that failed to decode.
+        #: Surfaced so callers (benchmarks, history reports) can assert a
+        #: healthy store lost nothing.
+        self.skipped_entries = 0
 
     def exists(self) -> bool:
         return os.path.exists(self.path)
@@ -45,59 +86,166 @@ class PersistentSummaryStore:
     # -- write -----------------------------------------------------------------
 
     def dump(self, cache: SummaryCache) -> int:
-        """Write every serializable entry of ``cache``; returns the count.
+        """Write ``cache``'s serializable entries, unioning with what is on
+        disk; returns the number of entries in the published store.
 
         Entries whose fingerprint ids cannot be resolved from their pins
-        (which cannot be rebuilt in any other process) are skipped.
+        (which cannot be rebuilt in any other process) are skipped by the
+        encoder.  The read-merge-publish sequence runs under an exclusive
+        lock file, so concurrent dumpers serialize and union instead of
+        clobbering each other.
         """
-        entries = encode_cache_entries(cache.iter_entries())
-        document = {"format": STORE_FORMAT, "entries": entries}
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            "w", encoding="utf-8", dir=directory, suffix=".tmp", delete=False
-        )
+        lock_handle = None
+        if fcntl is not None:
+            lock_handle = open(self.path + ".lock", "a+")
+            fcntl.flock(lock_handle.fileno(), fcntl.LOCK_EX)
         try:
-            with handle:
-                json.dump(document, handle, sort_keys=True)
-            os.replace(handle.name, self.path)
-        except BaseException:
-            if os.path.exists(handle.name):
-                os.unlink(handle.name)
-            raise
-        return len(entries)
+            # Union by checksum with the intact lines already on disk
+            # (first writer's rendering wins for a shared checksum, which
+            # is the identical content anyway).
+            merged: Dict[str, str] = {}
+            for checksum, line in self._read_raw_lines():
+                merged.setdefault(checksum, line)
+            for entry in encode_cache_entries(cache.iter_entries()):
+                canonical = _canonical(entry)
+                checksum = _checksum(canonical)
+                merged.setdefault(
+                    checksum,
+                    _canonical({"checksum": checksum, "entry": entry}),
+                )
+            payload = "\n".join(
+                [_canonical({"format": STORE_FORMAT})] + list(merged.values())
+            ) + "\n"
+            handle = tempfile.NamedTemporaryFile(
+                "w", encoding="utf-8", dir=directory, suffix=".tmp", delete=False
+            )
+            try:
+                with handle:
+                    handle.write(payload)
+                os.replace(handle.name, self.path)
+            except BaseException:
+                if os.path.exists(handle.name):
+                    os.unlink(handle.name)
+                raise
+            self._maybe_tear(payload)
+            return len(merged)
+        finally:
+            if lock_handle is not None:
+                fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
+                lock_handle.close()
+
+    def _maybe_tear(self, payload: str) -> None:
+        """Fault site ``torn-store-write``: truncate the published file.
+
+        Simulates a torn OS-level write (power loss, killed process before
+        the page cache drained) at a roll-derived byte offset.  The chaos
+        tests then assert that a later load salvages every intact line and
+        adopts nothing corrupt.
+        """
+        plan = faults.active_plan()
+        if plan is None or not plan.fires("torn-store-write", self.path):
+            return
+        data = payload.encode("utf-8")
+        offset = int(plan.roll("torn-store-write-at", self.path) * len(data))
+        with open(self.path, "wb") as handle:
+            handle.write(data[:offset])
 
     # -- read ------------------------------------------------------------------
 
     def load_into(self, cache: SummaryCache) -> int:
         """Adopt the stored entries into ``cache``; returns how many were added.
 
-        Robust by design: a missing file, unreadable JSON, wrong format
-        number or a malformed individual entry contributes zero entries
-        instead of raising -- persistent stores live in CI caches and
-        scratch directories where staleness is normal.
+        Robust by design: a missing file, an unreadable or wrong-format
+        header, a truncated tail, a corrupt line or a malformed individual
+        entry contributes zero entries instead of raising -- persistent
+        stores live in CI caches and scratch directories where staleness
+        and torn writes are normal.  Casualties are counted in
+        ``skipped_entries``.
         """
-        document = self._read_document()
-        if document is None:
+        scanned = self._scan()
+        if scanned is None:
+            self.skipped_entries = 0
             return 0
-        return merge_encoded_entries(cache, document.get("entries", ()))
+        records, line_skipped = scanned
+        adopted, decode_skipped = merge_encoded_entries_counted(
+            cache, [entry for _, entry in records]
+        )
+        self.skipped_entries = line_skipped + decode_skipped
+        return adopted
 
     def entry_count(self) -> Optional[int]:
-        """Number of entries on disk, or None when the store is unusable."""
-        document = self._read_document()
-        if document is None:
+        """Number of intact entries on disk, or None when the store is unusable."""
+        scanned = self._scan()
+        if scanned is None:
             return None
-        entries = document.get("entries")
-        return len(entries) if isinstance(entries, list) else None
+        return len(scanned[0])
 
-    def _read_document(self) -> Optional[dict]:
+    def checksums(self) -> Optional[Set[str]]:
+        """The intact entries' checksums (None when the store is unusable).
+
+        Lets concurrency tests prove a union lost nothing without decoding.
+        """
+        scanned = self._scan()
+        if scanned is None:
+            return None
+        return {checksum for checksum, _ in scanned[0]}
+
+    # -- internals -------------------------------------------------------------
+
+    def _scan(self):
+        """``((checksum, entry) pairs, skipped line count)`` or None.
+
+        "Unusable" (missing file, unreadable or wrong-format header ->
+        ``None``) is distinct from "damaged": a damaged store still yields
+        its intact lines, with the casualties counted.  A line counts as
+        intact only when it parses, has the expected shape and its entry's
+        canonical rendering matches the recorded checksum.
+        """
         if not os.path.exists(self.path):
             return None
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
-                document = json.load(handle)
-        except (OSError, ValueError):
+                lines = handle.read().splitlines()
+        except OSError:
             return None
-        if not isinstance(document, dict) or document.get("format") != STORE_FORMAT:
+        if not lines:
             return None
-        return document
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            return None
+        if not isinstance(header, dict) or header.get("format") != STORE_FORMAT:
+            return None
+        records = []
+        skipped = 0
+        for line in lines[1:]:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                skipped += 1
+                continue
+            checksum = record.get("checksum") if isinstance(record, dict) else None
+            entry = record.get("entry") if isinstance(record, dict) else None
+            if not isinstance(checksum, str) or not isinstance(entry, dict):
+                skipped += 1
+                continue
+            if _checksum(_canonical(entry)) != checksum:
+                skipped += 1
+                continue
+            records.append((checksum, entry))
+        return records, skipped
+
+    def _read_raw_lines(self) -> List:
+        """Intact ``(checksum, canonical line)`` pairs (empty when unusable)."""
+        scanned = self._scan()
+        if scanned is None:
+            return []
+        return [
+            (checksum, _canonical({"checksum": checksum, "entry": entry}))
+            for checksum, entry in scanned[0]
+        ]

@@ -7,7 +7,9 @@ execution and producing concrete models used for test input generation.
 
 from repro.solver.context import SolverContext
 from repro.solver.core import (
+    BudgetExhausted,
     ConstraintSolver,
+    DeadlineBudget,
     SolverError,
     SolverResult,
     SolverStatistics,
@@ -49,7 +51,9 @@ from repro.solver.terms import (
 
 __all__ = [
     "SolverContext",
+    "BudgetExhausted",
     "ConstraintSolver",
+    "DeadlineBudget",
     "SolverError",
     "SolverResult",
     "SolverStatistics",

@@ -23,9 +23,11 @@ of constraints), not O(total term size).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import faults
 from repro.solver.intervals import (
     DEFAULT_BOUND,
     Domains,
@@ -67,6 +69,56 @@ from repro.solver.terms import (
 
 class SolverError(Exception):
     """Raised when the solver cannot decide a constraint set."""
+
+
+class BudgetExhausted(SolverError):
+    """Raised by a solver whose :class:`DeadlineBudget` has expired.
+
+    A ``SolverError`` subclass so existing conservative handlers (the
+    lookahead's bailout) treat it like any other undecidable query; the
+    engine additionally catches it around feasibility checks to degrade to
+    "explore both sides" instead of failing the run.
+    """
+
+
+class DeadlineBudget:
+    """A run-level wall-clock budget shared by everything a run solves.
+
+    Threaded through :class:`ConstraintSolver` (and therefore every
+    :class:`~repro.solver.context.SolverContext` and lookahead sharing
+    it).  Once the budget expires the solver refuses further complete
+    queries by raising :class:`BudgetExhausted`; callers degrade to
+    conservative answers (lookahead -> "all reachable", feasibility ->
+    explore both sides) and flag the run as degraded -- never a hang,
+    never a wrong answer.  Exhaustion is sticky: a budget that has
+    expired once stays expired (``exhausted``), which keeps degradation
+    monotonic and the "did this run degrade?" question well-posed.
+    """
+
+    def __init__(self, seconds: float):
+        self.seconds = float(seconds)
+        self._deadline = time.monotonic() + self.seconds
+        #: Sticky flag: set the first time the budget is observed expired.
+        self.exhausted = False
+        #: How many times an expired budget rejected a query (diagnostics).
+        self.rejections = 0
+
+    def expired(self) -> bool:
+        """Whether the budget is (now) spent; sets the sticky flag."""
+        if not self.exhausted and time.monotonic() >= self._deadline:
+            self.exhausted = True
+        return self.exhausted
+
+    def remaining(self) -> float:
+        return max(0.0, self._deadline - time.monotonic())
+
+    def charge(self) -> None:
+        """Admission control: raise :class:`BudgetExhausted` once spent."""
+        if self.expired():
+            self.rejections += 1
+            raise BudgetExhausted(
+                f"Deadline budget of {self.seconds:.3f}s exhausted"
+            )
 
 
 @dataclass
@@ -140,9 +192,17 @@ class SolverResult:
 class ConstraintSolver:
     """Decides conjunctions of MiniLang path-condition constraints."""
 
-    def __init__(self, bound: int = DEFAULT_BOUND, max_branch_steps: int = 200_000):
+    def __init__(
+        self,
+        bound: int = DEFAULT_BOUND,
+        max_branch_steps: int = 200_000,
+        deadline: Optional[DeadlineBudget] = None,
+    ):
         self.bound = bound
         self.max_branch_steps = max_branch_steps
+        #: Optional run-level wall-clock budget; once exhausted every
+        #: complete query raises :class:`BudgetExhausted`.
+        self.deadline = deadline
         self.statistics = SolverStatistics()
         #: key -> (result, pinned key terms).  Terms are interned weakly, so
         #: each entry anchors the canonical instances its id-based key
@@ -167,6 +227,12 @@ class ConstraintSolver:
         verdict -- which is also why seeded and unseeded queries may share
         one cache entry.
         """
+        # Admission control before any work (including the cache probe): an
+        # exhausted budget makes every check raise, so degradation is
+        # uniform and predictable rather than dependent on cache luck.
+        if self.deadline is not None:
+            self.deadline.charge()
+        faults.maybe_solver_timeout()
         self.statistics.queries += 1
         simplified = [simplify(term) for term in constraints]
         key = tuple(sorted(term_key(term) for term in simplified))
@@ -391,6 +457,11 @@ class ConstraintSolver:
         self.statistics.branch_steps += 1
         if self.statistics.branch_steps > self.max_branch_steps:
             raise SolverError("Branch-and-bound step limit exceeded")
+        # A query admitted before the deadline may still straddle it; check
+        # inside the search loop so a hard query cannot overrun the budget
+        # by more than one branch-and-bound step.
+        if self.deadline is not None:
+            self.deadline.charge()
         # Split the narrowest non-singleton interval at its midpoint, trying the
         # half nearer to zero first so that models (and therefore generated test
         # inputs) stay small in magnitude.

@@ -23,7 +23,7 @@ from repro.cfg.ir import FALSE_EDGE, TRUE_EDGE, CFGNode, NodeKind
 from repro.cfg.region_hash import RegionHashIndex, RegionSignature
 from repro.lang.ast_nodes import BoolLiteral, GlobalDecl, IntLiteral, Procedure, Program, UnaryOp
 from repro.solver.context import SolverContext
-from repro.solver.core import ConstraintSolver
+from repro.solver.core import BudgetExhausted, ConstraintSolver, DeadlineBudget
 from repro.solver.simplify import simplify
 from repro.solver.terms import (
     BOOL_SORT,
@@ -91,6 +91,22 @@ class ExecutionStatistics:
     #: Segment replays: cache hits that skipped a region up to its immediate
     #: post-dominator and resumed native exploration at the boundary.
     replayed_segments: int = 0
+    #: Feasibility decisions answered conservatively (both branch sides
+    #: explored) because the run's deadline budget was exhausted.
+    degraded_decisions: int = 0
+    #: 1 when the run ended with its deadline budget exhausted (0/1 rather
+    #: than bool so merged statistics can sum it across legs).  Covers
+    #: degradation that never reached a branch decision, e.g. a budget
+    #: spent entirely inside the lookahead's conservative bailouts.
+    deadline_exhausted: int = 0
+
+    @property
+    def completeness(self) -> str:
+        """``"complete"`` for an exact run, ``"degraded"`` when any answer
+        was conservative because the deadline budget ran out."""
+        if self.degraded_decisions or self.deadline_exhausted:
+            return "degraded"
+        return "complete"
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -117,6 +133,8 @@ class ExecutionStatistics:
             "summary_cache_stores": self.summary_cache_stores,
             "replayed_paths": self.replayed_paths,
             "replayed_segments": self.replayed_segments,
+            "degraded_decisions": self.degraded_decisions,
+            "deadline_exhausted": self.deadline_exhausted,
         }
 
 
@@ -403,6 +421,8 @@ class SymbolicExecutor:
             stack.append(self._enter(successor, edge_label, frame, summary))
 
         self.strategy.on_run_end()
+        if self._deadline_degraded():
+            self.statistics.deadline_exhausted = 1
         self.statistics.elapsed_seconds = time.perf_counter() - started
         self.statistics.path_conditions = len(summary)
         self.statistics.solver_queries = self.solver.statistics.queries - start_queries
@@ -789,17 +809,30 @@ class SymbolicExecutor:
         for segment in self._segment_recordings:
             segment.aborted = True
 
+    def _deadline_degraded(self) -> bool:
+        """True once the run's deadline budget has been exhausted.
+
+        Degradation is wall-clock dependent: what a degraded run explored
+        (extra branch sides, unpruned lookahead targets) is not a function
+        of the cache key, so no summary recorded after exhaustion may be
+        stored -- a later, un-degraded run would replay it as ground truth.
+        Checking the sticky solver-level flag here covers both the engine's
+        own degraded decisions and purely lookahead-level degradation.
+        """
+        deadline = self.solver.deadline
+        return deadline is not None and deadline.exhausted
+
     def _finalize_recording(self, recording) -> None:
         """Close the innermost recording of its kind and store its summary."""
         if isinstance(recording, _SegmentRecording):
             top = self._segment_recordings.pop()
             assert top is recording, "segment recordings must close in LIFO order"
-            if not recording.aborted:
+            if not recording.aborted and not self._deadline_degraded():
                 self._store_segment(recording)
             return
         top = self._recordings.pop()
         assert top is recording, "recordings must close in LIFO order"
-        if recording.aborted:
+        if recording.aborted or self._deadline_degraded():
             return
         root = recording.root_state
         prefix_len = len(root.path_condition.constraints)
@@ -1011,17 +1044,46 @@ class SymbolicExecutor:
             target = true_target if condition.value else false_target
             return [(state.with_node(target), "true" if condition.value else "false")]
 
-        self._sync_context(state)
+        try:
+            self._sync_context(state)
+        except BudgetExhausted:
+            self._degrade_decision()
+            return [
+                (state.with_constraint(true_target, condition), "true"),
+                (state.with_constraint(false_target, negate(condition)), "false"),
+            ]
         successors: List[Tuple[SymbolicState, str]] = []
         for branch_condition, target, label in (
             (condition, true_target, "true"),
             (negate(condition), false_target, "false"),
         ):
-            if self.context.assume_is_satisfiable(branch_condition):
+            try:
+                feasible = self.context.assume_is_satisfiable(branch_condition)
+            except BudgetExhausted:
+                feasible = self._degrade_decision()
+            if feasible:
                 successors.append((state.with_constraint(target, branch_condition), label))
             else:
                 self.statistics.infeasible_branches += 1
         return successors
+
+    def _degrade_decision(self) -> bool:
+        """Conservative fallback for a feasibility query the budget refused.
+
+        The undecided branch side is treated as feasible: the run keeps
+        terminating (every path still completes or hits the depth bound) and
+        keeps covering everything a complete run would -- it may merely
+        explore infeasible paths it cannot afford to rule out.  The run is
+        flagged via ``degraded_decisions`` / ``completeness``.  Note the
+        context's fast paths (interval propagation) still answer for free
+        after exhaustion; only verdicts needing the complete solver degrade.
+        """
+        self.statistics.degraded_decisions += 1
+        # A conservatively-explored subtree must never be recorded: a later,
+        # un-degraded run would replay the over-approximate summary as
+        # ground truth.
+        self._abort_open_recordings()
+        return True
 
 
 def symbolic_execute(
@@ -1034,6 +1096,7 @@ def symbolic_execute(
     summary_cache: Optional[SummaryCache] = None,
     workers: int = 1,
     parallel_config=None,
+    deadline: Optional[DeadlineBudget] = None,
 ) -> ExecutionResult:
     """Run full symbolic execution on one procedure and return the result.
 
@@ -1042,6 +1105,13 @@ def symbolic_execute(
     run below replays the workers' summaries, producing the identical
     result with the subtree work done in parallel.  Ignored while building
     the execution tree (replay materialises no tree nodes).
+
+    ``deadline`` attaches a run-level :class:`DeadlineBudget` to the run's
+    solver: once exhausted, feasibility queries degrade to conservative
+    answers and the result's ``statistics.completeness`` reads
+    ``"degraded"``.  The budget stays in the calling process -- shard
+    workers always run with a clean solver (a worker degraded by wall
+    clock would ship nondeterministic summaries).
     """
     parallel_report = None
     parallelize = workers > 1 and not build_tree
@@ -1059,6 +1129,8 @@ def symbolic_execute(
         tracked_variables=tracked_variables,
         summary_cache=summary_cache,
     )
+    if deadline is not None:
+        executor.solver.deadline = deadline
     if parallelize:
         # Imported here: repro.parallel depends on this module.
         from repro.parallel.shard import prewarm_full

@@ -1,0 +1,83 @@
+"""Chaos differential gate: parallel ≡ serial under injected faults.
+
+The fault-tolerance claim worth gating on is not "faults are survived" but
+"faults are survived *without changing the answer*": with workers crashing,
+solvers wedging and shards timing out, the parallel runtime must still emit
+the identical distinct path-condition set a clean serial run produces, on
+every version of every artifact history (ASW/WBS/OAE + the interprocedural
+ASW-CALLS/FCS -- 56 version pairs).
+
+The schedule comes from ``REPRO_FAULTS`` when set (the CI chaos job pins
+``seed:6,crash:0.3,timeout:0.2``) and defaults to the same spec here, so a
+plain local ``pytest tests/chaos`` exercises the gate identically.
+
+The serial oracle runs *inside* the installed plan under
+:func:`faults.suspended`, which proves suspension really silences the
+schedule -- a fault leaking into the oracle would break the comparison
+loudly.
+"""
+
+import pytest
+
+from repro import faults
+from repro.artifacts import all_artifacts, interproc_artifacts
+from repro.core.dise import DiSE
+from repro.parallel.shard import ShardConfig
+
+DEFAULT_SPEC = "seed:6,crash:0.3,timeout:0.2"
+
+#: Small shards, fast retries: the point is fault coverage, not throughput.
+CHAOS_CONFIG = ShardConfig(
+    split_depth=1,
+    min_shards=1,
+    task_timeout_seconds=10.0,
+    retry_backoff_seconds=0.01,
+)
+
+_ARTIFACTS = {a.name: a for a in list(all_artifacts()) + list(interproc_artifacts())}
+
+
+def _pcs(summary):
+    return sorted(str(c) for c in summary.distinct_path_conditions())
+
+
+def _version_pairs(artifact):
+    from repro.lang.parser import parse_program
+
+    history = artifact.history()
+    parsed = {}
+
+    def program(source):
+        if source not in parsed:
+            parsed[source] = parse_program(source)
+        return parsed[source]
+
+    return [
+        (prev_name, name, program(prev_source), program(source))
+        for (prev_name, _, _, prev_source), (name, _, _, source) in zip(
+            history, history[1:]
+        )
+    ]
+
+
+@pytest.mark.parametrize("artifact_name", sorted(_ARTIFACTS))
+def test_faulted_parallel_dise_identical_distinct_pcs(artifact_name):
+    artifact = _ARTIFACTS[artifact_name]
+    plan = faults.plan_from_env(default=DEFAULT_SPEC)
+    with faults.injected(plan):
+        for prev_name, name, base, modified in _version_pairs(artifact):
+            with faults.suspended():
+                serial = DiSE(
+                    base, modified, procedure_name=artifact.procedure_name
+                ).run()
+            chaotic = DiSE(
+                base,
+                modified,
+                procedure_name=artifact.procedure_name,
+                workers=2,
+                parallel_config=CHAOS_CONFIG,
+            ).run()
+            assert _pcs(chaotic.execution.summary) == _pcs(serial.execution.summary), (
+                f"{artifact_name} {prev_name}->{name}: "
+                f"parallel DiSE under injected faults diverged from clean serial"
+            )

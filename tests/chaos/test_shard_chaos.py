@@ -1,0 +1,168 @@
+"""Shard-level fault containment: retry, quarantine, salvage, real SIGKILL."""
+
+import pytest
+
+from repro import faults
+from repro.artifacts.simple import update_modified_program
+from repro.parallel.shard import ShardConfig, shutdown_pools
+from repro.symexec.engine import symbolic_execute
+
+
+def _record_keys(summary):
+    return [
+        (str(r.path_condition), tuple(map(str, r.final_environment)), r.is_error)
+        for r in summary.records
+    ]
+
+
+def _run_parallel(program, config):
+    return symbolic_execute(
+        program, procedure_name="update", workers=2, parallel_config=config
+    )
+
+
+@pytest.fixture
+def program():
+    return update_modified_program()
+
+
+@pytest.fixture
+def serial_records(program):
+    return _record_keys(symbolic_execute(program, procedure_name="update").summary)
+
+
+class TestCrashContainment:
+    def test_certain_crash_quarantines_inline_with_identical_output(
+        self, program, serial_records
+    ):
+        """crash rate 1.0: every pool attempt of every shard dies.  All
+        shards exhaust their retries, all are quarantined, the inline pass
+        (fault-free in the parent) salvages every one -- output identical."""
+        plan = faults.parse_spec("seed:1,crash:1.0")
+        config = ShardConfig(
+            split_depth=1, min_shards=1, max_task_retries=1, retry_backoff_seconds=0.01
+        )
+        with faults.injected(plan):
+            with pytest.warns(RuntimeWarning, match="parallel prewarm degraded"):
+                result = _run_parallel(program, config)
+        report = result.parallel
+        assert report is not None and report.shards > 0
+        assert report.retried_shards == report.shards
+        assert report.quarantined_shards == report.shards
+        assert report.failed_shards == 0, "inline quarantine must salvage every shard"
+        assert report.failure_reasons
+        assert any("WorkerCrashFault" in reason for reason in report.failure_reasons)
+        assert report.salvaged_entries == report.merged_entries > 0
+        assert _record_keys(result.summary) == serial_records
+
+    def test_certain_crash_without_inline_still_identical_output(
+        self, program, serial_records
+    ):
+        """quarantine_inline=False: every shard fails permanently and its
+        subtree falls back to native exploration.  Pure speed loss -- the
+        answer is still byte-identical to serial."""
+        plan = faults.parse_spec("seed:1,crash:1.0")
+        config = ShardConfig(
+            split_depth=1,
+            min_shards=1,
+            max_task_retries=0,
+            retry_backoff_seconds=0.01,
+            quarantine_inline=False,
+        )
+        with faults.injected(plan):
+            with pytest.warns(RuntimeWarning, match="failed permanently"):
+                result = _run_parallel(program, config)
+        report = result.parallel
+        assert report is not None and report.shards > 0
+        assert report.failed_shards == report.shards
+        assert report.merged_entries == 0
+        assert _record_keys(result.summary) == serial_records
+
+    def test_partial_crash_salvages_survivors(self, program, serial_records):
+        """crash rate 0.5 with no retries and no inline rescue: the
+        surviving shards' entries must merge (partial salvage), and the
+        failed shards' subtrees must not distort the output."""
+        plan = faults.parse_spec("seed:2,crash:0.5")
+        config = ShardConfig(
+            split_depth=1,
+            min_shards=1,
+            max_task_retries=0,
+            retry_backoff_seconds=0.01,
+            quarantine_inline=False,
+        )
+        with faults.injected(plan):
+            result = _run_parallel(program, config)
+        report = result.parallel
+        assert report is not None and report.shards > 0
+        if report.failed_shards:
+            # A failure occurred and the survivors still landed in the cache.
+            assert report.failed_shards < report.shards
+            assert report.salvaged_entries == report.merged_entries > 0
+        assert _record_keys(result.summary) == serial_records
+
+
+class TestSolverWedgeContainment:
+    def test_injected_solver_timeout_fails_the_shard_not_the_answer(
+        self, program, serial_records
+    ):
+        """A wedged worker solver must *fail* the shard (retried, then
+        quarantined) -- never ship conservatively-divergent summaries."""
+        plan = faults.parse_spec("seed:3,timeout:1.0")
+        config = ShardConfig(
+            split_depth=1, min_shards=1, max_task_retries=1, retry_backoff_seconds=0.01
+        )
+        with faults.injected(plan):
+            with pytest.warns(RuntimeWarning, match="parallel prewarm degraded"):
+                result = _run_parallel(program, config)
+        report = result.parallel
+        assert report is not None and report.shards > 0
+        assert any("SolverTimeoutFault" in reason for reason in report.failure_reasons)
+        assert report.failed_shards == 0
+        assert _record_keys(result.summary) == serial_records
+
+
+class TestRealWorkerKill:
+    def test_sigkilled_worker_mid_task_salvages_siblings(
+        self, program, serial_records
+    ):
+        """The hardest failure mode, for real: workers SIGKILL themselves
+        mid-task (no exception, no cleanup -- the OS just takes them).  The
+        per-task deadline expires, the attempt re-rolls, and whatever the
+        pool cannot finish the quarantine pass rescues inline.  A single
+        kill must never discard sibling shard results."""
+        plan = faults.parse_spec("seed:6,kill:0.97")
+        config = ShardConfig(
+            split_depth=1,
+            min_shards=1,
+            task_timeout_seconds=1.0,
+            pool_timeout_seconds=6.0,
+            max_task_retries=1,
+            retry_backoff_seconds=0.01,
+        )
+        try:
+            with faults.injected(plan):
+                with pytest.warns(RuntimeWarning, match="parallel prewarm degraded"):
+                    result = _run_parallel(program, config)
+            report = result.parallel
+            assert report is not None and report.shards > 0
+            assert report.failure_reasons, "a 97% kill rate must record casualties"
+            assert report.failed_shards == 0, "quarantine must salvage killed shards"
+            assert report.merged_entries > 0
+            assert _record_keys(result.summary) == serial_records
+        finally:
+            # The kill schedule leaves the cached pool with a wedged task;
+            # dispatch discards it already, but be belt-and-braces about
+            # never leaking a poisoned pool into later tests.
+            shutdown_pools()
+
+    def test_clean_pool_after_kill_storm(self, program, serial_records):
+        """After the kill storm the next parallel run forks a fresh pool
+        and completes cleanly -- no sticky fault state, no poisoned pool."""
+        result = _run_parallel(
+            program, ShardConfig(split_depth=1, min_shards=1)
+        )
+        report = result.parallel
+        assert report is not None and report.shards > 0
+        assert report.failed_shards == 0
+        assert report.failure_reasons == []
+        assert _record_keys(result.summary) == serial_records

@@ -180,7 +180,13 @@ class TestWorker:
 
 class TestPoolFailureFallback:
     def test_worker_failure_degrades_to_serial_not_crash(self):
-        """A crashed/wedged pool must yield 'no prewarm', never an error."""
+        """A broken pool must salvage the phase inline, never raise.
+
+        The planted pool cannot even accept a task, so the whole phase
+        breaks at submission: every task lands in quarantine and is
+        re-executed inline, the failures are recorded in the report (not
+        silently swallowed), and the output is still identical to serial.
+        """
         import repro.parallel.shard as shard_module
 
         class _BrokenAsyncResult:
@@ -202,15 +208,24 @@ class TestPoolFailureFallback:
         try:
             program = update_modified_program()
             serial = symbolic_execute(program, procedure_name="update")
-            result = symbolic_execute(
-                program,
-                procedure_name="update",
-                workers=2,
-                parallel_config=ShardConfig(split_depth=1, min_shards=1),
-            )
-            # The broken pool was consumed and discarded; the run completed
-            # natively with identical output and reports zero shards.
-            assert result.parallel is not None and result.parallel.shards == 0
+            with pytest.warns(RuntimeWarning, match="parallel prewarm degraded"):
+                result = symbolic_execute(
+                    program,
+                    procedure_name="update",
+                    workers=2,
+                    parallel_config=ShardConfig(split_depth=1, min_shards=1),
+                )
+            report = result.parallel
+            assert report is not None and report.shards > 0
+            # Submission failures are recorded, never discarded silently.
+            assert report.failure_reasons
+            assert any("AttributeError" in reason for reason in report.failure_reasons)
+            # Every task was quarantined and salvaged inline...
+            assert report.quarantined_shards == report.shards
+            assert report.failed_shards == 0
+            assert report.merged_entries > 0
+            assert report.salvaged_entries == report.merged_entries
+            # ...the broken pool was discarded, and the output is intact.
             assert 2 not in shard_module._POOLS
             assert _record_keys(result.summary) == _record_keys(serial.summary)
         finally:

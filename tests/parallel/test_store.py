@@ -77,13 +77,14 @@ def test_unknown_format_is_ignored(tmp_path):
     store.dump(cache)
 
     with open(store.path, "r", encoding="utf-8") as handle:
-        document = json.load(handle)
-    document["format"] = STORE_FORMAT + 1
+        lines = handle.read().splitlines()
+    lines[0] = json.dumps({"format": STORE_FORMAT + 1})
     with open(store.path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle)
+        handle.write("\n".join(lines) + "\n")
 
     fresh = SummaryCache()
     assert store.load_into(fresh) == 0
+    assert store.skipped_entries == 0
     assert store.entry_count() is None
 
 
@@ -94,13 +95,16 @@ def test_malformed_entries_are_skipped_not_fatal(tmp_path):
     dumped = store.dump(cache)
 
     with open(store.path, "r", encoding="utf-8") as handle:
-        document = json.load(handle)
-    document["entries"][0] = {"kind": "suffix"}  # missing everything else
+        lines = handle.read().splitlines()
+    # Corrupt one entry line: content no longer matches its checksum.
+    lines[1] = lines[1].replace('"entry"', '"entry_x"', 1)
     with open(store.path, "w", encoding="utf-8") as handle:
-        json.dump(document, handle)
+        handle.write("\n".join(lines) + "\n")
 
     fresh = SummaryCache()
     assert store.load_into(fresh) == dumped - 1
+    assert store.skipped_entries == 1
+    assert store.entry_count() == dumped - 1
 
 
 def test_dump_creates_parent_directories(tmp_path):
