@@ -30,7 +30,11 @@ from repro import faults
 from repro.artifacts import asw_artifact
 from repro.artifacts.simple import update_base_program, update_modified_program
 from repro.lang.parser import parse_program
-from repro.parallel.shard import ShardConfig, warm_pool
+from repro.parallel.shard import (
+    ShardConfig,
+    reset_scheduler_cost_model,
+    warm_pool,
+)
 from repro.parallel.store import PersistentSummaryStore
 from repro.symexec.engine import symbolic_execute
 from repro.symexec.summary_cache import SummaryCache
@@ -45,7 +49,7 @@ SALVAGE_FLOOR = 0.5
 #: No retries, no inline rescue: measure what pool-level partial salvage
 #: alone preserves when ~30% of shards crash.
 SALVAGE_CONFIG = ShardConfig(
-    split_depth=1,
+    cold_split_depth=1,
     min_shards=1,
     max_task_retries=0,
     retry_backoff_seconds=0.01,
@@ -58,6 +62,10 @@ def _distinct(result):
 
 
 def _salvage_leg(workers):
+    # The seeded schedule promises deterministic numbers, so the scheduler
+    # must start cold here no matter which benchmarks ran earlier in the
+    # process (a warm run-level gate could keep whole versions inline).
+    reset_scheduler_cost_model()
     artifact = asw_artifact()
     programs = [
         (name, parse_program(source)) for name, _, _, source in artifact.history()

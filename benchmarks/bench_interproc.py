@@ -20,9 +20,10 @@ here, re-checked against the baseline JSON by ``run_all.py``):
   artifacts (call frames and callee summaries crossing the process fence
   must be invisible in the output).
 
-The report also records the adaptive shard scheduling counters
-(``shards`` vs ``adaptive_inline``): with a warm shared cache the
-collector keeps cheap subtrees inline instead of shipping them.
+The report also records the cost-model shard scheduling counters
+(``shards`` vs ``cost_inline``): with a warm shared cache the collector
+keeps subtrees estimated below the fence overhead inline instead of
+shipping them.
 """
 
 import json

@@ -22,10 +22,12 @@ gated on (CI machines vary); counters and ratios are what must not regress:
   the 40% floor (enforced inside the bench) and within tolerance of the
   checked-in baseline, and memoized/baseline path conditions must match;
 * parallel bench: ``workers>1`` must match ``workers=1`` distinct path
-  conditions exactly, the persistent-store warm resume must replay >= 30%
-  of the seed leg, and at least one artifact history must show >= 1.5x
-  wall-clock speedup (absolute floor -- speedups are hardware-dependent,
-  so no baseline-relative gate);
+  conditions exactly (sweep and directed legs), directed WBS/OAE sweeps
+  must report zero strategy-token-miss fallbacks, the persistent-store
+  warm resume must replay >= 30% of the seed leg, and every artifact
+  history must meet its wall-clock floor (ASW >= 4.2x, WBS/OAE >= 1.0x --
+  absolute floors, not baseline-relative: the small-artifact floors pin
+  that the cost-model scheduler never ships at a loss);
 * faults bench: under an injected worker-crash schedule the pool phase
   must salvage >= 50% of shards with unchanged distinct path conditions,
   and two concurrent store writers must lose zero entries.
@@ -76,9 +78,11 @@ BENCHMARKS = {
     "bench_faults": "run_faults_benchmarks",
 }
 
-#: The parallel benchmark's worker count for gated runs; two keeps it honest
-#: on 2-vCPU CI runners (overridable from the environment).
-os.environ.setdefault("REPRO_PARALLEL_WORKERS", "2")
+#: The parallel benchmark's worker count for gated runs.  Four matches the
+#: acceptance sweep (the cost-model scheduler keeps small artifacts inline,
+#: so oversubscribing a 2-vCPU runner is harmless); overridable from the
+#: environment.
+os.environ.setdefault("REPRO_PARALLEL_WORKERS", "4")
 
 
 def _load_baseline(filename):
@@ -140,23 +144,39 @@ def _check_history(baseline, report, failures):
                     )
 
 
-#: Hard floors for the parallel benchmark (see bench_parallel.py).
-PARALLEL_SPEEDUP_FLOOR = 1.5
+#: Hard floors for the parallel benchmark (see bench_parallel.py).  ASW's
+#: floor pins the algorithmic win; WBS/OAE pin that the cost-model
+#: scheduler never lets the pipeline lose to plain serial.
+PARALLEL_SPEEDUP_FLOORS = {"ASW": 4.2, "WBS": 1.0, "OAE": 1.0}
+#: Artifacts whose directed sweeps must report zero token-miss fallbacks
+#: (ASW's serial directed sweeps miss across versions by construction;
+#: bench_parallel.py gates it on no-degradation instead).
+PARALLEL_ZERO_MISS = ("WBS", "OAE")
 PARALLEL_REUSE_FLOOR = 0.30
 
 
 def _check_parallel(baseline, report, failures):
-    speedups = {}
+    rows_by_artifact = {}
     for artifact in ("ASW", "WBS", "OAE"):
         rows = report.get(artifact)
         if rows is None:
             failures.append(f"parallel/{artifact}: missing from report")
             continue
-        sweep, warm = rows["sweep"], rows["warm_resume"]
-        speedups[artifact] = sweep.get("speedup") or 0.0
+        rows_by_artifact[artifact] = rows
+        sweep, directed, warm = rows["sweep"], rows["directed"], rows["warm_resume"]
         if not sweep.get("pcs_match"):
             failures.append(f"parallel/{artifact}: workers>1 diverged from workers=1")
-        if not sweep.get("shards"):
+        if not directed.get("pcs_match"):
+            failures.append(
+                f"parallel/{artifact}: directed workers>1 diverged from serial"
+            )
+        if artifact in PARALLEL_ZERO_MISS and directed.get("strategy_token_misses"):
+            failures.append(
+                f"parallel/{artifact}: directed sweep hit "
+                f"{directed['strategy_token_misses']} strategy-token-miss "
+                f"fallbacks (expected 0)"
+            )
+        if not (sweep.get("shards_warmup", 0) + sweep.get("shards_timed", 0)):
             failures.append(f"parallel/{artifact}: no frontier frames were sharded")
         if not sweep.get("replayed_paths"):
             failures.append(f"parallel/{artifact}: no worker summary was replayed")
@@ -176,13 +196,37 @@ def _check_parallel(baseline, report, failures):
                     f"parallel/{artifact}: distinct path conditions {new_pcs} != "
                     f"baseline {old_pcs}"
                 )
-    # Speedups are hardware-dependent, so they are gated on an absolute
-    # floor (at least one artifact history must beat plain serial) rather
-    # than against the checked-in baseline's numbers.
-    if speedups and max(speedups.values()) < PARALLEL_SPEEDUP_FLOOR:
-        failures.append(
-            f"parallel: no artifact reached {PARALLEL_SPEEDUP_FLOOR}x speedup: {speedups}"
+    # Per-artifact absolute floors (hardware-independent by construction:
+    # the scheduler keeps artifacts it cannot accelerate inline, so the
+    # pipeline's worst case is the shared-cache serial sweep).
+    for artifact, floor in PARALLEL_SPEEDUP_FLOORS.items():
+        sweep = rows_by_artifact.get(artifact, {}).get("sweep", {})
+        speedup = sweep.get("speedup")
+        if speedup is None or speedup < floor:
+            failures.append(
+                f"parallel/{artifact}: speedup {speedup}x below the {floor}x floor"
+            )
+    # Job-summary table: one line per artifact so a CI log shows the
+    # whole speedup picture without opening the JSON.
+    if rows_by_artifact:
+        print("       parallel sweep (plain serial vs pipeline):")
+        header = (
+            f"       {'artifact':<10}{'speedup':>9}{'floor':>7}{'plain_s':>9}"
+            f"{'par_s':>8}{'shards':>8}{'misses':>8}"
         )
+        print(header)
+        for artifact, rows in rows_by_artifact.items():
+            sweep, directed = rows["sweep"], rows["directed"]
+            shards = sweep.get("shards_warmup", 0) + sweep.get("shards_timed", 0)
+            print(
+                f"       {artifact:<10}"
+                f"{sweep.get('speedup', 0):>8}x"
+                f"{PARALLEL_SPEEDUP_FLOORS.get(artifact, '-'):>7}"
+                f"{sweep.get('serial_seconds', 0):>9.3f}"
+                f"{sweep.get('parallel_seconds', 0):>8.3f}"
+                f"{shards:>8}"
+                f"{directed.get('strategy_token_misses', 0):>8}"
+            )
 
 
 def _check_interproc(baseline, report, failures):

@@ -83,6 +83,13 @@ class CFGNode:
     call_node_id: Optional[int] = None
     callee_digest: Optional[str] = None
     call_depth: int = 0
+    # Lazy memos: nodes are immutable after construction, but region hashing
+    # recomputes per-node keys once per *containing region* (O(n) regions per
+    # CFG), so without these the AST walks are quadratic in CFG size.
+    _used_vars: Optional[Tuple[str, ...]] = field(
+        default=None, repr=False, compare=False
+    )
+    _structural_key: Optional[tuple] = field(default=None, repr=False, compare=False)
 
     @property
     def name(self) -> str:
@@ -131,6 +138,11 @@ class CFGNode:
 
     def used_variables(self) -> Tuple[str, ...]:
         """``Use(n)`` from Definition 3.7: the variables read at this node."""
+        if self._used_vars is None:
+            object.__setattr__(self, "_used_vars", self._compute_used_variables())
+        return self._used_vars
+
+    def _compute_used_variables(self) -> Tuple[str, ...]:
         if self.kind is NodeKind.ASSIGN and self.expr is not None:
             return self.expr.variables()
         if self.kind is NodeKind.BRANCH and self.condition is not None:
@@ -155,6 +167,13 @@ class CFGNode:
         so renaming a procedure without editing it leaves every region digest
         that covers its call sites unchanged.
         """
+        if self._structural_key is None:
+            object.__setattr__(
+                self, "_structural_key", self._compute_structural_key()
+            )
+        return self._structural_key
+
+    def _compute_structural_key(self) -> tuple:
         if self.kind is NodeKind.ASSIGN:
             expr_key = self.expr.structural_key() if self.expr is not None else None
             return ("assign", self.target, expr_key)

@@ -43,6 +43,28 @@ from repro.cfg.ir import CFGNode, NodeKind
 BOUNDARY_INDEX = -1
 
 
+def _ordered_edges(cfg: ControlFlowGraph, node: CFGNode) -> tuple:
+    """Out-edges of ``node`` sorted by label (descending), memoised per CFG.
+
+    Every region containing ``node`` re-walks its out-edges, so an
+    unmemoised sort costs O(regions x region size) per CFG.  The memo lives
+    on the graph object and assumes the CFG is no longer mutated once
+    region hashing starts (the same contract :class:`RegionHashIndex`
+    already relies on for its signature memo).
+    """
+    memo = getattr(cfg, "_region_edge_order", None)
+    if memo is None:
+        memo = {}
+        cfg._region_edge_order = memo
+    edges = memo.get(node.node_id)
+    if edges is None:
+        edges = tuple(
+            sorted(cfg.out_edges(node), key=lambda e: e.label, reverse=True)
+        )
+        memo[node.node_id] = edges
+    return edges
+
+
 @dataclass(frozen=True)
 class RegionSignature:
     """The canonical identity of one node's suffix region.
@@ -113,8 +135,7 @@ def _canonical_order(
             continue
         seen.add(node.node_id)
         order.append(node)
-        edges = sorted(cfg.out_edges(node), key=lambda e: e.label, reverse=True)
-        for edge in edges:
+        for edge in _ordered_edges(cfg, node):
             if edge.target == boundary_id or edge.target in seen:
                 continue
             stack.append(cfg.node(edge.target))
@@ -131,10 +152,14 @@ def _signature(
     condition_reads = set()
     assignment_reads: Dict[str, set] = {}
     items = []
+    # A suffix region *is* the reachable set, so every out-edge target is a
+    # member and the boundary filter below can be skipped wholesale.
+    is_suffix = boundary_id is None
     for position, node in enumerate(nodes):
-        used.update(node.used_variables())
+        reads = node.used_variables()
+        used.update(reads)
         if node.kind is NodeKind.BRANCH:
-            condition_reads.update(node.used_variables())
+            condition_reads.update(reads)
         if node.kind is NodeKind.CALL:
             # A call defines every formal from its own argument expression;
             # the per-parameter pairing keeps the decision closure tight.
@@ -144,15 +169,19 @@ def _signature(
         else:
             for written in node.defined_variables():
                 defined.add(written)
-                assignment_reads.setdefault(written, set()).update(node.used_variables())
-        successors = tuple(
-            sorted(
+                assignment_reads.setdefault(written, set()).update(reads)
+        edges = _ordered_edges(cfg, node)
+        if is_suffix:
+            pairs = [(edge.label, index[edge.target]) for edge in edges]
+        else:
+            pairs = [
                 (edge.label, index.get(edge.target, BOUNDARY_INDEX))
-                for edge in cfg.out_edges(node)
+                for edge in edges
                 if edge.target in index or edge.target == boundary_id
-            )
-        )
-        items.append((position, node.structural_key(), successors))
+            ]
+        if len(pairs) > 1:
+            pairs.sort()
+        items.append((position, node.structural_key(), tuple(pairs)))
     digest = hashlib.blake2b(repr(items).encode("utf-8"), digest_size=16).hexdigest()
     # Backward closure of the condition reads through the region's
     # assignments: a variable matters to control flow iff some chain of

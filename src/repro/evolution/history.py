@@ -67,6 +67,7 @@ def _leg(statistics: ExecutionStatistics, seconds: float, paths: int, distinct: 
         "cache_hits": statistics.summary_cache_hits,
         "cache_misses": statistics.summary_cache_misses,
         "cache_stores": statistics.summary_cache_stores,
+        "strategy_token_misses": statistics.strategy_token_misses,
     }
 
 
@@ -179,6 +180,9 @@ class HistoryReport:
 #: ParallelReport counters summed across a history's cached legs.
 _PARALLEL_COUNTERS = (
     "shards",
+    "waves",
+    "respeculated_shards",
+    "cost_inline",
     "failed_shards",
     "retried_shards",
     "quarantined_shards",

@@ -63,6 +63,39 @@ def merge_encoded_entries_counted(
     return adopted, skipped
 
 
+def merge_shard_results(
+    cache: SummaryCache,
+    digests: Sequence[str],
+    results: Sequence[dict],
+    report,
+    cost_model=None,
+) -> float:
+    """Adopt one pool round's worker envelopes into ``cache``, in order.
+
+    ``digests`` and ``results`` are aligned with the round's *dispatch*
+    order (the scheduler's deterministic cost order), so adoption order --
+    and therefore which duplicate-key entry wins -- is reproducible
+    run-to-run.  Failed shards arrive as ``None`` and are skipped; each
+    surviving shard's accounting is accumulated onto ``report`` and its
+    measured cost fed to ``cost_model`` (keyed by the shard root's region
+    digest).  Returns the round's summed worker wall-clock seconds, which
+    the scheduler compares against the round's own elapsed time to measure
+    the process-fence overhead.
+    """
+    round_elapsed = 0.0
+    for digest, result in zip(digests, results):
+        if result is None:
+            continue
+        report.worker_paths += result["paths"]
+        report.worker_states += result["states"]
+        report.worker_elapsed_total += result["elapsed"]
+        round_elapsed += result["elapsed"]
+        report.merged_entries += merge_encoded_entries(cache, result["entries"])
+        if cost_model is not None:
+            cost_model.observe_task(digest, result["paths"], result["elapsed"])
+    return round_elapsed
+
+
 def merge_caches(target: SummaryCache, *sources: SummaryCache) -> int:
     """In-process dict union of content-keyed caches (first-in wins).
 

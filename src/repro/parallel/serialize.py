@@ -430,3 +430,50 @@ def encode_cache_entries(entries) -> list:
             entry["kind"] = "corrupt"
         encoded.append(entry)
     return encoded
+
+
+_SHARD_RESULT_FIELDS = ("entries", "paths", "states", "elapsed")
+
+
+def encode_shard_result(entries: list, paths: int, states: int, elapsed: float) -> dict:
+    """The worker's return envelope: cache entries plus run accounting.
+
+    A fixed, explicitly typed shape so the parent can *validate* what came
+    back over the fence instead of indexing into whatever arrived -- the
+    scheduler's cost model consumes ``paths``/``elapsed`` as numbers and a
+    silently mistyped field would poison its estimates rather than fail.
+    """
+    return {
+        "entries": entries,
+        "paths": int(paths),
+        "states": int(states),
+        "elapsed": float(elapsed),
+    }
+
+
+def decode_shard_result(data) -> dict:
+    """Validate a worker's result envelope; raises :class:`SerializationError`.
+
+    A malformed envelope (truncated pickle payload, fault-mangled frame, a
+    worker returning the wrong object entirely) is a *worker fault*: the
+    dispatcher treats the decode failure exactly like a crashed shard --
+    retry, then quarantine -- never as data.
+    """
+    if not isinstance(data, dict):
+        raise SerializationError(
+            f"shard result is {type(data).__name__}, expected a dict envelope"
+        )
+    missing = [name for name in _SHARD_RESULT_FIELDS if name not in data]
+    if missing:
+        raise SerializationError(f"shard result missing fields: {missing}")
+    if not isinstance(data["entries"], list):
+        raise SerializationError("shard result 'entries' is not a list")
+    try:
+        return {
+            "entries": data["entries"],
+            "paths": int(data["paths"]),
+            "states": int(data["states"]),
+            "elapsed": float(data["elapsed"]),
+        }
+    except (TypeError, ValueError) as error:
+        raise SerializationError(f"shard result has non-numeric accounting: {error}")

@@ -8,32 +8,53 @@ cache's exact-replay machinery as the merge point:
 
 1. **Collect** (serial, in-process): a :class:`FrontierCollector` -- the
    ordinary engine with one twist -- explores the shallow prefix of the
-   tree.  When it reaches a cache-eligible branch frame at or below the
-   configured split depth whose summary-cache key is computable (strategy
-   token present, environment fingerprint prefix-independent), it *defers*
-   the whole subtree as a :class:`FrontierTask` instead of exploring it.
+   tree.  When it reaches a cache-eligible branch frame whose summary-cache
+   key is computable (strategy token present, environment fingerprint
+   prefix-independent) and whose estimated subtree cost clears the measured
+   process-fence overhead (:class:`SchedulerCostModel`), it *defers* the
+   whole subtree as a :class:`FrontierTask` instead of exploring it.
    Everything it does explore is recorded into the shared summary cache as
    usual (recordings that lost a subtree to a deferral are aborted, never
    stored), so no phase-1 work is wasted.
-2. **Execute** (parallel): the tasks ship to a ``multiprocessing`` pool.
-   Task payloads cross the process fence structurally (term *trees*, see
-   :mod:`repro.parallel.serialize`) because intern ids are process- and
-   lifetime-local.  Each worker re-parses the program (MiniLang parses are
-   deterministic, so node ids line up), re-interns the environment, and
-   runs the engine from the shipped frame with its **own**
-   :class:`~repro.solver.context.SolverContext`, lookahead walk memo and
-   :class:`~repro.symexec.summary_cache.SummaryCache`.  No state is shared
-   between workers.
+2. **Execute** (parallel): the tasks ship to a ``multiprocessing`` pool in
+   deterministic cost order (largest estimate first, ties broken by region
+   digest then capture order).  Task payloads cross the process fence
+   structurally (term *trees*, see :mod:`repro.parallel.serialize`) because
+   intern ids are process- and lifetime-local.  Each worker re-parses the
+   program (MiniLang parses are deterministic, so node ids line up),
+   re-interns the environment, and runs the engine from the shipped frame
+   with its **own** :class:`~repro.solver.context.SolverContext`, lookahead
+   walk memo and :class:`~repro.symexec.summary_cache.SummaryCache`.  No
+   state is shared between workers.
 3. **Merge** (serial): each worker returns its summary cache's entries,
    content-keyed exactly like the parent's.  They are decoded, re-interned
-   and adopted into the shared cache (:func:`repro.parallel.merge.merge_encoded_entries`).
-4. **Replay** (serial): the caller then runs the *normal* serial engine
+   and adopted into the shared cache in dispatch order
+   (:func:`repro.parallel.merge.merge_shard_results`), and each shard's
+   measured cost feeds the scheduler's online model.
+4. **Chain** (stateful strategies only): a strategy with global mutable
+   state -- the directed strategy's Fig. 6 sets -- produces replay tokens
+   that depend on everything explored so far, so the keys captured for
+   *later* shards of the first collection pass come from drifted sets and
+   would never match at replay time (the speculation misses PR 4 recorded
+   honestly as 0.2-0.3x on WBS/OAE).  The fix is to re-run the collector
+   against the growing cache: each pass *replays* the now-cached earlier
+   shards, which applies their recorded ``strategy_after`` snapshots
+   (:meth:`~repro.symexec.strategy.ExplorationStrategy.restore_region`) and
+   thereby chains the Fig. 6 sets through the shard capture order exactly
+   as the final run will see them.  Frames whose first-pass key was wrong
+   re-defer under their now-exact key and are re-dispatched; frames below
+   the shipping threshold are explored natively and recorded under exact
+   keys.  The waves converge (each pass's first deferral sits behind an
+   all-replayed prefix, so its key is exact) and end with a pass that
+   defers nothing -- after which **every** eligible frame of the final run
+   is a cache hit: zero strategy-token-miss fallbacks, by construction.
+5. **Replay** (serial): the caller then runs the *normal* serial engine
    over the shared cache.  Wherever it arrives at a deferred frame with
    the same key, it replays the worker's summary -- exactness of that
    replay is the summary cache's published contract, differentially tested
-   since PR 2.  Wherever the key does not match (a stateful strategy whose
-   global sets drifted from the collector's approximation), it simply
-   explores natively: speculation misses cost speed, never correctness.
+   since PR 2.  When the last collection pass deferred nothing, its own
+   result already *is* the serial result and is returned on the report
+   (``final_result``) so callers can skip the replay run entirely.
 
 Determinism: the final summary is produced by the serial replay run in
 DFS order, so the result is independent of worker scheduling and shard
@@ -46,10 +67,11 @@ from __future__ import annotations
 import atexit
 import hashlib
 import multiprocessing
+import os
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro import faults
 from repro.cfg.builder import build_cfg
@@ -62,11 +84,14 @@ from repro.lang.ast_nodes import Program
 from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_program
 from repro.parallel.serialize import (
+    SerializationError,
     decode_environment,
     decode_frames,
+    decode_shard_result,
     encode_cache_entries,
     encode_environment,
     encode_frames,
+    encode_shard_result,
 )
 from repro.solver.core import ConstraintSolver
 from repro.symexec.engine import SymbolicExecutor
@@ -80,17 +105,19 @@ class ShardConfig:
     """Tuning knobs for the frontier sharding scheme.
 
     Attributes:
-        split_depth: number of branch decisions after which an eligible
-            frame is deferred to a worker instead of explored inline.
-            Shallower splits mean fewer, larger shards; deeper splits mean
-            more, smaller shards with better load balance but more payload
-            traffic.
-        max_shards: hard cap on deferred subtrees per run; frames beyond
-            the cap are explored natively by the collector (and still end
-            up in the cache via its ordinary recordings).
-        min_shards: when fewer tasks than this are collected, the pool is
-            skipped entirely and the caller's serial run explores them
-            natively -- process overhead would dominate the savings.
+        cold_split_depth: shipping prior for subtrees the cost model has
+            never observed (no recorded path count, no measured shard
+            time): defer them once they sit at least this many branch
+            decisions deep.  Once a digest has been observed the depth
+            plays no role -- the cost estimate alone decides.
+        max_shards: hard cap on deferred subtrees per collection pass;
+            frames beyond the cap are explored natively by the collector
+            (and still end up in the cache via its ordinary recordings).
+        min_shards: when the first collection pass defers fewer tasks than
+            this, the pool is not woken -- process overhead would dominate
+            the savings.  A stateless strategy leaves those subtrees to
+            the caller's native exploration; a stateful one explores them
+            inline in the next chained pass so its shard keys stay exact.
         pool_timeout_seconds: upper bound on the whole pool phase.  A
             worker killed mid-shard (OOM, CI memory cap) would otherwise
             block the dispatch loop forever; on expiry the remaining tasks
@@ -105,9 +132,17 @@ class ShardConfig:
             in the parent as a last resort; when False (or when the inline
             run also fails) its subtree is simply left to the caller's
             native exploration -- a pure speed loss, never a wrong answer.
+        cost_margin: a subtree ships only when its estimated cost is at
+            least this multiple of the measured per-shard fence overhead
+            (serialize + dispatch + IPC + merge).  Below the margin the
+            fence would eat the win, so the frame stays inline.
+        max_waves: safety cap on chained collection passes for stateful
+            strategies.  Convergence normally takes 2-3 passes (each
+            pass's first deferral is exact); the cap only matters when
+            shards keep failing under fault injection.
     """
 
-    split_depth: int = 2
+    cold_split_depth: int = 2
     max_shards: int = 256
     min_shards: int = 2
     pool_timeout_seconds: float = 600.0
@@ -115,15 +150,185 @@ class ShardConfig:
     max_task_retries: int = 2
     retry_backoff_seconds: float = 0.05
     quarantine_inline: bool = True
-    #: Adaptive deferral (ROADMAP "Shard scheduling"): when the summary
-    #: cache has already seen a subtree with this region digest, its
-    #: recorded path count estimates the subtree's solver work.  Subtrees
-    #: estimated below ``min_task_paths`` are explored inline -- shipping
-    #: them would cost more than solving them -- which is what lifts the
-    #: process-fence overhead on artifacts with cheap subtrees (WBS/OAE).
-    #: Unknown digests fall back to the fixed ``split_depth`` behaviour.
-    adaptive: bool = True
-    min_task_paths: int = 6
+    cost_margin: float = 1.5
+    max_waves: int = 8
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class SchedulerCostModel:
+    """Online estimates of shard cost vs process-fence overhead.
+
+    Replaces the fixed ``split_depth`` / ``min_task_paths`` knobs: instead
+    of guessing which subtrees are worth a worker, the scheduler *measures*
+    both sides of the trade and re-estimates as the store warms.
+
+    * **Per-subtree cost** -- keyed by region digest (content-addressed, so
+      estimates transfer across versions of a history and between full and
+      directed runs over the same program).  A digest that has run as a
+      shard before carries an EWMA of its measured worker seconds; one the
+      summary cache has merely seen (``SummaryCache.size_hint``) is
+      estimated from its recorded path count times the observed
+      seconds-per-path rate.  Unknown digests fall back to the
+      ``cold_split_depth`` prior.
+    * **Fence overhead** -- an EWMA of the per-task overhead of each pool
+      round: wall-clock pool+merge time minus the workers' own compute
+      (divided by the effective parallelism), i.e. serialize + dispatch +
+      IPC + decode + adopt.  A subtree ships only when its estimated cost
+      clears ``fence_seconds * config.cost_margin``.
+
+    One process-global instance (:func:`scheduler_cost_model`) serves every
+    run by default so a history sweep's later versions benefit from the
+    earlier versions' measurements; tests and benchmarks that need cold,
+    reproducible scheduling call :func:`reset_scheduler_cost_model`.
+    """
+
+    #: Never let a measured fence go below this: timer noise on a loaded
+    #: box can make overhead appear to vanish, which would ship everything.
+    FENCE_FLOOR_SECONDS = 0.0005
+
+    def __init__(
+        self,
+        fence_seconds: float = 0.003,
+        seconds_per_path: float = 0.0005,
+        alpha: float = 0.4,
+    ):
+        self.fence_seconds = fence_seconds
+        self.seconds_per_path = seconds_per_path
+        self.alpha = alpha
+        self.observed_tasks = 0
+        self.observed_rounds = 0
+        self._digest_seconds: Dict[str, float] = {}
+        self._digest_paths: Dict[str, int] = {}
+        self._run_seconds: Dict[str, float] = {}
+        self._run_shards: Dict[str, float] = {}
+
+    def estimate_seconds(self, digest: str, size_hint: Optional[int] = None) -> Optional[float]:
+        """Estimated solve cost for the subtree ``digest``, or None if cold."""
+        seconds = self._digest_seconds.get(digest)
+        if seconds is not None:
+            return seconds
+        paths = self._digest_paths.get(digest)
+        if paths is None:
+            paths = size_hint
+        if paths is None:
+            return None
+        return paths * self.seconds_per_path
+
+    def should_ship(
+        self,
+        digest: str,
+        depth: int,
+        size_hint: Optional[int],
+        config: ShardConfig,
+    ) -> bool:
+        estimate = self.estimate_seconds(digest, size_hint)
+        if estimate is None:
+            return depth >= config.cold_split_depth
+        return estimate >= self.fence_seconds * config.cost_margin
+
+    def run_estimate(self, procedure: str) -> Optional[float]:
+        """EWMA of the procedure's full (warm-cache) serial run cost."""
+        return self._run_seconds.get(procedure)
+
+    def should_speculate(self, procedure: str, config: ShardConfig) -> bool:
+        """Whether shipping *any* shard of ``procedure`` can pay for itself.
+
+        The per-digest fence test cannot protect a procedure whose entire
+        run costs less than one pool round: every new version presents new
+        (cold) digests, and the cold depth prior would ship them all.  The
+        run-level gate compares the measured whole-run cost against the
+        fence overhead of a typical round for this procedure (fence x
+        recent shard count): below it, no split of the run can win, so the
+        scheduler keeps the whole pass inline.  Unmeasured procedures
+        speculate -- the cold prior needs one real round to learn from.
+        """
+        seconds = self._run_seconds.get(procedure)
+        if seconds is None:
+            return True
+        shards = max(1.0, self._run_shards.get(procedure, 1.0))
+        return seconds >= self.fence_seconds * config.cost_margin * shards
+
+    def observe_run(self, procedure: str, seconds: float, shards: int) -> None:
+        """Record one complete collection pass (a full serial run).
+
+        ``shards`` updates the procedure's typical round size only when the
+        run actually shipped -- a gated (inline) run says nothing about how
+        many shards speculation would produce, and letting it decay the
+        estimate to zero would re-arm speculation it just proved useless.
+        """
+        alpha = self.alpha
+        previous = self._run_seconds.get(procedure)
+        self._run_seconds[procedure] = (
+            seconds if previous is None else (1 - alpha) * previous + alpha * seconds
+        )
+        if shards:
+            prior = self._run_shards.get(procedure)
+            self._run_shards[procedure] = (
+                float(shards)
+                if prior is None
+                else (1 - alpha) * prior + alpha * shards
+            )
+
+    def observe_task(self, digest: str, paths: int, elapsed: float) -> None:
+        """Record one shard's measured cost (worker wall clock)."""
+        self.observed_tasks += 1
+        alpha = self.alpha
+        previous = self._digest_seconds.get(digest)
+        self._digest_seconds[digest] = (
+            elapsed if previous is None else (1 - alpha) * previous + alpha * elapsed
+        )
+        if paths:
+            if paths > self._digest_paths.get(digest, 0):
+                self._digest_paths[digest] = paths
+            self.seconds_per_path = (
+                (1 - alpha) * self.seconds_per_path + alpha * (elapsed / paths)
+            )
+
+    def observe_round(
+        self,
+        shards: int,
+        pool_seconds: float,
+        merge_seconds: float,
+        worker_elapsed: float,
+        workers: int,
+        failed: int = 0,
+    ) -> None:
+        """Record one pool round's measured per-task fence overhead.
+
+        Degraded rounds are not observed: a crashed or timed-out shard's
+        pool time measures the fault (deadline waits, retry backoff, pool
+        rebuild), not the fence, and a few such rounds would inflate the
+        estimate enough to stop all future shipping.  Faults must cost
+        the run they occur in, never the scheduler's calibration.
+        """
+        if not shards or failed:
+            return
+        self.observed_rounds += 1
+        parallelism = max(1, min(workers, _cpus()))
+        overhead = pool_seconds + merge_seconds - worker_elapsed / parallelism
+        per_task = max(self.FENCE_FLOOR_SECONDS, overhead / shards)
+        self.fence_seconds = (1 - self.alpha) * self.fence_seconds + self.alpha * per_task
+
+
+_COST_MODEL = SchedulerCostModel()
+
+
+def scheduler_cost_model() -> SchedulerCostModel:
+    """The process-global cost model shared by every parallel run."""
+    return _COST_MODEL
+
+
+def reset_scheduler_cost_model() -> SchedulerCostModel:
+    """Replace the global cost model with a cold one (tests / benchmarks)."""
+    global _COST_MODEL
+    _COST_MODEL = SchedulerCostModel()
+    return _COST_MODEL
 
 
 @dataclass
@@ -147,9 +352,17 @@ class ParallelReport:
     workers: int = 0
     frontier_frames: int = 0
     shards: int = 0
-    #: Eligible frames the adaptive policy kept inline because their
-    #: estimated subtree was cheaper than the shipping cost.
-    adaptive_inline: int = 0
+    #: Collection passes run.  1 for stateless strategies; a stateful
+    #: strategy converges in >= 2 (the last pass verifies nothing is left
+    #: to defer and records the remaining inline subtrees exactly).
+    waves: int = 0
+    #: Tasks dispatched by chained passes after the first -- shards whose
+    #: first-pass key was captured from drifted strategy state and had to
+    #: be re-executed under the exact, chained key.
+    respeculated_shards: int = 0
+    #: Eligible frames the cost model kept inline because their estimated
+    #: subtree was cheaper than the measured process-fence overhead.
+    cost_inline: int = 0
     merged_entries: int = 0
     worker_paths: int = 0
     worker_states: int = 0
@@ -172,13 +385,22 @@ class ParallelReport:
     pool_seconds: float = 0.0
     merge_seconds: float = 0.0
     worker_elapsed_total: float = 0.0
+    #: The last collection pass's complete :class:`ExecutionResult` when it
+    #: deferred nothing -- that pass was an ordinary serial run over the
+    #: warm cache, so its summary *is* the parallel result and the caller
+    #: may skip the replay run.  Never set when any subtree was left
+    #: unexplored.  (Excluded from :meth:`as_dict`: it is an in-process
+    #: object, not a metric.)
+    final_result: Optional[object] = field(default=None, repr=False, compare=False)
 
     def as_dict(self) -> Dict[str, float]:
         return {
             "workers": self.workers,
             "frontier_frames": self.frontier_frames,
             "shards": self.shards,
-            "adaptive_inline": self.adaptive_inline,
+            "waves": self.waves,
+            "respeculated_shards": self.respeculated_shards,
+            "cost_inline": self.cost_inline,
             "merged_entries": self.merged_entries,
             "worker_paths": self.worker_paths,
             "worker_states": self.worker_states,
@@ -198,30 +420,49 @@ class ParallelReport:
 
 
 class FrontierCollector(SymbolicExecutor):
-    """The engine, except that deep eligible subtrees are deferred, not explored.
+    """The engine, except that shippable eligible subtrees are deferred.
 
-    The collector runs with the *shared* summary cache: shallow subtrees it
-    does complete are recorded for the replay run, cache hits short-circuit
-    exactly as in a serial run, and only recordings truncated by a deferral
-    are aborted.  Strategy note: ``on_state`` fires once for a deferred
-    frame here and once again in the replay run, mirroring how the replay
-    run itself revisits the frame; the built-in strategies' set updates are
-    idempotent, which is the documented requirement for custom ones.
+    The collector runs with the *shared* summary cache: subtrees it does
+    complete are recorded for the replay run, cache hits short-circuit
+    exactly as in a serial run (replaying an earlier shard's entry also
+    applies its ``strategy_after`` snapshot -- the set-chaining mechanism),
+    and only recordings truncated by a deferral are aborted.  Strategy
+    note: ``on_state`` fires once for a deferred frame here and once again
+    in the replay run, mirroring how the replay run itself revisits the
+    frame; the built-in strategies' set updates are idempotent, which is
+    the documented requirement for custom ones.
     """
 
-    def __init__(self, *args, config: ShardConfig, strategy_payload, **kwargs):
+    def __init__(
+        self,
+        *args,
+        config: ShardConfig,
+        strategy_payload,
+        cost_model: Optional[SchedulerCostModel] = None,
+        skip_keys: Optional[Set[tuple]] = None,
+        ship_enabled: bool = True,
+        **kwargs,
+    ):
         super().__init__(*args, **kwargs)
         if self.summary_cache is None:
             raise ValueError("FrontierCollector requires a summary cache")
         self.config = config
+        #: When the run-level gate decided the whole procedure is cheaper
+        #: than one pool fence, the pass runs as a plain engine run.
+        self.ship_enabled = ship_enabled
         #: Callback producing the strategy part of a worker payload at
         #: capture time (strategy state is mutable; it must be snapshotted
         #: the moment the frame is deferred).
         self.strategy_payload = strategy_payload
+        self.cost_model = cost_model if cost_model is not None else scheduler_cost_model()
+        #: Keys an earlier wave gave up on (failed shards, below-min_shards
+        #: first passes): explored natively so the subtree still gets
+        #: recorded under its exact key.
+        self.skip_keys = skip_keys if skip_keys is not None else set()
         self.tasks: List[FrontierTask] = []
         self._task_keys = set()
         self.frontier_frames = 0
-        self.adaptive_inline = 0
+        self.cost_inline = 0
 
     def _visit(self, state, summary, tree_node, edge_label=""):
         if self._defer(state, edge_label):
@@ -230,8 +471,10 @@ class FrontierCollector(SymbolicExecutor):
 
     def _defer(self, state: SymbolicState, edge_label: str) -> bool:
         """Decide whether to defer ``state``'s subtree; capture it if so."""
+        if not self.ship_enabled:
+            return False
         node = state.node
-        if state.depth < self.config.split_depth:
+        if state.depth < 1:
             return False
         if node.kind in (NodeKind.END, NodeKind.ERROR):
             return False
@@ -246,14 +489,6 @@ class FrontierCollector(SymbolicExecutor):
         # class docstring), so the early call is safe.
         self.strategy.on_state(state)
         signature = self.region_index.signature(node)
-        if self.config.adaptive:
-            # A subtree the cache has seen before (any key with this region
-            # digest) comes with a path-count estimate; ship it only when
-            # the estimated solver work beats the process-fence cost.
-            estimate = self.summary_cache.size_hint(signature.digest)
-            if estimate is not None and estimate < self.config.min_task_paths:
-                self.adaptive_inline += 1
-                return False
         token = self.strategy.replay_token(state, signature)
         if token is None:
             return False
@@ -267,6 +502,18 @@ class FrontierCollector(SymbolicExecutor):
         if self.summary_cache.contains(key):
             # Already summarised (earlier version, earlier shard, earlier
             # sibling): let the ordinary visit replay it.
+            return False
+        if key in self.skip_keys:
+            return False
+        if not self.cost_model.should_ship(
+            signature.digest,
+            state.depth,
+            self.summary_cache.size_hint(signature.digest),
+            self.config,
+        ):
+            # Cheaper to solve here than to ship: the ordinary visit
+            # explores it and the recording carries its exact key.
+            self.cost_inline += 1
             return False
         duplicate = key in self._task_keys
         if not duplicate and len(self.tasks) >= self.config.max_shards:
@@ -308,7 +555,10 @@ class _ShardDirectedStrategy(DirectedExplorationStrategy):
     sees) already covered an affected node arrives as a precomputed bit and
     is folded into ``should_force_completion`` and the replay token's
     covered-bit, so nested cache entries recorded by the worker carry the
-    same tokens a serial run would compute.
+    same tokens a serial run would compute.  The shipped sets themselves
+    are exact by the time a shard actually replays: the chained collection
+    waves capture them behind an all-replayed prefix (see the module
+    docstring).
     """
 
     def __init__(self, *args, initial_sets: Dict[str, List[int]], prefix_covered: bool, **kwargs):
@@ -403,8 +653,9 @@ def run_shard(payload: Dict) -> Dict:
     """Execute one deferred subtree in this (worker) process.
 
     Top-level so it is picklable for ``multiprocessing``; everything it
-    needs arrives in the payload and everything it produces leaves as
-    JSON-compatible data -- no interned object ever crosses the fence.
+    needs arrives in the payload and everything it produces leaves as a
+    JSON-compatible :func:`~repro.parallel.serialize.encode_shard_result`
+    envelope -- no interned object ever crosses the fence.
     """
     started = time.perf_counter()
     plan = None
@@ -475,12 +726,12 @@ def _run_shard_inner(payload: Dict, plan, started: float) -> Dict:
             for key, summary, pins in entries
             if key[1] == root_digest
         )
-    return {
-        "entries": encode_cache_entries(entries),
-        "paths": len(result.summary),
-        "states": result.statistics.states_explored,
-        "elapsed": time.perf_counter() - started,
-    }
+    return encode_shard_result(
+        entries=encode_cache_entries(entries),
+        paths=len(result.summary),
+        states=result.statistics.states_explored,
+        elapsed=time.perf_counter() - started,
+    )
 
 
 # -- pool management -----------------------------------------------------------
@@ -537,8 +788,8 @@ def prewarm_parallel(
     program: Program,
     procedure_name: str,
     cfg: ControlFlowGraph,
-    collector_strategy: ExplorationStrategy,
-    strategy_payload,
+    strategy_factory,
+    payload_factory,
     summary_cache: SummaryCache,
     workers: int,
     depth_bound: Optional[int] = None,
@@ -547,77 +798,165 @@ def prewarm_parallel(
     solver: Optional[ConstraintSolver] = None,
     source: Optional[str] = None,
     roots_only: bool = False,
+    cost_model: Optional[SchedulerCostModel] = None,
+    want_final_result: bool = True,
+    run_key: Optional[str] = None,
 ) -> ParallelReport:
     """Run the collect/execute/merge phases, leaving ``summary_cache`` warm.
+
+    ``strategy_factory()`` must build a fresh strategy configured exactly
+    like the caller's real one -- each collection pass consumes its own
+    instance, and a stateful strategy needs a clean run-start per pass so
+    the chained replays rebuild its sets exactly.  ``payload_factory``
+    takes that instance and returns the per-frame snapshot callback
+    (``payload_factory(strategy)(state) -> dict``).
 
     ``roots_only`` asks workers to ship only their shard-root summaries;
     callers set it when the cache is ephemeral (single run) and nested
     entries could never be replayed anyway.
 
-    The caller then runs its ordinary serial engine against the same cache;
-    see the module docstring for why that guarantees serial-identical
-    output.  ``collector_strategy`` must be a fresh instance configured
-    like the caller's real strategy (it is consumed by the collection
-    pass); ``strategy_payload(state)`` snapshots it into a worker payload.
+    The caller then runs its ordinary serial engine against the same cache
+    -- unless ``report.final_result`` is set, in which case the last
+    collection pass already was that run.  See the module docstring for
+    why either way guarantees serial-identical output.
+
+    ``want_final_result`` says whether the caller can adopt
+    ``report.final_result`` in place of its own serial run.  When it
+    cannot (DiSE needs its own strategy run; tracked-variable runs need
+    the real executor), a run-level gate decision to keep everything
+    inline returns immediately -- a collection pass whose result would be
+    discarded is pure overhead -- and a stateless strategy stops after
+    its one shipping round instead of paying a confirmation pass.
     """
-    from repro.parallel.merge import merge_encoded_entries
+    from repro.parallel.merge import merge_shard_results
 
     config = config or ShardConfig()
+    model = cost_model if cost_model is not None else scheduler_cost_model()
     report = ParallelReport(workers=workers)
-    source = source if source is not None else pretty_program(program)
 
-    started = time.perf_counter()
-    collector = FrontierCollector(
-        program,
-        procedure_name=procedure_name,
-        cfg=cfg,
-        solver=solver,
-        depth_bound=depth_bound,
-        strategy=collector_strategy,
-        summary_cache=summary_cache,
-        region_index=region_index,
-        config=config,
-        strategy_payload=strategy_payload,
-    )
-    collector.run()
-    report.collect_seconds = time.perf_counter() - started
-    report.frontier_frames = collector.frontier_frames
-    report.adaptive_inline = collector.adaptive_inline
-    tasks = collector.tasks
-    report.shards = len(tasks)
-    if len(tasks) < config.min_shards:
-        report.shards = 0
+    # Run-level cost estimates are scoped per (strategy kind, procedure):
+    # a directed pass explores a fraction of what a full pass does, and
+    # mixing their measured run costs would let a cheap directed sweep
+    # wrongly gate the next full run inline (or vice versa).
+    run_key = run_key if run_key is not None else procedure_name
+    speculate = model.should_speculate(run_key, config)
+    if not speculate and not want_final_result:
+        # The whole run is cheaper than one pool fence and the caller will
+        # run serially anyway: stay out of the way entirely.
         return report
 
-    # Workers must mirror the caller's solver configuration (the collector
-    # shares the caller's solver, so read it from there when none was given).
-    run_solver = solver if solver is not None else collector.solver
-    solver_spec = {
-        "bound": run_solver.bound,
-        "max_branch_steps": run_solver.max_branch_steps,
-    }
-    payloads = []
-    for task in tasks:
-        payload = dict(task.payload)
-        payload["source"] = source
-        payload["procedure"] = procedure_name
-        payload["roots_only"] = roots_only
-        payload["solver"] = solver_spec
-        payloads.append(payload)
+    source = source if source is not None else pretty_program(program)
 
-    started = time.perf_counter()
-    results = _dispatch_tasks(payloads, workers, config, report)
-    report.pool_seconds = time.perf_counter() - started
+    chained: Optional[bool] = None
+    solver_spec: Optional[Dict] = None
+    skip_keys: Set[tuple] = set()
 
-    started = time.perf_counter()
-    for result in results:
-        if result is None:
+    while report.waves < config.max_waves:
+        strategy = strategy_factory()
+        if chained is None:
+            chained = strategy.has_global_state
+        started = time.perf_counter()
+        collector = FrontierCollector(
+            program,
+            procedure_name=procedure_name,
+            cfg=cfg,
+            solver=solver,
+            depth_bound=depth_bound,
+            strategy=strategy,
+            summary_cache=summary_cache,
+            region_index=region_index,
+            config=config,
+            strategy_payload=payload_factory(strategy),
+            cost_model=model,
+            skip_keys=skip_keys,
+            ship_enabled=speculate,
+        )
+        wave_result = collector.run()
+        wave_seconds = time.perf_counter() - started
+        report.collect_seconds += wave_seconds
+        first_wave = report.waves == 0
+        report.waves += 1
+        report.frontier_frames += collector.frontier_frames
+        report.cost_inline += collector.cost_inline
+        tasks = collector.tasks
+
+        if collector.frontier_frames == 0:
+            # Nothing was deferred (or everything already replays): this
+            # pass was a complete serial run over the warm cache, so its
+            # result is the parallel result.  Its wall clock is also the
+            # measured cost of *not* shipping -- what the run-level gate
+            # weighs against the fence next time.
+            report.final_result = wave_result
+            model.observe_run(run_key, wave_seconds, shards=report.shards)
+            break
+        if first_wave and len(tasks) < config.min_shards:
+            # Too few tasks to wake the pool.  The next pass explores them
+            # natively (recording exact keys) and, deferring nothing,
+            # becomes the adoptable final run.  A stateless caller that
+            # cannot adopt it falls back to its own native run instead.
+            skip_keys.update(task.key for task in tasks)
+            if not chained and not want_final_result:
+                break
             continue
-        report.worker_paths += result["paths"]
-        report.worker_states += result["states"]
-        report.worker_elapsed_total += result["elapsed"]
-        report.merged_entries += merge_encoded_entries(summary_cache, result["entries"])
-    report.merge_seconds = time.perf_counter() - started
+
+        report.shards += len(tasks)
+        if not first_wave:
+            report.respeculated_shards += len(tasks)
+
+        if solver_spec is None:
+            # Workers must mirror the caller's solver configuration (the
+            # collector shares the caller's solver, so read it from there
+            # when none was given).
+            run_solver = solver if solver is not None else collector.solver
+            solver_spec = {
+                "bound": run_solver.bound,
+                "max_branch_steps": run_solver.max_branch_steps,
+            }
+
+        ordered = _dispatch_order(tasks, model, summary_cache)
+        payloads = []
+        for task in ordered:
+            payload = dict(task.payload)
+            payload["source"] = source
+            payload["procedure"] = procedure_name
+            payload["roots_only"] = roots_only
+            payload["solver"] = solver_spec
+            payloads.append(payload)
+
+        started = time.perf_counter()
+        results = _dispatch_tasks(payloads, workers, config, report)
+        wave_pool_seconds = time.perf_counter() - started
+        report.pool_seconds += wave_pool_seconds
+
+        started = time.perf_counter()
+        wave_worker_elapsed = merge_shard_results(
+            summary_cache,
+            [task.key[1] for task in ordered],
+            results,
+            report,
+            cost_model=model,
+        )
+        wave_merge_seconds = time.perf_counter() - started
+        report.merge_seconds += wave_merge_seconds
+        model.observe_round(
+            shards=len(ordered),
+            pool_seconds=wave_pool_seconds,
+            merge_seconds=wave_merge_seconds,
+            worker_elapsed=wave_worker_elapsed,
+            workers=workers,
+            failed=sum(1 for result in results if result is None),
+        )
+        # A shard that produced nothing is not retried by later waves --
+        # its subtree is explored natively there (and by the caller), so a
+        # crash-looping schedule cannot stall the chain.
+        skip_keys.update(
+            task.key for task, result in zip(ordered, results) if result is None
+        )
+        if not chained and not want_final_result:
+            # Stateless tokens are exact without chaining and the caller
+            # will run natively over the merged cache: one round is enough.
+            break
+
     if report.failure_reasons:
         # Partial salvage: whatever the surviving shards produced is in the
         # cache; failed shards cost only their own subtrees (explored
@@ -635,6 +974,32 @@ def prewarm_parallel(
     return report
 
 
+def _dispatch_order(
+    tasks: List[FrontierTask],
+    model: SchedulerCostModel,
+    summary_cache: SummaryCache,
+) -> List[FrontierTask]:
+    """Deterministic dispatch order for one pool round.
+
+    Largest estimate first (longest-job-first load balance; cold digests
+    count as unbounded and lead), ties broken by region digest and then by
+    capture order -- a *stable*, content-derived key, so shard indices,
+    report counters and merge order are reproducible run-to-run even when
+    every estimate is equal.
+    """
+
+    def order_key(position: int):
+        task = tasks[position]
+        estimate = model.estimate_seconds(
+            task.key[1], summary_cache.size_hint(task.key[1])
+        )
+        if estimate is None:
+            estimate = float("inf")
+        return (-estimate, task.key[1], position)
+
+    return [tasks[position] for position in sorted(range(len(tasks)), key=order_key)]
+
+
 #: Cap on recorded failure-reason strings per report (a crash-looping
 #: schedule should not grow an unbounded list).
 _MAX_FAILURE_REASONS = 20
@@ -645,6 +1010,27 @@ def _record_failure(report: ParallelReport, index: int, attempt: int, error: Bas
         report.failure_reasons.append(
             f"shard {index} attempt {attempt}: {type(error).__name__}: {error}"
         )
+
+
+#: Exception classes that, when raised *by the shard code itself* (crossing
+#: the fence through ``handle.get`` or raised by an inline quarantine run),
+#: indicate a deterministic scheduler/payload bug rather than a worker
+#: fault: retrying or quarantining them would re-execute the same broken
+#: code and silently degrade a buggy scheduler to "slow but passing".
+_SCHEDULER_BUG_TYPES = (KeyError, TypeError, AttributeError, IndexError, ValueError)
+
+
+def _is_scheduler_bug(error: BaseException) -> bool:
+    """True for deterministic programming errors raised by shard execution.
+
+    Injected faults (:class:`~repro.faults.FaultError`) and serialization
+    corruption (:class:`~repro.parallel.serialize.SerializationError`, e.g.
+    a fault-mangled envelope) are *worker* faults -- nondeterministic or
+    environment-caused -- and keep the retry/quarantine path.
+    """
+    if isinstance(error, (faults.FaultError, SerializationError)):
+        return False
+    return isinstance(error, _SCHEDULER_BUG_TYPES)
 
 
 def _fault_ident(index: int, payload: Dict) -> str:
@@ -676,6 +1062,13 @@ def _dispatch_tasks(
     left to native exploration.  The returned list is index-aligned with
     ``payloads``; ``None`` marks a shard that produced no result.  Failures
     only ever shrink the result list -- surviving shards always merge.
+
+    Failure triage: every failed attempt records its exception class in
+    ``report.failure_reasons``, but only genuine *worker faults* (injected
+    faults, timeouts, corruption, pool infrastructure loss) degrade to
+    retry/quarantine.  A deterministic programming error raised by the
+    shard code itself (:data:`_SCHEDULER_BUG_TYPES`) is re-raised: a buggy
+    scheduler must fail loudly, not hide behind salvage.
     """
     plan = faults.active_plan()
     fault_payload = plan.worker_payload() if plan is not None else None
@@ -692,7 +1085,9 @@ def _dispatch_tasks(
     while pending and not pool_broken:
         try:
             pool = _get_pool(workers)
-        except Exception as error:  # pool creation itself failed
+        except Exception as error:
+            # Pool creation failed: parent-side infrastructure (fd/process
+            # limits), not a property of any payload -- degrade, never raise.
             _record_failure(report, pending[0], attempts[pending[0]], error)
             pool_broken = True
             break
@@ -710,8 +1105,10 @@ def _dispatch_tasks(
                 handles.append((index, pool.apply_async(run_shard, (payload,))))
             except Exception as error:
                 # The pool object itself is unusable (lost its workers,
-                # already terminated, ...).  Everything not yet submitted
-                # goes straight to quarantine.
+                # already terminated, ...).  Infrastructure again -- the
+                # payload never ran, so nothing deterministic is known
+                # about it.  Everything not yet submitted goes straight to
+                # quarantine.
                 _record_failure(report, index, attempts[index], error)
                 pool_broken = True
                 break
@@ -725,7 +1122,7 @@ def _dispatch_tasks(
                 config.task_timeout_seconds, phase_deadline - time.monotonic()
             )
             try:
-                results[index] = handle.get(max(0.0, budget))
+                results[index] = decode_shard_result(handle.get(max(0.0, budget)))
             except multiprocessing.TimeoutError as error:
                 saw_timeout = True
                 _record_failure(report, index, attempts[index], error)
@@ -735,9 +1132,13 @@ def _dispatch_tasks(
                 else:
                     quarantine.append(index)
             except Exception as error:
-                # The worker raised (injected crash, real bug, lost process
-                # turned into a pool error) -- same retry policy.
+                # The worker raised.  An injected crash, a lost process
+                # turned into a pool error, or a corrupt envelope gets the
+                # same retry policy; a deterministic programming error in
+                # the shard code is a scheduler bug and is re-raised.
                 _record_failure(report, index, attempts[index], error)
+                if _is_scheduler_bug(error):
+                    raise
                 attempts[index] += 1
                 if attempts[index] <= config.max_task_retries:
                     retry_round.append(index)
@@ -756,9 +1157,9 @@ def _dispatch_tasks(
         # trusted by later runs.
         _discard_pool(workers)
 
-    report.retried_shards = len(retried)
+    report.retried_shards += len(retried)
     quarantine = sorted(set(quarantine))
-    report.quarantined_shards = len(quarantine)
+    report.quarantined_shards += len(quarantine)
     for index in quarantine:
         if config.quarantine_inline:
             payload = dict(payloads[index])
@@ -766,12 +1167,14 @@ def _dispatch_tasks(
             # disarmed (no shipped plan; the parent plan is not in_worker).
             payload.pop("faults", None)
             try:
-                results[index] = run_shard(payload)
+                results[index] = decode_shard_result(run_shard(payload))
                 continue
             except Exception as error:
                 _record_failure(report, index, attempts[index], error)
+                if _is_scheduler_bug(error):
+                    raise
         # Subtree left to the caller's native exploration.
-    report.failed_shards = sum(1 for result in results if result is None)
+    report.failed_shards += sum(1 for result in results if result is None)
     return results
 
 
@@ -786,14 +1189,16 @@ def prewarm_full(
     region_index: Optional[RegionHashIndex] = None,
     solver: Optional[ConstraintSolver] = None,
     roots_only: bool = False,
+    cost_model: Optional[SchedulerCostModel] = None,
+    want_final_result: bool = True,
 ) -> ParallelReport:
     """Prewarm for *full* symbolic execution (stateless strategy)."""
     return prewarm_parallel(
         program,
         procedure_name,
         cfg,
-        collector_strategy=ExploreEverything(),
-        strategy_payload=lambda state: {"kind": "everything"},
+        strategy_factory=ExploreEverything,
+        payload_factory=lambda strategy: (lambda state: {"kind": "everything"}),
         summary_cache=summary_cache,
         workers=workers,
         depth_bound=depth_bound,
@@ -801,6 +1206,9 @@ def prewarm_full(
         region_index=region_index,
         solver=solver,
         roots_only=roots_only,
+        cost_model=cost_model,
+        want_final_result=want_final_result,
+        run_key=f"full:{procedure_name}",
     )
 
 
@@ -816,22 +1224,29 @@ def prewarm_directed(
     region_index: Optional[RegionHashIndex] = None,
     solver: Optional[ConstraintSolver] = None,
     roots_only: bool = False,
+    cost_model: Optional[SchedulerCostModel] = None,
 ) -> ParallelReport:
     """Prewarm for DiSE's directed strategy.
 
     ``strategy_factory()`` must build a fresh
     :class:`~repro.core.directed.DirectedExplorationStrategy` configured
-    exactly like the one the caller's serial run will use (the collector
-    consumes its own instance; sharing one object would leak phase-1 set
-    mutations into the replay run).
+    exactly like the one the caller's serial run will use.  Each chained
+    collection pass consumes its own instance (sharing one object would
+    leak one pass's set mutations into the next, exactly the drift the
+    chaining exists to eliminate).
+
+    DiSE always runs its own serial strategy pass afterwards (its metrics
+    read that strategy's sets), so ``want_final_result`` is pinned False:
+    a run the scheduler's gate keeps inline costs nothing here.
     """
-    collector_strategy = strategy_factory()
     return prewarm_parallel(
         program,
         procedure_name,
         cfg,
-        collector_strategy=collector_strategy,
-        strategy_payload=lambda state: _directed_strategy_payload(collector_strategy, state),
+        strategy_factory=strategy_factory,
+        payload_factory=lambda strategy: (
+            lambda state: _directed_strategy_payload(strategy, state)
+        ),
         summary_cache=summary_cache,
         workers=workers,
         depth_bound=depth_bound,
@@ -839,4 +1254,7 @@ def prewarm_directed(
         region_index=region_index,
         solver=solver,
         roots_only=roots_only,
+        cost_model=cost_model,
+        want_final_result=False,
+        run_key=f"directed:{procedure_name}",
     )

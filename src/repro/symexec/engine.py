@@ -85,6 +85,13 @@ class ExecutionStatistics:
     summary_cache_hits: int = 0
     summary_cache_misses: int = 0
     summary_cache_stores: int = 0
+    #: Cache misses where the probed (digest, fingerprint, budget) had an
+    #: entry under a *different* strategy token, so the subtree fell back to
+    #: native exploration purely because the strategy state did not match.
+    #: For the run following a parallel prewarm this counts speculation
+    #: failures: shards explored under drifted Fig. 6 sets whose summaries
+    #: can never replay.  The chained-wave scheduler pins this to zero.
+    strategy_token_misses: int = 0
     #: Completed paths emitted by cache replay instead of native exploration
     #: (these appear in the summary but not in ``states_explored``).
     replayed_paths: int = 0
@@ -131,6 +138,7 @@ class ExecutionStatistics:
             "summary_cache_hits": self.summary_cache_hits,
             "summary_cache_misses": self.summary_cache_misses,
             "summary_cache_stores": self.summary_cache_stores,
+            "strategy_token_misses": self.strategy_token_misses,
             "replayed_paths": self.replayed_paths,
             "replayed_segments": self.replayed_segments,
             "degraded_decisions": self.degraded_decisions,
@@ -373,6 +381,11 @@ class SymbolicExecutor:
         start_hits = self.solver.statistics.cache_hits
         start_incremental = self.solver.statistics.incremental_hits
         start_prefix = self.solver.statistics.prefix_reuses
+        start_token_misses = (
+            self.summary_cache.statistics.token_misses
+            if self.summary_cache is not None
+            else 0
+        )
         lookahead = self.strategy.lookahead_statistics()
         look_start = lookahead.snapshot() if lookahead is not None else None
         started = time.perf_counter()
@@ -431,6 +444,10 @@ class SymbolicExecutor:
             self.solver.statistics.incremental_hits - start_incremental
         )
         self.statistics.prefix_reuses = self.solver.statistics.prefix_reuses - start_prefix
+        if self.summary_cache is not None:
+            self.statistics.strategy_token_misses = (
+                self.summary_cache.statistics.token_misses - start_token_misses
+            )
         if lookahead is not None and look_start is not None:
             calls, queries, cache_hits, incremental, prefix_reuses, memo_hits, prefix_syncs = (
                 now - then for now, then in zip(lookahead.snapshot(), look_start)
@@ -1146,7 +1163,22 @@ def symbolic_execute(
             region_index=executor.region_index,
             solver=executor.solver,
             roots_only=roots_only,
+            want_final_result=tracked_variables is None,
         )
+    if (
+        parallel_report is not None
+        and parallel_report.final_result is not None
+        and tracked_variables is None
+    ):
+        # The scheduler's last collection pass deferred nothing, so it
+        # already *was* a complete serial run over the warm cache (same
+        # program, solver and cache as the executor below would use):
+        # reuse its result instead of paying a second full pass.  Vetoed
+        # when tracked variables were requested -- the collector does not
+        # solve for them.
+        result = parallel_report.final_result
+        result.parallel = parallel_report
+        return result
     result = executor.run()
     result.parallel = parallel_report
     return result

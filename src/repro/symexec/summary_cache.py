@@ -158,6 +158,13 @@ class SummaryCacheStatistics:
     #: exploration; kept separate from ``stores`` so reuse ratios can tell
     #: local recording apart from imported warm state.
     adopted: int = 0
+    #: Misses where an entry exists for the same (kind, digest, fingerprint,
+    #: budget) under a *different* strategy token: the subtree was summarised,
+    #: but under strategy state that does not match the probe's.  For a
+    #: parallel directed run this is the speculation-failure signal -- a
+    #: worker explored the subtree from drifted Fig. 6 sets and its summary
+    #: can never replay -- so the scheduler pins this counter to zero.
+    token_misses: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -166,6 +173,7 @@ class SummaryCacheStatistics:
             "stores": self.stores,
             "invalidations": self.invalidations,
             "adopted": self.adopted,
+            "token_misses": self.token_misses,
         }
 
 
@@ -213,6 +221,28 @@ class SummaryCache:
         #: recorded path count transfers).  Hints are never evicted -- they
         #: are a few bytes each and stale hints merely influence scheduling.
         self._size_hints: Dict[str, int] = {}
+        #: (kind, digest, fingerprint, budget) -> number of live entries with
+        #: that token-free key.  Lets :meth:`lookup` classify a miss as a
+        #: *token* miss (same subtree and environment summarised under other
+        #: strategy state) without scanning the table.
+        self._token_free_index: Dict[Tuple, int] = {}
+
+    @staticmethod
+    def _token_free(key: CacheKey) -> Tuple:
+        kind, digest, fingerprint, _token, budget = key
+        return (kind, digest, fingerprint, budget)
+
+    def _index_add(self, key: CacheKey) -> None:
+        reduced = self._token_free(key)
+        self._token_free_index[reduced] = self._token_free_index.get(reduced, 0) + 1
+
+    def _index_discard(self, key: CacheKey) -> None:
+        reduced = self._token_free(key)
+        count = self._token_free_index.get(reduced, 0) - 1
+        if count <= 0:
+            self._token_free_index.pop(reduced, None)
+        else:
+            self._token_free_index[reduced] = count
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -244,6 +274,7 @@ class SummaryCache:
                 dead.append(key)
         for key in dead:
             del self._entries[key]
+            self._index_discard(key)
         self.statistics.invalidations += len(dead)
         return len(dead)
 
@@ -253,6 +284,8 @@ class SummaryCache:
         entry = self._entries.get(key)
         if entry is None:
             self.statistics.misses += 1
+            if self._token_free_index.get(self._token_free(key)):
+                self.statistics.token_misses += 1
             return None
         entry.last_used = self.generation
         self.statistics.hits += 1
@@ -273,6 +306,8 @@ class SummaryCache:
         return entry.summary
 
     def store(self, key: CacheKey, summary, pins: Tuple[Term, ...] = ()) -> None:
+        if key not in self._entries:
+            self._index_add(key)
         self._entries[key] = _Entry(summary, self.generation, self.generation, pins=pins)
         self._record_size_hint(summary)
         self.statistics.stores += 1
@@ -308,6 +343,7 @@ class SummaryCache:
         if key in self._entries:
             return False
         self._entries[key] = _Entry(summary, self.generation, self.generation, pins=pins)
+        self._index_add(key)
         self._record_size_hint(summary)
         self.statistics.adopted += 1
         return True

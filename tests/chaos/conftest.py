@@ -1,0 +1,15 @@
+"""Shared fixtures for the chaos test suite."""
+
+import pytest
+
+from repro.parallel.shard import reset_scheduler_cost_model
+
+
+@pytest.fixture(autouse=True)
+def _cold_cost_model():
+    """Cold scheduler cost model per test: fault schedules are tuned to the
+    shard counts a cold scheduler produces, so estimates leaking in from
+    earlier tests would silently change which faults fire."""
+    reset_scheduler_cost_model()
+    yield
+    reset_scheduler_cost_model()

@@ -28,7 +28,7 @@ DEFAULT_SPEC = "seed:6,crash:0.3,timeout:0.2"
 
 #: Small shards, fast retries: the point is fault coverage, not throughput.
 CHAOS_CONFIG = ShardConfig(
-    split_depth=1,
+    cold_split_depth=1,
     min_shards=1,
     task_timeout_seconds=10.0,
     retry_backoff_seconds=0.01,

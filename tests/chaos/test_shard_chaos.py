@@ -40,7 +40,7 @@ class TestCrashContainment:
         (fault-free in the parent) salvages every one -- output identical."""
         plan = faults.parse_spec("seed:1,crash:1.0")
         config = ShardConfig(
-            split_depth=1, min_shards=1, max_task_retries=1, retry_backoff_seconds=0.01
+            cold_split_depth=1, min_shards=1, max_task_retries=1, retry_backoff_seconds=0.01
         )
         with faults.injected(plan):
             with pytest.warns(RuntimeWarning, match="parallel prewarm degraded"):
@@ -63,7 +63,7 @@ class TestCrashContainment:
         answer is still byte-identical to serial."""
         plan = faults.parse_spec("seed:1,crash:1.0")
         config = ShardConfig(
-            split_depth=1,
+            cold_split_depth=1,
             min_shards=1,
             max_task_retries=0,
             retry_backoff_seconds=0.01,
@@ -84,7 +84,7 @@ class TestCrashContainment:
         failed shards' subtrees must not distort the output."""
         plan = faults.parse_spec("seed:2,crash:0.5")
         config = ShardConfig(
-            split_depth=1,
+            cold_split_depth=1,
             min_shards=1,
             max_task_retries=0,
             retry_backoff_seconds=0.01,
@@ -109,7 +109,7 @@ class TestSolverWedgeContainment:
         quarantined) -- never ship conservatively-divergent summaries."""
         plan = faults.parse_spec("seed:3,timeout:1.0")
         config = ShardConfig(
-            split_depth=1, min_shards=1, max_task_retries=1, retry_backoff_seconds=0.01
+            cold_split_depth=1, min_shards=1, max_task_retries=1, retry_backoff_seconds=0.01
         )
         with faults.injected(plan):
             with pytest.warns(RuntimeWarning, match="parallel prewarm degraded"):
@@ -132,7 +132,7 @@ class TestRealWorkerKill:
         kill must never discard sibling shard results."""
         plan = faults.parse_spec("seed:6,kill:0.97")
         config = ShardConfig(
-            split_depth=1,
+            cold_split_depth=1,
             min_shards=1,
             task_timeout_seconds=1.0,
             pool_timeout_seconds=6.0,
@@ -159,7 +159,7 @@ class TestRealWorkerKill:
         """After the kill storm the next parallel run forks a fresh pool
         and completes cleanly -- no sticky fault state, no poisoned pool."""
         result = _run_parallel(
-            program, ShardConfig(split_depth=1, min_shards=1)
+            program, ShardConfig(cold_split_depth=1, min_shards=1)
         )
         report = result.parallel
         assert report is not None and report.shards > 0

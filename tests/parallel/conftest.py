@@ -1,0 +1,19 @@
+"""Shared fixtures for the parallel test suite."""
+
+import pytest
+
+from repro.parallel.shard import reset_scheduler_cost_model
+
+
+@pytest.fixture(autouse=True)
+def _cold_cost_model():
+    """Start every test with a cold scheduler cost model.
+
+    The model is process-global by design (history sweeps want its
+    estimates to carry across runs), but a test asserting shard counts or
+    deferral decisions must not inherit estimates from whichever tests ran
+    before it.
+    """
+    reset_scheduler_cost_model()
+    yield
+    reset_scheduler_cost_model()

@@ -1,4 +1,6 @@
-"""Call frames across the process fence + adaptive shard scheduling."""
+"""Call frames across the process fence + cost-model shard scheduling."""
+
+import pytest
 
 from repro.cfg.builder import build_cfg
 from repro.cfg.ir import NodeKind
@@ -9,7 +11,12 @@ from repro.parallel.serialize import (
     encode_cache_entry,
     encode_state,
 )
-from repro.parallel.shard import FrontierCollector, ShardConfig, prewarm_full
+from repro.parallel.shard import (
+    FrontierCollector,
+    SchedulerCostModel,
+    ShardConfig,
+    prewarm_full,
+)
 from repro.solver.terms import mk_int, mk_symbol
 from repro.symexec.engine import SymbolicExecutor, symbolic_execute
 from repro.symexec.state import CallFrame, SymbolicState
@@ -96,7 +103,7 @@ class TestFrameCodec:
             cfg=build_cfg(program, "main"),
             summary_cache=cache,
             workers=2,
-            config=ShardConfig(split_depth=1, min_shards=1, adaptive=False),
+            config=ShardConfig(cold_split_depth=1, min_shards=1),
         )
         assert report.shards > 0
         result = symbolic_execute(
@@ -107,8 +114,8 @@ class TestFrameCodec:
         assert result.statistics.replayed_paths > 0
 
 
-class TestAdaptiveScheduling:
-    def _collect(self, cache, config):
+class TestCostModelScheduling:
+    def _collect(self, cache, config, cost_model=None):
         program = parse_program(CALLS_SOURCE)
         collector = FrontierCollector(
             program,
@@ -116,6 +123,7 @@ class TestAdaptiveScheduling:
             summary_cache=cache,
             config=config,
             strategy_payload=lambda state: {"kind": "everything"},
+            cost_model=cost_model,
         )
         collector.run()
         return collector
@@ -131,28 +139,58 @@ class TestAdaptiveScheduling:
         hinted = SummaryCache()
         hinted._size_hints.update(cache._size_hints)
 
+        config = ShardConfig(cold_split_depth=1, min_shards=1)
+        # Zero fence overhead: every computable key ships.
         eager = self._collect(
-            hinted, ShardConfig(split_depth=1, min_shards=1, adaptive=False)
+            hinted, config, cost_model=SchedulerCostModel(fence_seconds=0.0)
         )
-        adaptive = self._collect(
-            hinted,
-            ShardConfig(
-                split_depth=1, min_shards=1, adaptive=True, min_task_paths=1000
-            ),
+        # A huge measured fence: every size-hinted subtree is estimated
+        # cheaper than shipping and stays inline.
+        expensive = self._collect(
+            hinted, config, cost_model=SchedulerCostModel(fence_seconds=1000.0)
         )
         assert eager.tasks, "baseline collector must defer something"
-        assert adaptive.adaptive_inline > 0
-        assert len(adaptive.tasks) < len(eager.tasks)
+        assert expensive.cost_inline > 0
+        assert len(expensive.tasks) < len(eager.tasks)
 
-    def test_unknown_digests_fall_back_to_split_depth(self):
+    def test_unknown_digests_fall_back_to_cold_split_depth(self):
+        # With no size hints and no observations every digest is cold, so
+        # the fence estimate is moot: the depth prior alone decides and the
+        # fence-free model defers the identical task set.
+        config = ShardConfig(cold_split_depth=1, min_shards=1)
         cold = self._collect(
-            SummaryCache(), ShardConfig(split_depth=1, min_shards=1, adaptive=True)
+            SummaryCache(), config, cost_model=SchedulerCostModel(fence_seconds=1000.0)
         )
         eager = self._collect(
-            SummaryCache(), ShardConfig(split_depth=1, min_shards=1, adaptive=False)
+            SummaryCache(), config, cost_model=SchedulerCostModel(fence_seconds=0.0)
         )
+        assert cold.tasks, "cold collector must defer at the depth prior"
         assert len(cold.tasks) == len(eager.tasks)
-        assert cold.adaptive_inline == 0
+        assert cold.cost_inline == 0
+
+    def test_observed_costs_steer_shipping(self):
+        model = SchedulerCostModel(fence_seconds=0.01)
+        model.observe_task("deadbeef", paths=4, elapsed=1.0)
+        model.observe_task("cafe", paths=4, elapsed=0.000001)
+        config = ShardConfig()
+        assert model.should_ship("deadbeef", depth=1, size_hint=None, config=config)
+        assert not model.should_ship("cafe", depth=99, size_hint=None, config=config)
+        # Unknown digest: depth prior.
+        assert not model.should_ship("beef", depth=1, size_hint=None, config=config)
+        assert model.should_ship("beef", depth=2, size_hint=None, config=config)
+
+    def test_observe_round_tracks_fence_overhead(self):
+        model = SchedulerCostModel(fence_seconds=0.003, alpha=1.0)
+        model.observe_round(
+            shards=2, pool_seconds=1.0, merge_seconds=0.2, worker_elapsed=0.0, workers=2
+        )
+        assert model.fence_seconds == pytest.approx(0.6)
+        # Worker compute is subtracted (scaled by effective parallelism),
+        # and the floor keeps noise from zeroing the fence.
+        model.observe_round(
+            shards=2, pool_seconds=0.1, merge_seconds=0.0, worker_elapsed=10.0, workers=1
+        )
+        assert model.fence_seconds == SchedulerCostModel.FENCE_FLOOR_SECONDS
 
     def test_size_hints_recorded_on_store_and_adopt(self):
         cache = SummaryCache()

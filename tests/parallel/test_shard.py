@@ -35,7 +35,7 @@ class TestFrontierCollector:
             program,
             procedure_name="update",
             summary_cache=cache,
-            config=ShardConfig(split_depth=1, min_shards=1),
+            config=ShardConfig(cold_split_depth=1, min_shards=1),
             strategy_payload=lambda state: {"kind": "everything"},
             strategy=ExploreEverything(),
         )
@@ -57,7 +57,7 @@ class TestFrontierCollector:
             program,
             procedure_name="update",
             summary_cache=cache,
-            config=ShardConfig(split_depth=1, min_shards=1),
+            config=ShardConfig(cold_split_depth=1, min_shards=1),
             strategy_payload=lambda state: {"kind": "everything"},
             strategy=ExploreEverything(),
         )
@@ -71,16 +71,22 @@ class TestFrontierCollector:
         warm = symbolic_execute(program, procedure_name="update", summary_cache=cache)
         assert _record_keys(warm.summary) == _record_keys(serial.summary)
 
-    def test_no_tasks_below_split_depth(self):
+    def test_no_tasks_when_nothing_clears_the_fence(self):
+        from repro.parallel.shard import SchedulerCostModel
+
+        # A deep cold prior keeps unknown digests inline, and an enormous
+        # measured fence keeps every size-hinted digest (the collector's
+        # own sibling recordings create hints mid-pass) inline too.
         program = update_base_program()
         cache = SummaryCache()
         collector = FrontierCollector(
             program,
             procedure_name="update",
             summary_cache=cache,
-            config=ShardConfig(split_depth=50, min_shards=1),
+            config=ShardConfig(cold_split_depth=50, min_shards=1),
             strategy_payload=lambda state: {"kind": "everything"},
             strategy=ExploreEverything(),
+            cost_model=SchedulerCostModel(fence_seconds=1e9),
         )
         result = collector.run()
         assert collector.tasks == []
@@ -98,7 +104,7 @@ class TestFrontierCollector:
             program,
             procedure_name="update",
             summary_cache=cache,
-            config=ShardConfig(split_depth=1, max_shards=1, min_shards=1),
+            config=ShardConfig(cold_split_depth=1, max_shards=1, min_shards=1),
             strategy_payload=lambda state: {"kind": "everything"},
             strategy=ExploreEverything(),
         )
@@ -140,7 +146,7 @@ class TestWorker:
             program,
             procedure_name="update",
             summary_cache=cache,
-            config=ShardConfig(split_depth=1, min_shards=1),
+            config=ShardConfig(cold_split_depth=1, min_shards=1),
             strategy_payload=lambda state: {"kind": "everything"},
             strategy=ExploreEverything(),
         )
@@ -168,7 +174,7 @@ class TestWorker:
             cfg=cfg,
             summary_cache=cache,
             workers=2,
-            config=ShardConfig(split_depth=1, min_shards=1),
+            config=ShardConfig(cold_split_depth=1, min_shards=1),
         )
         assert report.shards > 0
         assert report.merged_entries > 0
@@ -213,7 +219,7 @@ class TestPoolFailureFallback:
                     program,
                     procedure_name="update",
                     workers=2,
-                    parallel_config=ShardConfig(split_depth=1, min_shards=1),
+                    parallel_config=ShardConfig(cold_split_depth=1, min_shards=1),
                 )
             report = result.parallel
             assert report is not None and report.shards > 0
@@ -242,7 +248,7 @@ class TestParallelEqualsSerial:
             program,
             procedure_name="update",
             workers=2,
-            parallel_config=ShardConfig(split_depth=1, min_shards=1),
+            parallel_config=ShardConfig(cold_split_depth=1, min_shards=1),
         )
         assert parallel.parallel is not None and parallel.parallel.shards > 0
         assert _record_keys(parallel.summary) == _record_keys(serial.summary)
@@ -327,8 +333,114 @@ class TestParallelEqualsSerial:
             procedure_name="big",
             solver=ConstraintSolver(bound=bound),
             workers=2,
-            parallel_config=ShardConfig(split_depth=1, min_shards=1),
+            parallel_config=ShardConfig(cold_split_depth=1, min_shards=1),
         )
         assert parallel.parallel is not None and parallel.parallel.shards > 0
         assert parallel.statistics.replayed_paths > 0
         assert _record_keys(parallel.summary) == _record_keys(serial.summary)
+
+
+class TestFailureTriage:
+    """Worker faults degrade; scheduler bugs raise (never hide in salvage)."""
+
+    def test_is_scheduler_bug_classification(self):
+        from repro import faults
+        from repro.parallel.serialize import SerializationError
+        from repro.parallel.shard import _is_scheduler_bug
+
+        assert _is_scheduler_bug(KeyError("solver"))
+        assert _is_scheduler_bug(TypeError("bad payload"))
+        assert _is_scheduler_bug(AttributeError("missing"))
+        assert _is_scheduler_bug(IndexError("oops"))
+        assert _is_scheduler_bug(ValueError("unknown strategy kind"))
+        # Injected faults and fence corruption are worker faults.
+        assert not _is_scheduler_bug(faults.WorkerCrashFault("injected"))
+        assert not _is_scheduler_bug(SerializationError("mangled envelope"))
+        assert not _is_scheduler_bug(RuntimeError("pool lost a process"))
+
+    def test_corrupt_payload_reraises_and_records(self):
+        """A payload the scheduler built wrong (missing its solver spec)
+        raises KeyError inside the worker; the dispatcher must record it in
+        failure_reasons AND re-raise instead of quarantining the shard."""
+        from repro.lang.pretty import pretty_program
+        from repro.parallel.shard import ParallelReport, _dispatch_tasks
+
+        program = update_modified_program()
+        cache = SummaryCache()
+        collector = FrontierCollector(
+            program,
+            procedure_name="update",
+            summary_cache=cache,
+            config=ShardConfig(cold_split_depth=1, min_shards=1),
+            strategy_payload=lambda state: {"kind": "everything"},
+            strategy=ExploreEverything(),
+        )
+        collector.run()
+        assert collector.tasks
+        payload = dict(collector.tasks[0].payload)
+        payload["source"] = pretty_program(program)
+        payload["procedure"] = "update"
+        # The scheduler bug: no solver spec shipped.
+        report = ParallelReport(workers=2)
+        with pytest.raises(KeyError):
+            _dispatch_tasks([payload], 2, ShardConfig(), report)
+        assert report.failure_reasons
+        assert any("KeyError" in reason for reason in report.failure_reasons)
+
+
+class TestDeterministicDispatch:
+    def test_equal_estimates_order_by_digest_then_capture(self):
+        from repro.parallel.shard import (
+            FrontierTask,
+            SchedulerCostModel,
+            _dispatch_order,
+        )
+
+        tasks = [
+            FrontierTask(key=("suffix", digest, (), (), None), payload={})
+            for digest in ["bbb", "aaa", "ccc", "aaa"]
+        ]
+        ordered = _dispatch_order(tasks, SchedulerCostModel(), SummaryCache())
+        # All estimates unknown (= equally unbounded): digest ascending,
+        # duplicate digests in capture order.
+        assert [t.key[1] for t in ordered] == ["aaa", "aaa", "bbb", "ccc"]
+        assert ordered[0] is tasks[1] and ordered[1] is tasks[3]
+
+    def test_known_estimates_lead_with_largest(self):
+        from repro.parallel.shard import (
+            FrontierTask,
+            SchedulerCostModel,
+            _dispatch_order,
+        )
+
+        model = SchedulerCostModel()
+        model.observe_task("cheap", paths=1, elapsed=0.001)
+        model.observe_task("dear", paths=1, elapsed=5.0)
+        tasks = [
+            FrontierTask(key=("suffix", "cheap", (), (), None), payload={}),
+            FrontierTask(key=("suffix", "dear", (), (), None), payload={}),
+            FrontierTask(key=("suffix", "unknown", (), (), None), payload={}),
+        ]
+        ordered = _dispatch_order(tasks, model, SummaryCache())
+        # Cold digests count as unbounded and lead; then largest estimate.
+        assert [t.key[1] for t in ordered] == ["unknown", "dear", "cheap"]
+
+    def test_parallel_report_counters_reproducible(self):
+        from repro.parallel.shard import reset_scheduler_cost_model
+
+        program = update_modified_program()
+        reports = []
+        for _ in range(2):
+            reset_scheduler_cost_model()
+            result = symbolic_execute(
+                program,
+                procedure_name="update",
+                workers=2,
+                parallel_config=ShardConfig(cold_split_depth=1, min_shards=1),
+            )
+            reports.append(result.parallel.as_dict())
+        timing = ("collect_seconds", "pool_seconds", "merge_seconds", "worker_elapsed_total")
+        for key in timing:
+            for report in reports:
+                report.pop(key)
+        assert reports[0] == reports[1]
