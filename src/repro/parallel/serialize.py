@@ -53,6 +53,8 @@ from repro.symexec.state import CallFrame, PathCondition, SymbolicState
 from repro.symexec.summary import MethodSummary, PathRecord
 from repro.symexec.summary_cache import (
     CacheKey,
+    CallRecord,
+    CallSummary,
     ReplayRecord,
     SegmentRecord,
     SegmentSummary,
@@ -296,6 +298,23 @@ def encode_summary(summary) -> dict:
                 for record in summary.records
             ],
         }
+    if isinstance(summary, CallSummary):
+        return {
+            "kind": "call",
+            "procedure": summary.procedure,
+            "digest": summary.digest,
+            "params": list(summary.params),
+            "cfg_size": summary.cfg_size,
+            "records": [
+                {
+                    "constraints": [encode_term(t) for t in record.constraints],
+                    "writes": _encode_writes(record.writes),
+                    "trace": list(record.trace),
+                    "is_error": record.is_error,
+                }
+                for record in summary.records
+            ],
+        }
     raise SerializationError(f"Cannot encode summary of type {type(summary).__name__}")
 
 
@@ -332,6 +351,22 @@ def decode_summary(data):
                 )
                 for record in data["records"]
             ),
+        )
+    if kind == "call":
+        return CallSummary(
+            procedure=data["procedure"],
+            digest=data["digest"],
+            records=tuple(
+                CallRecord(
+                    constraints=tuple(decode_term(t) for t in record["constraints"]),
+                    writes=_decode_writes(record["writes"]),
+                    trace=tuple(record["trace"]),
+                    is_error=record["is_error"],
+                )
+                for record in data["records"]
+            ),
+            params=tuple(data["params"]),
+            cfg_size=data["cfg_size"],
         )
     raise SerializationError(f"Unknown summary kind {kind!r}")
 

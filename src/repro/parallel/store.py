@@ -10,8 +10,8 @@ fresh process (or a fresh CI job restoring a cached file) can resume warm:
 entries are re-interned on load and replay exactly as they would have in
 the recording process.
 
-Format (version 2): JSON Lines.  The first line is a header
-``{"format": 2}``; every following line is one self-contained entry
+Format (version 3): JSON Lines.  The first line is a header
+``{"format": 3}``; every following line is one self-contained entry
 ``{"checksum": "<sha256>", "entry": {...}}`` where the checksum covers the
 entry's canonical JSON rendering.  Two properties fall out of the per-line
 layout:
@@ -28,9 +28,12 @@ layout:
   :class:`VersionHistoryRunner` processes sharing one store path union
   their entries instead of last-writer clobbering.
 
-A store whose header is missing or carries the wrong format number is
+A store whose header is missing or carries an unknown format number is
 ignored rather than trusted -- a stale cache file must never break or skew
-a run, it can only fail to warm it.
+a run, it can only fail to warm it.  Format 2 (the layout before
+generalised call summaries existed) is still readable: its entries are a
+strict subset of format 3's shapes, so old stores warm new runs and are
+re-published as format 3 on the next :meth:`~PersistentSummaryStore.dump`.
 """
 
 from __future__ import annotations
@@ -52,7 +55,15 @@ except ImportError:  # non-POSIX platform: dumps proceed unlocked
     fcntl = None
 
 #: Bump when the serialized entry shape changes; mismatched stores are ignored.
-STORE_FORMAT = 2
+#: Format 3 adds generalised (fresh-formal) call-summary entries (``"call"``
+#: kind); format-2 stores contain a strict subset of the format-3 entry
+#: shapes, so the reader accepts both and new dumps always publish format 3.
+STORE_FORMAT = 3
+
+#: Formats :meth:`PersistentSummaryStore.load` accepts.  Format 2 is the
+#: pre-call-summary layout -- every format-2 entry decodes unchanged under
+#: the format-3 codec, so old stores warm new runs losslessly.
+READ_FORMATS = frozenset({2, STORE_FORMAT})
 
 
 def _canonical(entry: dict) -> str:
@@ -216,7 +227,7 @@ class PersistentSummaryStore:
             header = json.loads(lines[0])
         except ValueError:
             return None
-        if not isinstance(header, dict) or header.get("format") != STORE_FORMAT:
+        if not isinstance(header, dict) or header.get("format") not in READ_FORMATS:
             return None
         records = []
         skipped = 0

@@ -360,9 +360,15 @@ def clear_intern_table() -> None:
     """Drop all interned terms (test isolation helper).
 
     Safe at any time: already-constructed terms keep behaving correctly, they
-    merely stop being the canonical instance for new constructions.
+    merely stop being the canonical instance for new constructions.  The
+    immortal module-level :data:`TRUE`/:data:`FALSE` constants are re-seeded
+    immediately: simplification returns them directly, so they must remain
+    the canonical booleans in the fresh epoch or structurally equal results
+    would stop sharing a ``term_key``.
     """
     _INTERN_TABLE.clear()
+    _INTERN_TABLE[("b", True)] = TRUE
+    _INTERN_TABLE[("b", False)] = FALSE
 
 
 def mk_int(value: int) -> IntConst:
@@ -452,6 +458,62 @@ def term_key(term: Term) -> int:
     """A small, hashable, order-stable cache key for ``term`` (its intern id)."""
     interned = intern_term(term)
     return interned.__dict__["term_id"]
+
+
+def _cached_symbols(term: Term) -> FrozenSet[str]:
+    # Same instance-attribute slot as summary_cache.term_symbols, so the two
+    # caches share work (summary_cache imports from here, not the reverse).
+    cached = term.__dict__.get("_symbols")
+    if cached is None:
+        cached = term.symbols()
+        object.__setattr__(term, "_symbols", cached)
+    return cached
+
+
+def substitute(term: Term, mapping: Dict[str, Term]) -> Term:
+    """Replace every :class:`Symbol` named in ``mapping`` by its image.
+
+    The result is always interned, and subterms mentioning no mapped symbol
+    are returned *identically* (not rebuilt): substituting with an empty or
+    irrelevant mapping is ``intern_term(term)``, so interned inputs come back
+    ``is``-identical.  Shared subterms are rewritten once per call (the memo
+    is keyed by intern identity, which is stable for the duration of the walk
+    because every memoized term is reachable from ``term`` or ``mapping``).
+
+    This is the instantiation primitive for compositional callee summaries:
+    constraints and writes recorded over fresh formal symbols are mapped onto
+    a call site's actual argument terms with one structural pass, preserving
+    all interning-derived invariants (``term_key`` stability, memoized
+    ``simplify`` idempotence, cached symbol sets).
+    """
+    if not mapping:
+        return intern_term(term)
+    interned_mapping = {name: intern_term(value) for name, value in mapping.items()}
+    names = frozenset(interned_mapping)
+    memo: Dict[int, Term] = {}
+
+    def walk(t: Term) -> Term:
+        t = intern_term(t)
+        key = id(t)
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        if _cached_symbols(t).isdisjoint(names):
+            result = t
+        elif isinstance(t, Symbol):
+            result = interned_mapping.get(t.name, t)
+        elif isinstance(t, BinaryTerm):
+            result = mk_binary(t.op, walk(t.left), walk(t.right))
+        elif isinstance(t, NotTerm):
+            result = mk_not(walk(t.operand))
+        elif isinstance(t, NegTerm):
+            result = mk_neg(walk(t.operand))
+        else:  # constants have no symbols; unreachable via the disjoint check
+            result = t
+        memo[key] = result
+        return result
+
+    return walk(term)
 
 
 TRUE = mk_bool(True)

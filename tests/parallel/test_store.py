@@ -114,3 +114,70 @@ def test_dump_creates_parent_directories(tmp_path):
     store = PersistentSummaryStore(str(nested))
     assert store.dump(cache) > 0
     assert os.path.exists(str(nested))
+
+
+def test_format_2_store_still_loads(tmp_path):
+    """Backward compatibility: a pre-call-summary (format 2) store loads.
+
+    Format-2 entries are a strict subset of format-3 shapes, so rewriting
+    the header is exactly what an old store looks like; every entry must
+    load with nothing skipped.
+    """
+    program = update_modified_program()
+    cache, _ = _record_cache(program)
+    # Drop any generalised entries so the file content is genuinely what a
+    # format-2 writer could have produced.
+    legacy = SummaryCache()
+    for key, summary, pins in cache.iter_entries():
+        if key[0] != "call":
+            legacy.adopt(key, summary, pins=pins)
+    store = PersistentSummaryStore(str(tmp_path / "store.json"))
+    dumped = store.dump(legacy)
+    assert dumped > 0
+
+    with open(store.path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    assert json.loads(lines[0]) == {"format": STORE_FORMAT}
+    lines[0] = json.dumps({"format": 2})
+    with open(store.path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+    clear_intern_table()
+    fresh = SummaryCache()
+    assert store.load_into(fresh) == dumped
+    assert store.skipped_entries == 0
+    assert len(fresh) == dumped
+
+
+def test_call_summaries_round_trip_through_store(tmp_path):
+    """Format 3's reason to exist: "call" entries survive dump/load."""
+    from repro.artifacts.interproc import fcs_artifact
+    from repro.lang.parser import parse_program
+
+    artifact = fcs_artifact()
+    program = parse_program(artifact.base_source)
+    cache = SummaryCache()
+    result = symbolic_execute(
+        program, procedure_name=artifact.procedure_name, summary_cache=cache
+    )
+    assert result.statistics.generalized_call_stores > 0
+    store = PersistentSummaryStore(str(tmp_path / "store.json"))
+    store.dump(cache)
+
+    clear_intern_table()
+    program = parse_program(artifact.base_source)
+    loaded_cache = SummaryCache()
+    assert store.load_into(loaded_cache) > 0
+    assert store.skipped_entries == 0
+    assert loaded_cache.entries_per_callee() == cache.entries_per_callee()
+    # Keep only the generalised entries: with the whole-suffix entry loaded
+    # too, replay fires at BEGIN and the call sites are never reached.
+    warm_cache = SummaryCache()
+    for key, summary, pins in loaded_cache.iter_entries():
+        if key[0] == "call":
+            warm_cache.adopt(key, summary, pins=pins)
+    warm = symbolic_execute(
+        program, procedure_name=artifact.procedure_name, summary_cache=warm_cache
+    )
+    assert warm.statistics.generalized_call_stores == 0
+    assert warm.statistics.generalized_call_hits > 0

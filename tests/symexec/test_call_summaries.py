@@ -1,0 +1,167 @@
+"""Generalised (fresh-formal) call summaries: recording, replay, bail-outs.
+
+The engine summarises loop-free callees over fresh symbolic formals and
+instantiates the summary at each call site by substitution.  These tests pin
+the eligibility gates (loopy callees never generalise; replay still bails
+cleanly around ``While`` bodies) and the exactness of instantiated replay
+against native execution.
+"""
+
+from repro.artifacts.interproc import cross_caller_pair
+from repro.lang.parser import parse_program
+from repro.solver.core import ConstraintSolver
+from repro.symexec.engine import symbolic_execute
+from repro.symexec.summary_cache import SummaryCache
+
+LOOPY_CALLEE_SOURCE = """\
+global int total = 0;
+
+proc drain(int n) {
+    int i = 0;
+    while (i < n) {
+        total = total + 1;
+        i = i + 1;
+    }
+    return i;
+}
+
+proc main(int a, int b) {
+    int r = 0;
+    r = drain(a);
+    if (b > 0) {
+        total = total + r;
+    }
+}
+"""
+
+CALL_IN_LOOP_SOURCE = """\
+global int acc = 0;
+
+proc step(int v, int cap) {
+    if (v > cap) {
+        acc = acc + cap;
+        return cap;
+    }
+    acc = acc + v;
+    return v;
+}
+
+proc main(int x, int y) {
+    int i = 0;
+    int r = 0;
+    while (i < 2) {
+        r = step(x, y);
+        i = i + 1;
+    }
+    if (r > 0) {
+        acc = acc + 1;
+    }
+}
+"""
+
+TWO_SITES_SOURCE = """\
+global int out = 0;
+
+proc clamp(int v, int hi) {
+    if (v > hi) {
+        return hi;
+    }
+    return v;
+}
+
+proc main(int p, int q) {
+    int a = 0;
+    int b = 0;
+    a = clamp(p, 10);
+    b = clamp(q, 20);
+    out = a + b;
+}
+"""
+
+
+def _distinct_pcs(result):
+    return sorted(map(str, result.summary.distinct_path_conditions()))
+
+
+def _run(program, procedure, cache=None, solver=None, depth_bound=None):
+    return symbolic_execute(
+        program,
+        procedure_name=procedure,
+        solver=solver or ConstraintSolver(),
+        summary_cache=cache,
+        depth_bound=depth_bound,
+    )
+
+
+class TestLoopyCalleeNeverGeneralises:
+    def test_while_in_callee_disables_generalisation(self):
+        # Regression pin: a callee containing a While has an unbounded
+        # standalone path set; the generalised machinery must bail before
+        # recording anything, and the cached run must still match native.
+        program = parse_program(LOOPY_CALLEE_SOURCE)
+        native = _run(program, "main", depth_bound=8)
+        cache = SummaryCache()
+        solver = ConstraintSolver()
+        first = _run(program, "main", cache=cache, solver=solver, depth_bound=8)
+        second = _run(program, "main", cache=cache, solver=solver, depth_bound=8)
+        for result in (first, second):
+            statistics = result.statistics
+            assert statistics.generalized_call_stores == 0
+            assert statistics.generalized_call_hits == 0
+            assert statistics.instantiated_paths == 0
+            assert _distinct_pcs(result) == _distinct_pcs(native)
+        assert cache.entries_per_callee() == {}
+
+    def test_call_site_inside_while_body_stays_exact(self):
+        # The caller loops around a loop-free callee: the call site sits
+        # inside a While body, where suffix/segment replay must keep
+        # bailing cleanly while call-summary instantiation stays exact.
+        program = parse_program(CALL_IN_LOOP_SOURCE)
+        native = _run(program, "main", depth_bound=10)
+        cache = SummaryCache()
+        solver = ConstraintSolver()
+        first = _run(program, "main", cache=cache, solver=solver, depth_bound=10)
+        second = _run(program, "main", cache=cache, solver=solver, depth_bound=10)
+        assert _distinct_pcs(first) == _distinct_pcs(native)
+        assert _distinct_pcs(second) == _distinct_pcs(native)
+        assert cache.entries_per_callee().get("step", 0) <= 1
+
+
+class TestGeneralisedReplay:
+    def test_one_entry_serves_every_call_site(self):
+        program = parse_program(TWO_SITES_SOURCE)
+        cache = SummaryCache()
+        solver = ConstraintSolver()
+        result = _run(program, "main", cache=cache, solver=solver)
+        statistics = result.statistics
+        # Two syntactic call sites, one callee: exactly one generalised
+        # entry recorded, and the second site replays it.
+        assert cache.entries_per_callee() == {"clamp": 1}
+        assert statistics.generalized_call_stores == 1
+        assert statistics.generalized_call_hits >= 1
+        assert _distinct_pcs(result) == _distinct_pcs(_run(program, "main"))
+
+    def test_depth_bound_truncates_instantiated_paths(self):
+        program = parse_program(TWO_SITES_SOURCE)
+        for bound in (1, 2, 3):
+            cache = SummaryCache()
+            native = _run(program, "main", depth_bound=bound)
+            cached = _run(program, "main", cache=cache, depth_bound=bound)
+            assert _distinct_pcs(cached) == _distinct_pcs(native)
+
+    def test_cross_program_replay(self):
+        artifact_a, artifact_b = cross_caller_pair()
+        program_a = parse_program(artifact_a.base_source)
+        program_b = parse_program(artifact_b.base_source)
+        cache = SummaryCache()
+        solver = ConstraintSolver()
+        _run(program_a, artifact_a.procedure_name, cache=cache, solver=solver)
+        result_b = _run(program_b, artifact_b.procedure_name, cache=cache, solver=solver)
+        statistics = result_b.statistics
+        # B's callers never ran before, but the shared callee's generalised
+        # entry (recorded by A) replays; nothing is re-recorded.
+        assert statistics.generalized_call_hits >= 1
+        assert statistics.generalized_call_stores == 0
+        assert cache.entries_per_callee() == {"saturate": 1}
+        native_b = _run(program_b, artifact_b.procedure_name)
+        assert _distinct_pcs(result_b) == _distinct_pcs(native_b)
