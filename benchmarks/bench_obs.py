@@ -1,0 +1,243 @@
+"""Telemetry benchmark (ours, not a paper table): overhead + silence + trace.
+
+Three legs, written to ``BENCH_obs.json``:
+
+* **overhead** -- the ASW history sweep (serial, both legs) timed with
+  telemetry off and on, min-of-3 each so a loaded CI machine's scheduling
+  noise does not masquerade as telemetry cost.  Gated on
+  ``enabled <= disabled * 1.05 + 0.05s``: the 5% relative budget from the
+  ISSUE plus a small absolute epsilon, because at sub-second sweep times a
+  single scheduler preemption is itself worth several percent.
+* **differential** -- telemetry off vs on must produce identical distinct
+  path conditions and identical per-version leg counters on every
+  artifact history (ASW/WBS/OAE, serial -- the serial pipeline is
+  counter-deterministic, so any drift here is telemetry changing the run).
+* **trace** -- a workers=2 ASW sweep under a recording, exported to
+  ``traces/asw_sweep.trace.json`` (Chrome trace-event, loadable in
+  chrome://tracing or Perfetto) and ``traces/asw_sweep.trace.jsonl``.
+  Reported health: adopted worker processes, shard spans nested under
+  their wave's pool span, zero adoption casualties.
+
+``python benchmarks/bench_obs.py --chaos-trace`` additionally writes a
+fault-injected trace (``traces/chaos_asw.trace.json``/``.jsonl``) so the
+CI chaos job uploads a flame chart with the injected fault events inline.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro import faults, obs
+from repro.artifacts import asw_artifact, oae_artifact, wbs_artifact
+from repro.core.dise import DiSE
+from repro.evolution.history import VersionHistoryRunner
+from repro.lang.parser import parse_program
+from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.parallel.shard import ShardConfig, reset_scheduler_cost_model
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "BENCH_obs.json")
+TRACES_DIR = os.path.join(os.path.dirname(__file__), "traces")
+
+#: The ISSUE's overhead budget: enabled wall clock may exceed disabled by
+#: at most 5%, plus an absolute epsilon for scheduler noise at sub-second
+#: sweep times.
+OVERHEAD_BUDGET = 1.05
+OVERHEAD_EPSILON = 0.05
+REPEATS = 3
+
+ARTIFACTS = (asw_artifact, wbs_artifact, oae_artifact)
+
+
+def _sweep_seconds(enabled):
+    """One serial ASW sweep's wall clock, telemetry on or off."""
+    reset_scheduler_cost_model()
+    previous = obs.install(None)
+    try:
+        if enabled:
+            obs.enable(process="main")
+        started = time.perf_counter()
+        VersionHistoryRunner(asw_artifact(), workers=1).run()
+        return time.perf_counter() - started
+    finally:
+        obs.install(previous)
+
+
+def _overhead_leg():
+    disabled = min(_sweep_seconds(enabled=False) for _ in range(REPEATS))
+    enabled = min(_sweep_seconds(enabled=True) for _ in range(REPEATS))
+    ratio = enabled / disabled if disabled else None
+    return {
+        "disabled_seconds": round(disabled, 6),
+        "enabled_seconds": round(enabled, 6),
+        "ratio": round(ratio, 4) if ratio is not None else None,
+        "budget": OVERHEAD_BUDGET,
+        "epsilon_seconds": OVERHEAD_EPSILON,
+        "within_budget": enabled <= disabled * OVERHEAD_BUDGET + OVERHEAD_EPSILON,
+        "repeats": REPEATS,
+    }
+
+
+#: Leg counters the serial differential pins exactly (timings excluded:
+#: they measure the run, they are not outputs of the analysis).
+_LEG_KEYS = (
+    "states",
+    "paths",
+    "distinct_path_conditions",
+    "decisions",
+    "replayed_paths",
+    "replayed_segments",
+    "cache_hits",
+    "cache_misses",
+    "cache_stores",
+    "generalized_call_hits",
+    "generalized_call_stores",
+    "instantiated_paths",
+)
+
+
+def _fingerprint(report):
+    rows = []
+    for row in report.versions:
+        entry = {
+            "version": row.version,
+            "changed_nodes": row.changed_nodes,
+            "affected_nodes": row.affected_nodes,
+            "dise_pcs": row.dise_distinct_pcs,
+            "full_pcs": row.full_distinct_pcs,
+        }
+        for leg_name in ("dise", "full"):
+            leg = getattr(row, leg_name)
+            if leg is not None:
+                entry.update({f"{leg_name}.{key}": leg[key] for key in _LEG_KEYS})
+        rows.append(entry)
+    return rows
+
+
+def _differential_leg():
+    rows = {}
+    for factory in ARTIFACTS:
+        artifact = factory()
+        previous = obs.install(None)
+        try:
+            plain = VersionHistoryRunner(factory(), workers=1).run()
+            with obs.recording(f"{artifact.name}-diff"):
+                recorded = VersionHistoryRunner(factory(), workers=1).run()
+        finally:
+            obs.install(previous)
+        plain_rows, recorded_rows = _fingerprint(plain), _fingerprint(recorded)
+        rows[artifact.name] = {
+            "versions": len(plain_rows),
+            "pcs_match": all(
+                a["dise_pcs"] == b["dise_pcs"] and a["full_pcs"] == b["full_pcs"]
+                for a, b in zip(plain_rows, recorded_rows)
+            ),
+            "counters_match": plain_rows == recorded_rows,
+        }
+    return rows
+
+
+def _trace_leg():
+    os.makedirs(TRACES_DIR, exist_ok=True)
+    reset_scheduler_cost_model()
+    previous = obs.install(None)
+    try:
+        with obs.recording("asw-sweep", artifact="ASW", workers=2) as recorder:
+            VersionHistoryRunner(asw_artifact(), workers=2).run()
+    finally:
+        obs.install(previous)
+    chrome_path = os.path.join(TRACES_DIR, "asw_sweep.trace.json")
+    jsonl_path = os.path.join(TRACES_DIR, "asw_sweep.trace.jsonl")
+    chrome_events = write_chrome_trace(
+        recorder, chrome_path, metadata={"benchmark": "bench_obs", "artifact": "ASW"}
+    )
+    jsonl_lines = write_jsonl(recorder, jsonl_path)
+    shard_spans = [span for span in recorder.spans if span.name == "shard.run"]
+    with open(chrome_path, "r", encoding="utf-8") as handle:
+        loadable = isinstance(json.load(handle).get("traceEvents"), list)
+    return {
+        "spans": len(recorder.spans),
+        "events": len(recorder.events),
+        "processes": recorder.processes(),
+        "worker_processes": sorted({span.process for span in shard_spans}),
+        "shard_spans": len(shard_spans),
+        "shard_spans_under_pool": all(
+            span.parent is not None and span.parent.name == "parallel.pool"
+            for span in shard_spans
+        ),
+        "adopt_skipped": recorder.adopt_skipped,
+        "chrome_events": chrome_events,
+        "chrome_loadable": loadable,
+        "jsonl_lines": jsonl_lines,
+        "chrome_path": os.path.relpath(chrome_path, os.path.dirname(__file__)),
+        "jsonl_path": os.path.relpath(jsonl_path, os.path.dirname(__file__)),
+    }
+
+
+def run_obs_benchmarks():
+    report = {
+        "overhead": _overhead_leg(),
+        "differential": _differential_leg(),
+        "trace": _trace_leg(),
+    }
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def write_chaos_trace():
+    """A fault-injected workers=2 ASW trace for the CI chaos job's artifacts.
+
+    The injected schedule (crashes + corrupt frames) exercises both fault
+    event channels: worker-side events riding shard envelopes home and
+    parent-side failure attribution for shards whose process died.
+    """
+    os.makedirs(TRACES_DIR, exist_ok=True)
+    reset_scheduler_cost_model()
+    artifact = asw_artifact()
+    history = artifact.history()
+    programs = [parse_program(source) for _, _, _, source in history]
+    plan = faults.plan_from_env(default="seed:6,crash:0.3,corrupt:0.3")
+    config = ShardConfig(cold_split_depth=1, min_shards=1, retry_backoff_seconds=0.01)
+    with obs.recording("chaos-asw", artifact=artifact.name, chaos=True) as recorder:
+        with faults.injected(plan):
+            for base, modified in zip(programs, programs[1:]):
+                DiSE(
+                    base,
+                    modified,
+                    procedure_name=artifact.procedure_name,
+                    workers=2,
+                    parallel_config=config,
+                ).run()
+    chrome_path = os.path.join(TRACES_DIR, "chaos_asw.trace.json")
+    jsonl_path = os.path.join(TRACES_DIR, "chaos_asw.trace.jsonl")
+    write_chrome_trace(recorder, chrome_path, metadata={"benchmark": "chaos", "artifact": "ASW"})
+    write_jsonl(recorder, jsonl_path)
+    fault_events = [e for e in recorder.events if e["category"] in ("fault", "shard")]
+    print(
+        f"chaos trace: {len(recorder.spans)} spans, {len(fault_events)} fault/shard "
+        f"events, processes={recorder.processes()} -> {chrome_path}"
+    )
+    return chrome_path
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--chaos-trace",
+        action="store_true",
+        help="only write the fault-injected trace artifact (CI chaos job)",
+    )
+    args = parser.parse_args(argv)
+    if args.chaos_trace:
+        write_chaos_trace()
+        return 0
+    report = run_obs_benchmarks()
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

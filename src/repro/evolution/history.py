@@ -36,6 +36,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.artifacts.mutants import Artifact
 from repro.core.dise import DiSE, DiSEResult
 from repro.lang.ast_nodes import Program
@@ -264,41 +265,64 @@ class VersionHistoryRunner:
         ]
 
     def _full_leg(self, program: Program, cached: bool) -> Tuple[Dict, ExecutionResult]:
-        started = time.perf_counter()
-        result = symbolic_execute(
-            program,
-            procedure_name=self.artifact.procedure_name,
-            depth_bound=self.depth_bound,
-            solver=self.solver if cached else ConstraintSolver(),
-            summary_cache=self.summary_cache if cached else None,
-            workers=self.workers if cached else 1,
-        )
-        seconds = time.perf_counter() - started
+        store_hits_before = self.summary_cache.statistics.store_hits
+        with obs.timed("history.full_leg", "history", cached=cached) as timer:
+            result = symbolic_execute(
+                program,
+                procedure_name=self.artifact.procedure_name,
+                depth_bound=self.depth_bound,
+                solver=self.solver if cached else ConstraintSolver(),
+                summary_cache=self.summary_cache if cached else None,
+                workers=self.workers if cached else 1,
+            )
+        seconds = timer.seconds
+        obs.observe("history.full_leg_seconds", seconds)
         distinct = result.summary.distinct_path_conditions()
-        return _leg(result.statistics, seconds, len(result.summary), len(distinct)), result
+        leg = _leg(result.statistics, seconds, len(result.summary), len(distinct))
+        if cached and self.store_path is not None:
+            # Hits served by store-loaded entries during this warm-resume
+            # leg (satisfying a cross-process resume, not in-run reuse).
+            leg["store_hits"] = self.summary_cache.statistics.store_hits - store_hits_before
+        return leg, result
 
     def _dise_leg(self, base: Program, modified: Program, cached: bool) -> Tuple[Dict, DiSEResult]:
-        started = time.perf_counter()
-        result = DiSE(
-            base,
-            modified,
-            procedure_name=self.artifact.procedure_name,
-            depth_bound=self.depth_bound,
-            solver=self.solver if cached else ConstraintSolver(),
-            summary_cache=self.summary_cache if cached else None,
-            workers=self.workers if cached else 1,
-        ).run()
-        seconds = time.perf_counter() - started
+        store_hits_before = self.summary_cache.statistics.store_hits
+        with obs.timed("history.dise_leg", "history", cached=cached) as timer:
+            result = DiSE(
+                base,
+                modified,
+                procedure_name=self.artifact.procedure_name,
+                depth_bound=self.depth_bound,
+                solver=self.solver if cached else ConstraintSolver(),
+                summary_cache=self.summary_cache if cached else None,
+                workers=self.workers if cached else 1,
+            ).run()
+        seconds = timer.seconds
+        obs.observe("history.dise_leg_seconds", seconds)
         distinct = result.execution.summary.distinct_path_conditions()
         leg = _leg(
             result.execution.statistics, seconds, len(result.execution.summary), len(distinct)
         )
+        if cached and self.store_path is not None:
+            leg["store_hits"] = self.summary_cache.statistics.store_hits - store_hits_before
         return leg, result
 
     # -- the batch run --------------------------------------------------------
 
     def run(self) -> HistoryReport:
         started = time.perf_counter()
+        with obs.span(
+            "history.run", "history", artifact=self.artifact.name, workers=self.workers
+        ):
+            report = self._run()
+        report.elapsed_seconds = time.perf_counter() - started
+        recorder = obs.active()
+        if recorder is not None:
+            recorder.metrics.register("summary_cache", self.summary_cache.statistics)
+            recorder.metrics.register("solver", self.solver.statistics)
+        return report
+
+    def _run(self) -> HistoryReport:
         history = self._parse_history()
         report = HistoryReport(
             artifact=self.artifact.name, procedure=self.artifact.procedure_name, seed=None
@@ -321,71 +345,18 @@ class VersionHistoryRunner:
             # Seed the cache with the base version's summaries: every later
             # version whose edit leaves a suffix or segment of the base
             # intact replays it from here.
-            seed_leg, seed_result = self._full_leg(history[0][3], cached=True)
+            with obs.span("history.version", "history", version=history[0][0], seed=True):
+                seed_leg, seed_result = self._full_leg(history[0][3], cached=True)
             report.seed = seed_leg
             _accumulate_parallel(parallel_totals, seed_result.parallel)
 
         for (prev_name, _, _, prev_prog), (name, description, changes, prog) in zip(
             history, history[1:]
         ):
-            dise_leg, dise_result = self._dise_leg(prev_prog, prog, cached=True)
-            _accumulate_parallel(parallel_totals, dise_result.parallel)
-            row = VersionRunReport(
-                artifact=self.artifact.name,
-                version=name,
-                previous=prev_name,
-                changes=changes,
-                description=description,
-                changed_nodes=dise_result.changed_node_count,
-                affected_nodes=dise_result.affected_node_count,
-                invalidated=dise_result.summaries_invalidated,
-                dise=dise_leg,
-                dise_distinct_pcs=tuple(
-                    sorted(map(str, dise_result.execution.summary.distinct_path_conditions()))
-                ),
-            )
-            legs = [dise_leg]
-            if self.include_full:
-                full_leg, full_result = self._full_leg(prog, cached=True)
-                _accumulate_parallel(parallel_totals, full_result.parallel)
-                row.full = full_leg
-                row.full_distinct_pcs = tuple(
-                    sorted(map(str, full_result.summary.distinct_path_conditions()))
+            with obs.span("history.version", "history", version=name, previous=prev_name):
+                row = self._run_version(
+                    parallel_totals, prev_name, prev_prog, name, description, changes, prog
                 )
-                legs.append(full_leg)
-            if self.measure_baseline:
-                row.baseline_dise, _ = self._dise_leg(prev_prog, prog, cached=False)
-                if self.include_full:
-                    row.baseline_full, _ = self._full_leg(prog, cached=False)
-
-            paths = sum(leg["paths"] for leg in legs)
-            replayed = sum(leg["replayed_paths"] for leg in legs)
-            attempts = sum(leg["cache_hits"] + leg["cache_misses"] for leg in legs)
-            hits = sum(leg["cache_hits"] for leg in legs)
-            row.path_reuse = round(replayed / paths, 4) if paths else None
-            row.hit_ratio = round(hits / attempts, 4) if attempts else None
-            if row.full is not None and row.full["paths"]:
-                row.full_path_reuse = round(
-                    row.full["replayed_paths"] / row.full["paths"], 4
-                )
-            if self.measure_baseline:
-                cold = (row.baseline_dise or {}).get("decisions", 0) + (
-                    (row.baseline_full or {}).get("decisions", 0)
-                )
-                warm = sum(leg["decisions"] for leg in legs)
-                if cold > 0:
-                    row.decision_reuse = round(1.0 - warm / cold, 4)
-                cold_states = (row.baseline_dise or {}).get("states", 0) + (
-                    (row.baseline_full or {}).get("states", 0)
-                )
-                warm_states = sum(leg["states"] for leg in legs)
-                if cold_states > 0:
-                    row.states_saved = round(1.0 - warm_states / cold_states, 4)
-                if row.full is not None and row.baseline_full is not None:
-                    if row.baseline_full["states"] > 0:
-                        row.full_states_saved = round(
-                            1.0 - row.full["states"] / row.baseline_full["states"], 4
-                        )
             report.versions.append(row)
 
         report.cache = dict(self.summary_cache.statistics.as_dict(), entries=len(self.summary_cache))
@@ -396,8 +367,83 @@ class VersionHistoryRunner:
             report.cache["store_skipped"] = store_skipped
             report.cache["store_dumped"] = store.dump(self.summary_cache)
             report.cache["store_path"] = self.store_path
-        report.elapsed_seconds = time.perf_counter() - started
+            # The handle's lifetime counters (loads/dumps/entries/seconds)
+            # plus how many of this run's cache hits the loaded entries
+            # served -- the warm-resume effectiveness measure.
+            report.cache["store"] = store.telemetry()
+            report.cache["store_hits"] = self.summary_cache.statistics.store_hits
         return report
+
+    def _run_version(
+        self,
+        parallel_totals: Dict,
+        prev_name: str,
+        prev_prog: Program,
+        name: str,
+        description: str,
+        changes: int,
+        prog: Program,
+    ) -> VersionRunReport:
+        """Process one adjacent version pair and build its report row."""
+        dise_leg, dise_result = self._dise_leg(prev_prog, prog, cached=True)
+        _accumulate_parallel(parallel_totals, dise_result.parallel)
+        row = VersionRunReport(
+            artifact=self.artifact.name,
+            version=name,
+            previous=prev_name,
+            changes=changes,
+            description=description,
+            changed_nodes=dise_result.changed_node_count,
+            affected_nodes=dise_result.affected_node_count,
+            invalidated=dise_result.summaries_invalidated,
+            dise=dise_leg,
+            dise_distinct_pcs=tuple(
+                sorted(map(str, dise_result.execution.summary.distinct_path_conditions()))
+            ),
+        )
+        legs = [dise_leg]
+        if self.include_full:
+            full_leg, full_result = self._full_leg(prog, cached=True)
+            _accumulate_parallel(parallel_totals, full_result.parallel)
+            row.full = full_leg
+            row.full_distinct_pcs = tuple(
+                sorted(map(str, full_result.summary.distinct_path_conditions()))
+            )
+            legs.append(full_leg)
+        if self.measure_baseline:
+            row.baseline_dise, _ = self._dise_leg(prev_prog, prog, cached=False)
+            if self.include_full:
+                row.baseline_full, _ = self._full_leg(prog, cached=False)
+
+        paths = sum(leg["paths"] for leg in legs)
+        replayed = sum(leg["replayed_paths"] for leg in legs)
+        attempts = sum(leg["cache_hits"] + leg["cache_misses"] for leg in legs)
+        hits = sum(leg["cache_hits"] for leg in legs)
+        row.path_reuse = round(replayed / paths, 4) if paths else None
+        row.hit_ratio = round(hits / attempts, 4) if attempts else None
+        if row.full is not None and row.full["paths"]:
+            row.full_path_reuse = round(
+                row.full["replayed_paths"] / row.full["paths"], 4
+            )
+        if self.measure_baseline:
+            cold = (row.baseline_dise or {}).get("decisions", 0) + (
+                (row.baseline_full or {}).get("decisions", 0)
+            )
+            warm = sum(leg["decisions"] for leg in legs)
+            if cold > 0:
+                row.decision_reuse = round(1.0 - warm / cold, 4)
+            cold_states = (row.baseline_dise or {}).get("states", 0) + (
+                (row.baseline_full or {}).get("states", 0)
+            )
+            warm_states = sum(leg["states"] for leg in legs)
+            if cold_states > 0:
+                row.states_saved = round(1.0 - warm_states / cold_states, 4)
+            if row.full is not None and row.baseline_full is not None:
+                if row.baseline_full["states"] > 0:
+                    row.full_states_saved = round(
+                        1.0 - row.full["states"] / row.baseline_full["states"], 4
+                    )
+        return row
 
 
 def run_history(

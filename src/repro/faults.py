@@ -69,6 +69,8 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Optional
 
+from repro.obs import spans as _obs_spans
+
 #: Canonical fault-site names.
 FAULT_SITES = (
     "worker-crash",
@@ -171,7 +173,15 @@ class FaultPlan:
         rate = self.rates.get(site, 0.0)
         if rate <= 0.0:
             return False
-        return self.roll(site, ident) < rate
+        fired = self.roll(site, ident) < rate
+        if fired:
+            # Injected faults land in the telemetry stream inline with the
+            # spans they disrupt (worker-side events ride the shard's
+            # exported payload back to the parent trace).
+            recorder = _obs_spans._ACTIVE
+            if recorder is not None:
+                recorder.event(f"fault.{site}", category="fault", ident=ident, seed=self.seed)
+        return fired
 
     # -- worker-side hooks -----------------------------------------------------
 

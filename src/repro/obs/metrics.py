@@ -1,0 +1,213 @@
+"""The metrics registry: counters, gauges, histograms, registered sources.
+
+Three metric kinds, all process-local and merged additively across the
+process fence:
+
+* **counters** -- monotonically growing floats (``inc``).
+* **gauges** -- last-written value (``gauge``).  The existing statistics
+  objects (``SolverStatistics``, ``ExecutionStatistics``,
+  ``SummaryCacheStatistics``, ``LookaheadStatistics``, ``ParallelReport``)
+  register as *sources*: anything with an ``as_dict()`` method.  At
+  collection time each source is snapshotted into gauges under its prefix,
+  so the ~30 hand-threaded counters land in one registry without any of
+  them changing shape.
+* **histograms** -- fixed-bound bucket counts plus count/total/min/max
+  (``observe``).  These are the cost-model feature feed: shard seconds,
+  wave durations and per-version leg times distribute here instead of
+  being averaged away.
+
+Zero dependencies, pure JSON on export (:meth:`MetricsRegistry.collect`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Histogram", "MetricsRegistry", "DEFAULT_BOUNDS"]
+
+#: Default histogram bucket upper bounds -- tuned for seconds-scale
+#: observations (solve times, shard times, leg times).  A value larger
+#: than every bound lands in the overflow bucket.
+DEFAULT_BOUNDS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+    30.0,
+)
+
+
+class Histogram:
+    """Fixed-bound bucket histogram with count/total/min/max."""
+
+    __slots__ = ("bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS):
+        self.bounds: Tuple[float, ...] = tuple(bounds)
+        # One bucket per bound plus the overflow bucket.
+        self.buckets: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        position = len(self.bounds)
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                position = index
+                break
+        self.buckets[position] += 1
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "total": round(self.total, 9),
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def merge_dict(self, data: Dict) -> bool:
+        """Fold an exported histogram dict in; False when malformed."""
+        try:
+            bounds = tuple(data["bounds"])
+            buckets = list(data["buckets"])
+            count = int(data["count"])
+            total = float(data["total"])
+        except (KeyError, TypeError, ValueError):
+            return False
+        if bounds != self.bounds or len(buckets) != len(self.buckets):
+            return False
+        for index, value in enumerate(buckets):
+            self.buckets[index] += int(value)
+        self.count += count
+        self.total += total
+        for extreme, pick in (("min", min), ("max", max)):
+            value = data.get(extreme)
+            if value is None:
+                continue
+            current = getattr(self, extreme)
+            setattr(self, extreme, value if current is None else pick(current, value))
+        return True
+
+
+class MetricsRegistry:
+    """Counters + gauges + histograms + snapshot-on-collect sources."""
+
+    def __init__(self):
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        self._sources: List[Tuple[str, object]] = []
+
+    # -- writes ---------------------------------------------------------------
+
+    def inc(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float, bounds: Sequence[float] = DEFAULT_BOUNDS) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(bounds)
+        histogram.observe(value)
+
+    def register(self, prefix: str, source: object) -> None:
+        """Register a statistics source (anything with ``as_dict()``).
+
+        Snapshotted at :meth:`collect` time under ``<prefix>.<key>``
+        gauges; only scalar values are taken (nested dicts/lists -- e.g. a
+        report's ``failure_reasons`` -- are skipped so the flat registry
+        stays honestly typed).  Re-registering the same object under the
+        same prefix is a no-op.
+        """
+        for existing_prefix, existing in self._sources:
+            if existing is source and existing_prefix == prefix:
+                return
+        self._sources.append((prefix, source))
+
+    # -- reads ----------------------------------------------------------------
+
+    def snapshot_sources(self) -> None:
+        """Pull every registered source's scalars into the gauges."""
+        for prefix, source in self._sources:
+            try:
+                values = source.as_dict()
+            except Exception:
+                continue
+            if not isinstance(values, dict):
+                continue
+            for key, value in values.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                self.gauges[f"{prefix}.{key}"] = value
+
+    def collect(self) -> Dict:
+        """A pure-JSON snapshot (sources folded into the gauges)."""
+        self.snapshot_sources()
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: histogram.as_dict() for name, histogram in self.histograms.items()
+            },
+        }
+
+    def merge_payload(self, payload: Dict) -> int:
+        """Fold a worker's collected payload in additively.
+
+        Counters and histograms add; gauges from workers are namespaced
+        per metric name last-writer-wins (worker gauges describe worker-
+        local statistics objects, so clobbering parent gauges would lie --
+        they arrive prefixed by the worker's own registration prefixes,
+        which workers set distinctly).  Returns the number of malformed
+        entries dropped.
+        """
+        skipped = 0
+        counters = payload.get("counters")
+        if isinstance(counters, dict):
+            for name, value in counters.items():
+                try:
+                    self.inc(str(name), float(value))
+                except (TypeError, ValueError):
+                    skipped += 1
+        gauges = payload.get("gauges")
+        if isinstance(gauges, dict):
+            for name, value in gauges.items():
+                try:
+                    self.gauges[str(name)] = float(value)
+                except (TypeError, ValueError):
+                    skipped += 1
+        histograms = payload.get("histograms")
+        if isinstance(histograms, dict):
+            for name, data in histograms.items():
+                if not isinstance(data, dict):
+                    skipped += 1
+                    continue
+                histogram = self.histograms.get(str(name))
+                if histogram is None:
+                    bounds = data.get("bounds")
+                    histogram = self.histograms[str(name)] = Histogram(
+                        tuple(bounds) if isinstance(bounds, list) else DEFAULT_BOUNDS
+                    )
+                if not histogram.merge_dict(data):
+                    skipped += 1
+        return skipped

@@ -32,17 +32,20 @@ from repro.symexec.summary import MethodSummary
 from repro.symexec.summary_cache import SummaryCache
 
 
-def merge_encoded_entries(cache: SummaryCache, encoded_entries: Iterable[dict]) -> int:
+def merge_encoded_entries(
+    cache: SummaryCache, encoded_entries: Iterable[dict], origin: str = "external"
+) -> int:
     """Decode worker/store entries into ``cache``; returns how many were added.
 
     Malformed individual entries are skipped (a worker crash mid-encode or
     a stale store must degrade to a cold cache, not a failed run).
+    ``origin`` tags the adopted entries' provenance for hit attribution.
     """
-    return merge_encoded_entries_counted(cache, encoded_entries)[0]
+    return merge_encoded_entries_counted(cache, encoded_entries, origin=origin)[0]
 
 
 def merge_encoded_entries_counted(
-    cache: SummaryCache, encoded_entries: Iterable[dict]
+    cache: SummaryCache, encoded_entries: Iterable[dict], origin: str = "external"
 ) -> Tuple[int, int]:
     """Like :func:`merge_encoded_entries` but also counts the casualties.
 
@@ -58,7 +61,7 @@ def merge_encoded_entries_counted(
         except (SerializationError, KeyError, TypeError, IndexError):
             skipped += 1
             continue
-        if cache.adopt(key, summary, pins=pins):
+        if cache.adopt(key, summary, pins=pins, origin=origin):
             adopted += 1
     return adopted, skipped
 
@@ -90,7 +93,9 @@ def merge_shard_results(
         report.worker_states += result["states"]
         report.worker_elapsed_total += result["elapsed"]
         round_elapsed += result["elapsed"]
-        report.merged_entries += merge_encoded_entries(cache, result["entries"])
+        report.merged_entries += merge_encoded_entries(
+            cache, result["entries"], origin="worker"
+        )
         if cost_model is not None:
             cost_model.observe_task(digest, result["paths"], result["elapsed"])
     return round_elapsed

@@ -30,7 +30,7 @@ the entry's pinned terms on encode and recomputed with
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.solver.terms import (
     BinaryTerm,
@@ -470,19 +470,27 @@ def encode_cache_entries(entries) -> list:
 _SHARD_RESULT_FIELDS = ("entries", "paths", "states", "elapsed")
 
 
-def encode_shard_result(entries: list, paths: int, states: int, elapsed: float) -> dict:
+def encode_shard_result(
+    entries: list, paths: int, states: int, elapsed: float, obs: Optional[dict] = None
+) -> dict:
     """The worker's return envelope: cache entries plus run accounting.
 
     A fixed, explicitly typed shape so the parent can *validate* what came
     back over the fence instead of indexing into whatever arrived -- the
     scheduler's cost model consumes ``paths``/``elapsed`` as numbers and a
     silently mistyped field would poison its estimates rather than fail.
+
+    ``obs`` optionally carries the worker's exported telemetry payload
+    (:meth:`repro.obs.spans.TraceRecorder.export_payload`).  It rides along
+    *leniently*: a missing or mistyped telemetry blob is dropped by the
+    decoder, never failing a shard whose actual results are intact.
     """
     return {
         "entries": entries,
         "paths": int(paths),
         "states": int(states),
         "elapsed": float(elapsed),
+        "obs": obs if isinstance(obs, dict) else None,
     }
 
 
@@ -503,12 +511,16 @@ def decode_shard_result(data) -> dict:
         raise SerializationError(f"shard result missing fields: {missing}")
     if not isinstance(data["entries"], list):
         raise SerializationError("shard result 'entries' is not a list")
+    obs_payload = data.get("obs")
     try:
         return {
             "entries": data["entries"],
             "paths": int(data["paths"]),
             "states": int(data["states"]),
             "elapsed": float(data["elapsed"]),
+            # Telemetry is best-effort by contract: anything that is not a
+            # dict decodes to None instead of failing the shard.
+            "obs": obs_payload if isinstance(obs_payload, dict) else None,
         }
     except (TypeError, ValueError) as error:
         raise SerializationError(f"shard result has non-numeric accounting: {error}")

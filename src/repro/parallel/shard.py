@@ -73,7 +73,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro import faults
+from repro import faults, obs
 from repro.cfg.builder import build_cfg
 from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.ir import NodeKind
@@ -668,9 +668,34 @@ def run_shard(payload: Dict) -> Dict:
         plan = faults.FaultPlan.from_payload(fault_spec)
         plan.in_worker = True
         faults.install(plan)
+    obs_spec = payload.get("obs")
+    recorder = None
+    previous_recorder = None
+    if isinstance(obs_spec, dict):
+        # The propagated trace context: this shard records its own spans
+        # (relative to its own clock epoch) and ships them home in the
+        # result envelope; the parent rebases them under the wave's pool
+        # span.  The previous recorder is saved because a quarantined task
+        # runs this function *inline in the parent*, where the parent's
+        # recorder is the active one.
+        recorder = obs.worker_recorder(detail=bool(obs_spec.get("detail")))
+        previous_recorder = obs.install(recorder)
+        recorder.start_span(
+            "shard.run",
+            "shard",
+            root=payload.get("root"),
+            procedure=payload.get("procedure"),
+            attempt=payload.get("fault_attempt", 0),
+        )
     try:
-        return _run_shard_inner(payload, plan, started)
+        result = _run_shard_inner(payload, plan, started)
+        if recorder is not None:
+            recorder.finish()
+            result["obs"] = recorder.export_payload()
+        return result
     finally:
+        if recorder is not None:
+            obs.install(previous_recorder)
         if plan is not None:
             faults.clear()
 
@@ -713,6 +738,15 @@ def _run_shard_inner(payload: Dict, plan, started: float) -> Dict:
         entry_edge_label=payload.get("edge", ""),
     )
     result = executor.run()
+    recorder = obs.active()
+    if recorder is not None:
+        # Additive counters only: counters merge by summation across every
+        # shard of a wave, unlike gauges (last-writer-wins), so per-worker
+        # statistics aggregate correctly parent-side.
+        recorder.metrics.inc("worker.solver_queries", solver.statistics.queries)
+        recorder.metrics.inc("worker.cache_stores", cache.statistics.stores)
+        recorder.metrics.inc("worker.paths", len(result.summary))
+        recorder.metrics.inc("worker.states", result.statistics.states_explored)
     entries = cache.iter_entries()
     if payload.get("roots_only"):
         # The caller's cache is ephemeral (single parallel run): only the
@@ -851,112 +885,154 @@ def prewarm_parallel(
     solver_spec: Optional[Dict] = None
     skip_keys: Set[tuple] = set()
 
+    recorder = obs.active()
+    obs_context = obs.worker_context()
+
     while report.waves < config.max_waves:
         strategy = strategy_factory()
         if chained is None:
             chained = strategy.has_global_state
-        started = time.perf_counter()
-        collector = FrontierCollector(
-            program,
-            procedure_name=procedure_name,
-            cfg=cfg,
-            solver=solver,
-            depth_bound=depth_bound,
-            strategy=strategy,
-            summary_cache=summary_cache,
-            region_index=region_index,
-            config=config,
-            strategy_payload=payload_factory(strategy),
-            cost_model=model,
-            skip_keys=skip_keys,
-            ship_enabled=speculate,
-        )
-        wave_result = collector.run()
-        wave_seconds = time.perf_counter() - started
-        report.collect_seconds += wave_seconds
-        first_wave = report.waves == 0
-        report.waves += 1
-        report.frontier_frames += collector.frontier_frames
-        report.cost_inline += collector.cost_inline
-        tasks = collector.tasks
+        # One span per chained collection pass; the collect/pool/merge
+        # phases nest inside it and worker shard spans are adopted under
+        # the pool phase, so the exported flame chart shows exactly how a
+        # wave's wall clock was spent.  ``obs.timed`` replaces the ad-hoc
+        # perf_counter bookkeeping: the report's seconds and the trace's
+        # spans now come from the same clock readings.
+        with obs.span("parallel.wave", "parallel", wave=report.waves, procedure=procedure_name):
+            collector = FrontierCollector(
+                program,
+                procedure_name=procedure_name,
+                cfg=cfg,
+                solver=solver,
+                depth_bound=depth_bound,
+                strategy=strategy,
+                summary_cache=summary_cache,
+                region_index=region_index,
+                config=config,
+                strategy_payload=payload_factory(strategy),
+                cost_model=model,
+                skip_keys=skip_keys,
+                ship_enabled=speculate,
+            )
+            with obs.timed("parallel.collect", "parallel", wave=report.waves) as collect_timer:
+                wave_result = collector.run()
+            wave_seconds = collect_timer.seconds
+            report.collect_seconds += wave_seconds
+            first_wave = report.waves == 0
+            report.waves += 1
+            report.frontier_frames += collector.frontier_frames
+            report.cost_inline += collector.cost_inline
+            tasks = collector.tasks
 
-        if collector.frontier_frames == 0:
-            # Nothing was deferred (or everything already replays): this
-            # pass was a complete serial run over the warm cache, so its
-            # result is the parallel result.  Its wall clock is also the
-            # measured cost of *not* shipping -- what the run-level gate
-            # weighs against the fence next time.
-            report.final_result = wave_result
-            model.observe_run(run_key, wave_seconds, shards=report.shards)
-            break
-        if first_wave and len(tasks) < config.min_shards:
-            # Too few tasks to wake the pool.  The next pass explores them
-            # natively (recording exact keys) and, deferring nothing,
-            # becomes the adoptable final run.  A stateless caller that
-            # cannot adopt it falls back to its own native run instead.
-            skip_keys.update(task.key for task in tasks)
-            if not chained and not want_final_result:
+            if collector.frontier_frames == 0:
+                # Nothing was deferred (or everything already replays): this
+                # pass was a complete serial run over the warm cache, so its
+                # result is the parallel result.  Its wall clock is also the
+                # measured cost of *not* shipping -- what the run-level gate
+                # weighs against the fence next time.
+                report.final_result = wave_result
+                model.observe_run(run_key, wave_seconds, shards=report.shards)
                 break
-            continue
+            if first_wave and len(tasks) < config.min_shards:
+                # Too few tasks to wake the pool.  The next pass explores them
+                # natively (recording exact keys) and, deferring nothing,
+                # becomes the adoptable final run.  A stateless caller that
+                # cannot adopt it falls back to its own native run instead.
+                skip_keys.update(task.key for task in tasks)
+                if not chained and not want_final_result:
+                    break
+                continue
 
-        report.shards += len(tasks)
-        if not first_wave:
-            report.respeculated_shards += len(tasks)
+            report.shards += len(tasks)
+            if not first_wave:
+                report.respeculated_shards += len(tasks)
 
-        if solver_spec is None:
-            # Workers must mirror the caller's solver configuration (the
-            # collector shares the caller's solver, so read it from there
-            # when none was given).
-            run_solver = solver if solver is not None else collector.solver
-            solver_spec = {
-                "bound": run_solver.bound,
-                "max_branch_steps": run_solver.max_branch_steps,
-            }
+            if solver_spec is None:
+                # Workers must mirror the caller's solver configuration (the
+                # collector shares the caller's solver, so read it from there
+                # when none was given).
+                run_solver = solver if solver is not None else collector.solver
+                solver_spec = {
+                    "bound": run_solver.bound,
+                    "max_branch_steps": run_solver.max_branch_steps,
+                }
 
-        ordered = _dispatch_order(tasks, model, summary_cache)
-        payloads = []
-        for task in ordered:
-            payload = dict(task.payload)
-            payload["source"] = source
-            payload["procedure"] = procedure_name
-            payload["roots_only"] = roots_only
-            payload["solver"] = solver_spec
-            payloads.append(payload)
+            ordered = _dispatch_order(tasks, model, summary_cache)
+            payloads = []
+            for task in ordered:
+                payload = dict(task.payload)
+                payload["source"] = source
+                payload["procedure"] = procedure_name
+                payload["roots_only"] = roots_only
+                payload["solver"] = solver_spec
+                if obs_context is not None:
+                    payload["obs"] = obs_context
+                payloads.append(payload)
 
-        started = time.perf_counter()
-        results = _dispatch_tasks(payloads, workers, config, report)
-        wave_pool_seconds = time.perf_counter() - started
-        report.pool_seconds += wave_pool_seconds
+            if recorder is not None:
+                recorder.begin_category("fence")
+            try:
+                with obs.timed(
+                    "parallel.pool", "fence", wave=report.waves - 1, shards=len(ordered)
+                ) as pool_timer:
+                    results = _dispatch_tasks(payloads, workers, config, report)
+            finally:
+                if recorder is not None:
+                    recorder.end_category()
+            wave_pool_seconds = pool_timer.seconds
+            report.pool_seconds += wave_pool_seconds
 
-        started = time.perf_counter()
-        wave_worker_elapsed = merge_shard_results(
-            summary_cache,
-            [task.key[1] for task in ordered],
-            results,
-            report,
-            cost_model=model,
-        )
-        wave_merge_seconds = time.perf_counter() - started
-        report.merge_seconds += wave_merge_seconds
-        model.observe_round(
-            shards=len(ordered),
-            pool_seconds=wave_pool_seconds,
-            merge_seconds=wave_merge_seconds,
-            worker_elapsed=wave_worker_elapsed,
-            workers=workers,
-            failed=sum(1 for result in results if result is None),
-        )
-        # A shard that produced nothing is not retried by later waves --
-        # its subtree is explored natively there (and by the caller), so a
-        # crash-looping schedule cannot stall the chain.
-        skip_keys.update(
-            task.key for task, result in zip(ordered, results) if result is None
-        )
-        if not chained and not want_final_result:
-            # Stateless tokens are exact without chaining and the caller
-            # will run natively over the merged cache: one round is enough.
-            break
+            if recorder is not None:
+                recorder.begin_category("merge")
+            try:
+                with obs.timed("parallel.merge", "merge", wave=report.waves - 1) as merge_timer:
+                    wave_worker_elapsed = merge_shard_results(
+                        summary_cache,
+                        [task.key[1] for task in ordered],
+                        results,
+                        report,
+                        cost_model=model,
+                    )
+            finally:
+                if recorder is not None:
+                    recorder.end_category()
+            wave_merge_seconds = merge_timer.seconds
+            report.merge_seconds += wave_merge_seconds
 
+            if recorder is not None:
+                # Adopt the workers' telemetry under this wave's pool span:
+                # rebased, clamped, merged into one coherent trace.  Shard
+                # wall clocks feed the histogram the cost model's feature
+                # widening reads.
+                for result in results:
+                    if result is None:
+                        continue
+                    recorder.metrics.observe("shard.seconds", result["elapsed"])
+                    worker_payload = result.get("obs")
+                    if worker_payload and pool_timer.span is not None:
+                        recorder.adopt_worker(worker_payload, anchor=pool_timer.span)
+
+            model.observe_round(
+                shards=len(ordered),
+                pool_seconds=wave_pool_seconds,
+                merge_seconds=wave_merge_seconds,
+                worker_elapsed=wave_worker_elapsed,
+                workers=workers,
+                failed=sum(1 for result in results if result is None),
+            )
+            # A shard that produced nothing is not retried by later waves --
+            # its subtree is explored natively there (and by the caller), so a
+            # crash-looping schedule cannot stall the chain.
+            skip_keys.update(
+                task.key for task, result in zip(ordered, results) if result is None
+            )
+            if not chained and not want_final_result:
+                # Stateless tokens are exact without chaining and the caller
+                # will run natively over the merged cache: one round is enough.
+                break
+
+    if recorder is not None:
+        recorder.metrics.register("parallel", report)
     if report.failure_reasons:
         # Partial salvage: whatever the surviving shards produced is in the
         # cache; failed shards cost only their own subtrees (explored
@@ -1010,6 +1086,17 @@ def _record_failure(report: ParallelReport, index: int, attempt: int, error: Bas
         report.failure_reasons.append(
             f"shard {index} attempt {attempt}: {type(error).__name__}: {error}"
         )
+    # Failure attribution happens parent-side: a crashed worker's own spans
+    # died with its process, so the trace records the parent's view of every
+    # failed attempt as an instant event.
+    obs.event(
+        "shard.failure",
+        category="shard",
+        shard=index,
+        attempt=attempt,
+        error=type(error).__name__,
+        message=str(error)[:200],
+    )
 
 
 #: Exception classes that, when raised *by the shard code itself* (crossing
@@ -1161,6 +1248,7 @@ def _dispatch_tasks(
     quarantine = sorted(set(quarantine))
     report.quarantined_shards += len(quarantine)
     for index in quarantine:
+        obs.event("shard.quarantine", category="shard", shard=index, attempts=attempts[index])
         if config.quarantine_inline:
             payload = dict(payloads[index])
             # Inline execution runs in the parent: worker-fault sites are

@@ -44,7 +44,7 @@ import os
 import tempfile
 from typing import Dict, List, Optional, Set
 
-from repro import faults
+from repro import faults, obs
 from repro.parallel.merge import merge_encoded_entries_counted
 from repro.parallel.serialize import encode_cache_entries
 from repro.symexec.summary_cache import SummaryCache
@@ -90,6 +90,29 @@ class PersistentSummaryStore:
         #: Surfaced so callers (benchmarks, history reports) can assert a
         #: healthy store lost nothing.
         self.skipped_entries = 0
+        # Lifetime telemetry for this store handle (the ROADMAP fleet-scale
+        # rung's hit-rate groundwork): how often the store was read/written
+        # and how many entries moved each way.  ``store_hits`` -- hits the
+        # loaded entries later served -- lives on the receiving cache's
+        # :class:`~repro.symexec.summary_cache.SummaryCacheStatistics`.
+        self.loads = 0
+        self.loaded_entries = 0
+        self.dumps = 0
+        self.dumped_entries = 0
+        self.load_seconds = 0.0
+        self.dump_seconds = 0.0
+
+    def telemetry(self) -> Dict:
+        """The store handle's counters as a flat dict (report plumbing)."""
+        return {
+            "loads": self.loads,
+            "loaded_entries": self.loaded_entries,
+            "skipped_entries": self.skipped_entries,
+            "dumps": self.dumps,
+            "dumped_entries": self.dumped_entries,
+            "load_seconds": round(self.load_seconds, 6),
+            "dump_seconds": round(self.dump_seconds, 6),
+        }
 
     def exists(self) -> bool:
         return os.path.exists(self.path)
@@ -106,6 +129,16 @@ class PersistentSummaryStore:
         lock file, so concurrent dumpers serialize and union instead of
         clobbering each other.
         """
+        with obs.timed("store.dump", "store", path=self.path) as timer:
+            published = self._dump(cache)
+        self.dumps += 1
+        self.dumped_entries = published
+        self.dump_seconds += timer.seconds
+        obs.counter("store.dumps")
+        obs.counter("store.dumped_entries", published)
+        return published
+
+    def _dump(self, cache: SummaryCache) -> int:
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         lock_handle = None
@@ -175,15 +208,23 @@ class PersistentSummaryStore:
         and torn writes are normal.  Casualties are counted in
         ``skipped_entries``.
         """
-        scanned = self._scan()
-        if scanned is None:
-            self.skipped_entries = 0
-            return 0
-        records, line_skipped = scanned
-        adopted, decode_skipped = merge_encoded_entries_counted(
-            cache, [entry for _, entry in records]
-        )
-        self.skipped_entries = line_skipped + decode_skipped
+        with obs.timed("store.load", "store", path=self.path) as timer:
+            scanned = self._scan()
+            if scanned is None:
+                self.skipped_entries = 0
+                adopted = 0
+            else:
+                records, line_skipped = scanned
+                adopted, decode_skipped = merge_encoded_entries_counted(
+                    cache, [entry for _, entry in records], origin="store"
+                )
+                self.skipped_entries = line_skipped + decode_skipped
+        self.loads += 1
+        self.loaded_entries = adopted
+        self.load_seconds += timer.seconds
+        obs.counter("store.loads")
+        obs.counter("store.loaded_entries", adopted)
+        obs.counter("store.skipped_entries", self.skipped_entries)
         return adopted
 
     def entry_count(self) -> Optional[int]:

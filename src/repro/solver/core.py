@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import faults
+from repro.obs import spans as _obs_spans
 from repro.solver.intervals import (
     DEFAULT_BOUND,
     Domains,
@@ -227,6 +228,26 @@ class ConstraintSolver:
         verdict -- which is also why seeded and unseeded queries may share
         one cache entry.
         """
+        # Telemetry guard: with no recorder installed this is one module-
+        # attribute read and a None check -- the documented allocation-free
+        # disabled path for the hottest call site in the system.
+        recorder = _obs_spans._ACTIVE
+        if recorder is None:
+            return self._check(constraints, seed_box)
+        recorder.begin_category("solver")
+        try:
+            if recorder.detail:
+                # Per-query spans are opt-in (``detail``): they allocate per
+                # check and solver-bound runs issue tens of thousands.
+                with recorder.span("solver.check", "solver", constraints=len(constraints)):
+                    return self._check(constraints, seed_box)
+            return self._check(constraints, seed_box)
+        finally:
+            recorder.end_category()
+
+    def _check(
+        self, constraints: Sequence[Term], seed_box: Optional[Domains] = None
+    ) -> SolverResult:
         # Admission control before any work (including the cache probe): an
         # exhausted budget makes every check raise, so degradation is
         # uniform and predictable rather than dependent on cache luck.

@@ -23,6 +23,7 @@ from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.ir import FALSE_EDGE, TRUE_EDGE, CFGNode, NodeKind
 from repro.cfg.region_hash import RegionHashIndex, RegionSignature
 from repro.lang.ast_nodes import BoolLiteral, GlobalDecl, IntLiteral, Procedure, Program, UnaryOp
+from repro.obs import spans as _obs_spans
 from repro.solver.context import SolverContext
 from repro.solver.core import BudgetExhausted, ConstraintSolver, DeadlineBudget
 from repro.solver.simplify import simplify
@@ -415,6 +416,12 @@ class SymbolicExecutor:
         )
         lookahead = self.strategy.lookahead_statistics()
         look_start = lookahead.snapshot() if lookahead is not None else None
+        recorder = _obs_spans._ACTIVE
+        run_span = (
+            recorder.start_span("engine.run", "engine", procedure=self.procedure.name)
+            if recorder is not None
+            else None
+        )
         started = time.perf_counter()
 
         initial = self.initial_state()
@@ -496,6 +503,12 @@ class SymbolicExecutor:
                 self.statistics.solver_cache_hits -= cache_hits
                 self.statistics.incremental_hits -= incremental
                 self.statistics.prefix_reuses -= prefix_reuses
+        if run_span is not None:
+            recorder.end_span(
+                run_span,
+                states=self.statistics.states_explored,
+                paths=len(summary),
+            )
         tree = ExecutionTree(tree_root) if self.build_tree else None
         return ExecutionResult(summary=summary, statistics=self.statistics, tree=tree)
 
@@ -672,7 +685,16 @@ class SymbolicExecutor:
         there must fire the ancestor boundary-crossing capture that
         ``_visit`` would otherwise have performed.
         """
-        return self._probe_cache(state, summary, record_misses=True)
+        recorder = _obs_spans._ACTIVE
+        if recorder is None:
+            return self._probe_cache(state, summary, record_misses=True)
+        # Replay self time nets out nested solver work (instantiation
+        # feasibility checks begin their own category).
+        recorder.begin_category("replay")
+        try:
+            return self._probe_cache(state, summary, record_misses=True)
+        finally:
+            recorder.end_category()
 
     def _probe_cache(self, state: SymbolicState, summary: MethodSummary, record_misses: bool):
         node = state.node

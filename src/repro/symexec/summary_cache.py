@@ -243,6 +243,11 @@ class SummaryCacheStatistics:
     #: worker explored the subtree from drifted Fig. 6 sets and its summary
     #: can never replay -- so the scheduler pins this counter to zero.
     token_misses: int = 0
+    #: Hits served by entries whose origin is the persistent on-disk store
+    #: (the ROADMAP fleet-scale rung's hit-rate telemetry): warm-resume
+    #: value is ``store_hits`` over the loaded entry count, as opposed to
+    #: hits on entries this process recorded or merged from live workers.
+    store_hits: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -252,6 +257,7 @@ class SummaryCacheStatistics:
             "invalidations": self.invalidations,
             "adopted": self.adopted,
             "token_misses": self.token_misses,
+            "store_hits": self.store_hits,
         }
 
 
@@ -269,6 +275,12 @@ class _Entry:
     #: entry's lifetime keeps the key resolvable exactly as long as it can
     #: still hit.
     pins: Tuple[Term, ...] = ()
+    #: Where the entry came from: ``"local"`` (this process's own
+    #: recording), ``"worker"`` (merged from a shard result), ``"store"``
+    #: (loaded from the persistent store) or ``"external"`` (other adopt
+    #: callers).  Lets :meth:`SummaryCache.lookup` attribute hits to the
+    #: on-disk store without scanning anything.
+    origin: str = "local"
 
 
 class SummaryCache:
@@ -383,6 +395,8 @@ class SummaryCache:
             return None
         entry.last_used = self.generation
         self.statistics.hits += 1
+        if entry.origin == "store":
+            self.statistics.store_hits += 1
         return entry.summary
 
     def peek(self, key: CacheKey):
@@ -397,6 +411,8 @@ class SummaryCache:
             return None
         entry.last_used = self.generation
         self.statistics.hits += 1
+        if entry.origin == "store":
+            self.statistics.store_hits += 1
         return entry.summary
 
     def store(self, key: CacheKey, summary, pins: Tuple[Term, ...] = ()) -> None:
@@ -425,18 +441,25 @@ class SummaryCache:
         """Membership probe that touches no statistics or LRU state."""
         return key in self._entries
 
-    def adopt(self, key: CacheKey, summary, pins: Tuple[Term, ...] = ()) -> bool:
+    def adopt(
+        self, key: CacheKey, summary, pins: Tuple[Term, ...] = (), origin: str = "external"
+    ) -> bool:
         """Merge one externally produced entry (worker result, disk store).
 
         Entries already present win -- they were recorded or adopted first
         in this process and their pins are known-live -- which also makes a
         multi-source merge independent of source order for identical keys
         (content-keyed entries with equal keys replay identically by
-        construction).  Returns True when the entry was added.
+        construction).  ``origin`` tags the entry's provenance (``"worker"``
+        for shard results, ``"store"`` for the persistent store) so later
+        hits attribute correctly in the statistics.  Returns True when the
+        entry was added.
         """
         if key in self._entries:
             return False
-        self._entries[key] = _Entry(summary, self.generation, self.generation, pins=pins)
+        self._entries[key] = _Entry(
+            summary, self.generation, self.generation, pins=pins, origin=origin
+        )
         self._index_add(key)
         self._record_size_hint(summary)
         self.statistics.adopted += 1

@@ -1,0 +1,100 @@
+"""Cross-process trace merging: the ISSUE's workers=4 acceptance check.
+
+A workers=4 ASW history sweep under a recording must emit ONE merged trace
+containing spans from every worker process the pool actually used, with
+shard spans nested under their wave's pool span, loadable as a Chrome
+trace-event file; on chaos legs the injected fault events appear inline in
+the same stream.
+"""
+
+import json
+
+from repro import faults, obs
+from repro.artifacts.mutants import asw_artifact
+from repro.core.dise import DiSE
+from repro.evolution.history import VersionHistoryRunner
+from repro.obs.export import write_chrome_trace, write_jsonl
+from repro.parallel.shard import ShardConfig
+
+#: Small shards so a tiny artifact still wakes the pool.
+POOL_CONFIG = ShardConfig(cold_split_depth=1, min_shards=1)
+
+
+class TestWorkersFourTrace:
+    def test_asw_sweep_merges_spans_from_every_worker(self, tmp_path):
+        artifact = asw_artifact()
+        with obs.recording("asw-sweep", artifact=artifact.name) as recorder:
+            VersionHistoryRunner(
+                artifact, workers=4, include_full=True
+            ).run()
+
+        # One coherent trace: worker shard spans were adopted, rebased and
+        # parented under the wave's pool span.
+        shard_spans = [span for span in recorder.spans if span.name == "shard.run"]
+        assert shard_spans, "no shard spans were adopted from the pool"
+        worker_labels = {span.process for span in shard_spans}
+        assert worker_labels, "shard spans lost their worker process labels"
+        assert all(label.startswith("worker-") for label in worker_labels)
+        for span in shard_spans:
+            assert span.parent is not None and span.parent.name == "parallel.pool"
+            wave = span.parent.parent
+            assert wave is not None and wave.name == "parallel.wave"
+            assert span.parent.start <= span.start <= span.end <= span.parent.end
+        # Every process the pool used appears in the merged processes list.
+        assert set(recorder.processes()) == {"main"} | worker_labels
+
+        # Self-time attribution covers the production categories.
+        assert "solver" in recorder.self_seconds
+        assert "fence" in recorder.self_seconds
+        assert "merge" in recorder.self_seconds
+
+        # Worker counters merged additively into the parent registry.
+        counters = recorder.metrics.collect()["counters"]
+        assert counters.get("worker.paths", 0) > 0
+        assert recorder.metrics.histograms["shard.seconds"].count == len(shard_spans)
+
+        # Both artifact formats load back as valid JSON.
+        chrome_path = tmp_path / "asw.trace.json"
+        jsonl_path = tmp_path / "asw.trace.jsonl"
+        write_chrome_trace(recorder, str(chrome_path))
+        write_jsonl(recorder, str(jsonl_path))
+        document = json.loads(chrome_path.read_text())
+        labels = {
+            event["args"]["name"]
+            for event in document["traceEvents"]
+            if event["ph"] == "M"
+        }
+        assert labels == {"main"} | worker_labels
+        header = json.loads(jsonl_path.read_text().splitlines()[0])
+        assert header["adopt_skipped"] == 0
+
+    def test_fault_events_land_inline_on_chaos_legs(self):
+        artifact = asw_artifact()
+        history = artifact.history()
+        from repro.lang.parser import parse_program
+
+        base = parse_program(history[0][3])
+        modified = parse_program(history[1][3])
+        # corrupt-frame fires inside a worker that still returns its
+        # envelope, so its event must ride home in the shard payload;
+        # worker-crash kills the envelope, so its evidence is the parent's
+        # shard.failure attribution event.
+        plan = faults.FaultPlan(
+            seed=6, rates={"corrupt-frame": 1.0, "worker-crash": 1.0}
+        )
+        with obs.recording("chaos-leg") as recorder:
+            with faults.injected(plan):
+                DiSE(
+                    base,
+                    modified,
+                    procedure_name=artifact.procedure_name,
+                    workers=2,
+                    parallel_config=POOL_CONFIG,
+                ).run()
+        names = {event["name"] for event in recorder.events}
+        assert "shard.failure" in names or "shard.quarantine" in names
+        corrupt = [e for e in recorder.events if e["name"] == "fault.corrupt-frame"]
+        assert corrupt, "worker-side fault events did not ride the envelope home"
+        assert any(e["process"].startswith("worker-") for e in corrupt) or any(
+            e["process"] == "main" for e in corrupt
+        )

@@ -1,0 +1,85 @@
+"""Unit tests for the metrics registry and histogram."""
+
+from repro.obs.metrics import DEFAULT_BOUNDS, Histogram, MetricsRegistry
+
+
+class TestHistogram:
+    def test_observe_buckets_and_stats(self):
+        histogram = Histogram(bounds=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        assert histogram.buckets == [1, 1, 1]
+        assert histogram.count == 3
+        assert histogram.min == 0.5 and histogram.max == 50.0
+        assert abs(histogram.mean - 55.5 / 3) < 1e-9
+
+    def test_merge_dict_adds(self):
+        a = Histogram(bounds=(1.0,))
+        b = Histogram(bounds=(1.0,))
+        a.observe(0.5)
+        b.observe(2.0)
+        assert a.merge_dict(b.as_dict())
+        assert a.count == 2
+        assert a.buckets == [1, 1]
+        assert a.max == 2.0
+
+    def test_merge_dict_rejects_mismatched_bounds(self):
+        a = Histogram(bounds=(1.0,))
+        b = Histogram(bounds=(2.0,))
+        assert not a.merge_dict(b.as_dict())
+        assert a.count == 0
+
+
+class TestMetricsRegistry:
+    def test_counters_add_gauges_overwrite(self):
+        registry = MetricsRegistry()
+        registry.inc("c")
+        registry.inc("c", 4)
+        registry.gauge("g", 1.0)
+        registry.gauge("g", 2.0)
+        snapshot = registry.collect()
+        assert snapshot["counters"]["c"] == 5
+        assert snapshot["gauges"]["g"] == 2.0
+
+    def test_register_snapshots_scalars_only(self):
+        class Source:
+            def as_dict(self):
+                return {"n": 3, "flag": True, "nested": {"x": 1}, "name": "s"}
+
+        registry = MetricsRegistry()
+        registry.register("src", Source())
+        gauges = registry.collect()["gauges"]
+        assert gauges == {"src.n": 3}
+
+    def test_register_same_object_same_prefix_is_noop(self):
+        class Source:
+            def as_dict(self):
+                return {"n": 1}
+
+        source = Source()
+        registry = MetricsRegistry()
+        registry.register("src", source)
+        registry.register("src", source)
+        assert len(registry._sources) == 1
+
+    def test_merge_payload_additive(self):
+        worker = MetricsRegistry()
+        worker.inc("worker.paths", 7)
+        worker.observe("shard.seconds", 0.25)
+        parent = MetricsRegistry()
+        parent.inc("worker.paths", 3)
+        skipped = parent.merge_payload(worker.collect())
+        assert skipped == 0
+        assert parent.counters["worker.paths"] == 10
+        assert parent.histograms["shard.seconds"].count == 1
+
+    def test_merge_payload_counts_malformed(self):
+        parent = MetricsRegistry()
+        skipped = parent.merge_payload(
+            {"counters": {"ok": 1, "bad": "nope"}, "histograms": {"h": "junk"}}
+        )
+        assert skipped == 2
+        assert parent.counters == {"ok": 1.0}
+
+    def test_default_bounds_are_sorted(self):
+        assert list(DEFAULT_BOUNDS) == sorted(DEFAULT_BOUNDS)
