@@ -29,10 +29,22 @@ Three legs per artifact history, written to ``BENCH_parallel.json``:
   the :class:`~repro.parallel.store.PersistentSummaryStore`, followed by
   a run resuming from that store with fresh caches.  The resumed run's
   seed leg must replay at least 30% of its paths from the store.
+* **warm_start** -- the persistent *cost model* raced against its own
+  absence.  A teach run learns digest/feature estimates and fence
+  overheads, which are persisted to a **model-only** store (no
+  summaries -- the leg isolates scheduling, not cache warmth).  Then the
+  base version is analysed from a completely cold cache twice: once with
+  a freshly reset model (the model-less fresh process) and once with a
+  freshly reset model that adopted the persisted state.  Resetting the
+  process-global model between reps reproduces fresh-process scheduling
+  state in-process; CI additionally runs the two-real-process variant
+  via ``bench_warm_scheduler.py``.  On ASW the adopted model must win
+  the wall clock *and* report strictly fewer first-wave ship/inline
+  misestimates (a cold first wave dispatches every shard blind).
 
 Gating: distinct-PC equality on every version of every artifact, the
-directed token-miss pins above, the warm-resume floor, and *per-artifact*
-wall-clock floors: the pipeline must never lose to plain serial (WBS and
+directed token-miss pins above, the warm-resume floor, the ASW
+warm-start win, and *per-artifact* wall-clock floors: the pipeline must never lose to plain serial (WBS and
 OAE >= 1.0x) and must keep ASW's algorithmic win (>= 4.2x).  The
 scheduler earns the small-artifact floors by *declining* to ship: its
 run-level gate learns from the untimed base run that the whole procedure
@@ -74,6 +86,12 @@ SPEEDUP_FLOORS = {"ASW": 4.2, "WBS": 1.0, "OAE": 1.0}
 #: fallbacks (serial ASW sweeps inherently miss across versions; it is
 #: gated on no-degradation instead).
 ZERO_MISS_ARTIFACTS = ("WBS", "OAE")
+#: Artifact whose warm-start leg is gated (warm wall clock strictly under
+#: cold, strictly fewer first-wave misestimates).  The small artifacts'
+#: legs are recorded but only PC-pinned: their single-digit-millisecond
+#: wall clocks are jitter-dominated even best-of-N.
+WARM_START_ARTIFACT = "ASW"
+WARM_START_REPS = max(REPS, 5)
 
 
 def _cpus():
@@ -280,6 +298,76 @@ def _warm_resume(artifact):
     }
 
 
+def _warm_start(artifact, workers):
+    """Race a persisted cost model against a cold one on the base version."""
+    os.makedirs(STORE_DIR, exist_ok=True)
+    store_path = os.path.join(
+        STORE_DIR, f"{artifact.name.lower()}_costmodel.json"
+    )
+    if os.path.exists(store_path):
+        # The teach phase below must be this store's only author;
+        # a stale model from a previous run would blur the race.
+        os.remove(store_path)
+    base_program = parse_program(artifact.history()[0][3])
+
+    def analyse():
+        started = time.perf_counter()
+        result = symbolic_execute(
+            base_program,
+            procedure_name=artifact.procedure_name,
+            summary_cache=SummaryCache(),
+            workers=workers,
+        )
+        return time.perf_counter() - started, result
+
+    # Teach: two cold-cache runs let the model observe every shard it
+    # ships blind on the first pass and refine the estimates on the
+    # second.  Only the model is persisted -- dumping an empty cache
+    # keeps summaries out of the store so the race measures scheduling.
+    model = reset_scheduler_cost_model()
+    for _ in range(2):
+        analyse()
+    PersistentSummaryStore(store_path).dump(SummaryCache(), cost_model=model)
+
+    def leg(adopt):
+        best_seconds = None
+        misestimates = 0
+        pcs = None
+        adopted = 0
+        for _ in range(WARM_START_REPS):
+            leg_model = reset_scheduler_cost_model()
+            if adopt:
+                adopted = PersistentSummaryStore(store_path).load_cost_model_into(
+                    leg_model
+                )
+            elapsed, result = analyse()
+            parallel = result.parallel
+            # Worst rep, not best: one decision-flip in any rep counts.
+            misestimates = max(
+                misestimates,
+                parallel.first_wave_misestimates if parallel is not None else 0,
+            )
+            if best_seconds is None or elapsed < best_seconds:
+                best_seconds = elapsed
+                pcs = _distinct(result)
+        return best_seconds, misestimates, pcs, adopted
+
+    cold_seconds, cold_misestimates, cold_pcs, _ = leg(adopt=False)
+    warm_seconds, warm_misestimates, warm_pcs, adopted = leg(adopt=True)
+    reset_scheduler_cost_model()
+    return {
+        "store_path": os.path.relpath(store_path, os.path.dirname(__file__)),
+        "reps": WARM_START_REPS,
+        "costmodel_digests_adopted": adopted,
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "speedup": round(cold_seconds / warm_seconds, 4) if warm_seconds else None,
+        "cold_first_wave_misestimates": cold_misestimates,
+        "warm_first_wave_misestimates": warm_misestimates,
+        "pcs_match": cold_pcs == warm_pcs,
+    }
+
+
 def run_parallel_benchmarks(workers=None):
     workers = workers or WORKERS
     warm_pool(workers)  # pay the fork cost before the timed region
@@ -289,6 +377,7 @@ def run_parallel_benchmarks(workers=None):
             "sweep": _sweep(artifact, workers),
             "directed": _directed(artifact, workers),
             "warm_resume": _warm_resume(artifact),
+            "warm_start": _warm_start(artifact, workers),
         }
     reset_scheduler_cost_model()
     with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
@@ -304,13 +393,18 @@ def test_parallel_benchmark(run_once):
     for name in artifact_names:
         rows = report[name]
         sweep, directed, warm = rows["sweep"], rows["directed"], rows["warm_resume"]
+        warm_start = rows["warm_start"]
         print(
             f"{name}: speedup={sweep['speedup']}x ({sweep['serial_seconds']:.2f}s -> "
             f"{sweep['parallel_seconds']:.2f}s, pipeline-serial "
             f"{sweep['pipeline_serial_seconds']:.2f}s, "
             f"{sweep['shards_warmup']}+{sweep['shards_timed']} shards, "
             f"{sweep['waves']} waves) directed misses={directed['strategy_token_misses']} "
-            f"warm seed reuse={warm['seed_path_reuse']}"
+            f"warm seed reuse={warm['seed_path_reuse']} "
+            f"warm-start {warm_start['cold_seconds']:.3f}s -> "
+            f"{warm_start['warm_seconds']:.3f}s "
+            f"(misestimates {warm_start['cold_first_wave_misestimates']} -> "
+            f"{warm_start['warm_first_wave_misestimates']})"
         )
         # Hard gates on every artifact: identical output on every version,
         # the directed token-miss pins, and a lossless store resume.
@@ -341,6 +435,29 @@ def test_parallel_benchmark(run_once):
         assert warm["seed_path_reuse"] >= REUSE_FLOOR, (
             f"{name}: warm resume replayed only {warm['seed_path_reuse']:.0%}"
         )
+        assert warm_start["pcs_match"], (
+            f"{name}: adopting a persisted cost model changed results"
+        )
+    # The warm-start race: a fresh scheduling state that adopted the
+    # persisted model must beat the model-less fresh state on wall clock
+    # and dispatch its first wave with strictly fewer blind or flipped
+    # ship/inline decisions.
+    warm_start = report[WARM_START_ARTIFACT]["warm_start"]
+    assert warm_start["costmodel_digests_adopted"] > 0, (
+        f"{WARM_START_ARTIFACT}: the persisted store carried no digest estimates"
+    )
+    assert warm_start["warm_seconds"] < warm_start["cold_seconds"], (
+        f"{WARM_START_ARTIFACT}: warm start lost the wall clock "
+        f"({warm_start['warm_seconds']:.3f}s vs {warm_start['cold_seconds']:.3f}s cold)"
+    )
+    assert (
+        warm_start["warm_first_wave_misestimates"]
+        < warm_start["cold_first_wave_misestimates"]
+    ), (
+        f"{WARM_START_ARTIFACT}: warm first wave misestimated "
+        f"{warm_start['warm_first_wave_misestimates']} dispatches vs "
+        f"{warm_start['cold_first_wave_misestimates']} cold"
+    )
     for name, floor in SPEEDUP_FLOORS.items():
         sweep = report[name]["sweep"]
         # The pool must have been exercised somewhere in the leg (warmup

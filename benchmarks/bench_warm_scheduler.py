@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""One real-process leg of the warm-scheduler check (CI's two-process race).
+
+``bench_parallel.py``'s ``warm_start`` leg reproduces fresh-process
+scheduling state in-process by resetting the global cost model.  This
+driver is the honest version: CI runs it **twice as separate OS
+processes** against one shared :class:`PersistentSummaryStore`::
+
+    PYTHONPATH=src python benchmarks/bench_warm_scheduler.py \
+        --store benchmarks/results/warm_scheduler_store.json \
+        --label cold --out benchmarks/results/warm_scheduler_cold.json
+    PYTHONPATH=src python benchmarks/bench_warm_scheduler.py \
+        --store benchmarks/results/warm_scheduler_store.json \
+        --label warm --out benchmarks/results/warm_scheduler_warm.json \
+        --expect-adopted --compare benchmarks/results/warm_scheduler_cold.json
+
+Each invocation runs the full ASW version history through
+:class:`VersionHistoryRunner` with ``store_path`` set, so the first
+process publishes its learned cost-model state (format-4 ``costmodel``
+entry) alongside the summaries and the second process adopts it before
+analysing anything.  ``--expect-adopted`` fails the leg when nothing was
+adopted (the persistence path silently broke); ``--compare`` fails it
+when the two processes' distinct path conditions diverge (a warm
+scheduler must never change results).  Both legs leave trace artifacts
+under ``--trace-dir`` for CI to upload.
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+for path in (BENCH_DIR, os.path.join(REPO_ROOT, "src")):
+    if path not in sys.path:
+        sys.path.insert(0, path)
+
+from repro import obs
+from repro.artifacts import asw_artifact
+from repro.evolution.history import VersionHistoryRunner
+from repro.obs.export import write_chrome_trace, write_jsonl
+
+
+def run_warm_scheduler(store_path, label="run", workers=2):
+    """Run the ASW history against ``store_path`` and report what moved.
+
+    ``workers`` must be > 1: a serial history never shards, so its cost
+    model observes nothing and the published state would be empty -- the
+    adoption check below would then pass vacuously on a broken store.
+    """
+    artifact = asw_artifact()
+    started = time.perf_counter()
+    report = VersionHistoryRunner(
+        artifact, store_path=store_path, workers=workers
+    ).run()
+    elapsed = time.perf_counter() - started
+    return {
+        "artifact": artifact.name,
+        "label": label,
+        "workers": workers,
+        "store_path": store_path,
+        "elapsed_seconds": round(elapsed, 6),
+        "costmodel_adopted": report.cache.get("costmodel_adopted", 0),
+        "costmodel_published": bool(report.cache.get("costmodel_published")),
+        "store_loaded": report.cache.get("store_loaded", 0),
+        "store_skipped": report.cache.get("store_skipped", 0),
+        "store_dumped": report.cache.get("store_dumped", 0),
+        "pcs": {
+            row.version: [list(row.dise_distinct_pcs), list(row.full_distinct_pcs)]
+            for row in report.versions
+        },
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--store", required=True, help="shared summary-store path")
+    parser.add_argument("--label", default="run", help="leg name for the report")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=int(os.environ.get("REPRO_PARALLEL_WORKERS", "2")),
+        help="pool size for the history runs (must be > 1 to shard)",
+    )
+    parser.add_argument("--out", help="write the leg report JSON here")
+    parser.add_argument(
+        "--expect-adopted",
+        action="store_true",
+        help="fail unless a persisted cost-model state was adopted",
+    )
+    parser.add_argument(
+        "--compare",
+        help="a prior leg's --out JSON; fail when path conditions diverge",
+    )
+    parser.add_argument(
+        "--trace-dir",
+        default=os.path.join(BENCH_DIR, "traces"),
+        help="where the trace artifact pair lands",
+    )
+    args = parser.parse_args(argv)
+
+    os.makedirs(os.path.dirname(os.path.abspath(args.store)), exist_ok=True)
+    name = f"bench_warm_scheduler_{args.label}"
+    with obs.recording(name, benchmark=name) as recorder:
+        report = run_warm_scheduler(
+            args.store, label=args.label, workers=args.workers
+        )
+    os.makedirs(args.trace_dir, exist_ok=True)
+    write_chrome_trace(
+        recorder,
+        os.path.join(args.trace_dir, f"{name}.trace.json"),
+        metadata={"benchmark": name},
+    )
+    write_jsonl(recorder, os.path.join(args.trace_dir, f"{name}.trace.jsonl"))
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    failures = []
+    if args.expect_adopted and not report["costmodel_adopted"]:
+        failures.append(
+            "no persisted cost-model digests were adopted -- the warm process "
+            "is scheduling cold"
+        )
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            prior = json.load(handle)
+        if prior.get("pcs") != report["pcs"]:
+            failures.append(
+                f"distinct path conditions diverged from the "
+                f"{prior.get('label', '?')} leg"
+            )
+    print(
+        f"{name}: {report['elapsed_seconds']:.2f}s, "
+        f"adopted={report['costmodel_adopted']} "
+        f"published={report['costmodel_published']} "
+        f"loaded={report['store_loaded']} dumped={report['store_dumped']}"
+    )
+    for failure in failures:
+        print(f"  FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

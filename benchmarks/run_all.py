@@ -24,7 +24,9 @@ gated on (CI machines vary); counters and ratios are what must not regress:
 * parallel bench: ``workers>1`` must match ``workers=1`` distinct path
   conditions exactly (sweep and directed legs), directed WBS/OAE sweeps
   must report zero strategy-token-miss fallbacks, the persistent-store
-  warm resume must replay >= 30% of the seed leg, and every artifact
+  warm resume must replay >= 30% of the seed leg, the ASW warm-start
+  race must show the persisted cost model beating a cold model on wall
+  clock with strictly fewer first-wave misestimates, and every artifact
   history must meet its wall-clock floor (ASW >= 4.2x, WBS/OAE >= 1.0x --
   absolute floors, not baseline-relative: the small-artifact floors pin
   that the cost-model scheduler never ships at a loss);
@@ -209,6 +211,32 @@ def _check_parallel(baseline, report, failures):
                 f"parallel/{artifact}: warm-resume seed reuse {reuse} below "
                 f"{PARALLEL_REUSE_FLOOR}"
             )
+        warm_start = rows.get("warm_start") or {}
+        if not warm_start.get("pcs_match"):
+            failures.append(
+                f"parallel/{artifact}: adopting a persisted cost model changed results"
+            )
+        if artifact == "ASW":
+            # The warm-start race: fresh scheduling state that adopted the
+            # persisted model must beat the model-less fresh state.
+            if not warm_start.get("costmodel_digests_adopted"):
+                failures.append(
+                    "parallel/ASW: persisted store carried no cost-model digests"
+                )
+            cold = warm_start.get("cold_seconds")
+            warm_s = warm_start.get("warm_seconds")
+            if cold is None or warm_s is None or not warm_s < cold:
+                failures.append(
+                    f"parallel/ASW: warm start lost the wall clock "
+                    f"({warm_s}s vs {cold}s cold)"
+                )
+            cold_miss = warm_start.get("cold_first_wave_misestimates")
+            warm_miss = warm_start.get("warm_first_wave_misestimates")
+            if cold_miss is None or warm_miss is None or not warm_miss < cold_miss:
+                failures.append(
+                    f"parallel/ASW: warm first wave misestimated {warm_miss} "
+                    f"dispatches vs {cold_miss} cold"
+                )
         if baseline is not None and artifact in baseline:
             old_pcs = baseline[artifact]["sweep"].get("distinct_path_conditions")
             new_pcs = sweep.get("distinct_path_conditions")
@@ -233,12 +261,17 @@ def _check_parallel(baseline, report, failures):
         print("       parallel sweep (plain serial vs pipeline):")
         header = (
             f"       {'artifact':<10}{'speedup':>9}{'floor':>7}{'plain_s':>9}"
-            f"{'par_s':>8}{'shards':>8}{'misses':>8}"
+            f"{'par_s':>8}{'shards':>8}{'misses':>8}{'warm_start':>16}"
         )
         print(header)
         for artifact, rows in rows_by_artifact.items():
             sweep, directed = rows["sweep"], rows["directed"]
+            warm_start = rows.get("warm_start") or {}
             shards = sweep.get("shards_warmup", 0) + sweep.get("shards_timed", 0)
+            race = (
+                f"{warm_start.get('cold_seconds', 0):.3f}s"
+                f">{warm_start.get('warm_seconds', 0):.3f}s"
+            )
             print(
                 f"       {artifact:<10}"
                 f"{sweep.get('speedup', 0):>8}x"
@@ -247,6 +280,7 @@ def _check_parallel(baseline, report, failures):
                 f"{sweep.get('parallel_seconds', 0):>8.3f}"
                 f"{shards:>8}"
                 f"{directed.get('strategy_token_misses', 0):>8}"
+                f"{race:>16}"
             )
 
 
@@ -516,6 +550,7 @@ def main(argv=None):
 
     failures = []
     crashes = {}
+    timings = {}
     for name, entry in selected.items():
         started = time.perf_counter()
         recorder = None
@@ -534,11 +569,13 @@ def main(argv=None):
             failures.append(f"{name}: {type(error).__name__}: {error}")
             crashes[name] = traceback.format_exc()
             elapsed = time.perf_counter() - started
+            timings[name] = elapsed
             print(f"  FAIL {name:<32} {elapsed:6.2f}s  {type(error).__name__}: {error}")
             if recorder is not None:
                 _export_trace(name, recorder)
             continue
         elapsed = time.perf_counter() - started
+        timings[name] = elapsed
         print(f"  ok   {name:<32} {elapsed:6.2f}s")
         _export_trace(name, recorder)
         if name == "bench_solver_incremental":
@@ -557,6 +594,18 @@ def main(argv=None):
             _check_faults(faults_baseline, report, failures)
         elif name == "bench_obs":
             _check_obs(obs_baseline, report, failures)
+
+    # Wall-clock recap, slowest first: the interleaved gate output above
+    # pushes the per-benchmark timing lines apart, and "which benchmark is
+    # eating the CI budget" is the question this table answers at a glance.
+    if timings:
+        total = sum(timings.values())
+        print(f"\n  wall clock ({total:.2f}s total):")
+        print(f"  {'benchmark':<34}{'seconds':>9}{'share':>7}")
+        for name, elapsed in sorted(timings.items(), key=lambda kv: -kv[1]):
+            status = "FAIL" if name in crashes else "ok"
+            share = elapsed / total if total else 0.0
+            print(f"  {name:<34}{elapsed:>9.2f}{share:>6.0%} {status}")
 
     if failures:
         for name, baseline in baselines.items():

@@ -232,7 +232,17 @@ class VersionHistoryRunner:
             before the history runs (warm resume across processes/CI jobs)
             and dumped back to it afterwards.  Intern ids never touch the
             disk -- entries are stored as term trees and re-interned on
-            load.
+            load.  The scheduler's cost model rides along: persisted
+            ``costmodel`` state is adopted before the sweep (a fresh
+            process schedules warm from the first version) and the model's
+            observations are published back with the summaries --
+            unless a fault-injection plan is active, in which case the
+            store's scheduler state is left untouched (estimates from a
+            chaos run must never pollute future scheduling).
+        cost_model: the scheduler cost model the store round-trips;
+            defaults to the process-global
+            :func:`~repro.parallel.shard.scheduler_cost_model` (the one
+            parallel runs consult).
     """
 
     def __init__(
@@ -245,6 +255,7 @@ class VersionHistoryRunner:
         solver: Optional[ConstraintSolver] = None,
         workers: int = 1,
         store_path: Optional[str] = None,
+        cost_model=None,
     ):
         self.artifact = artifact
         self.depth_bound = depth_bound
@@ -254,6 +265,7 @@ class VersionHistoryRunner:
         self.solver = solver or ConstraintSolver()
         self.workers = workers
         self.store_path = store_path
+        self.cost_model = cost_model
 
     # -- pieces ---------------------------------------------------------------
 
@@ -331,15 +343,29 @@ class VersionHistoryRunner:
         store = None
         store_loaded = 0
         store_skipped = 0
+        cost_model = None
+        costmodel_adopted = 0
         parallel_totals: Dict = {}
         if self.store_path is not None:
             # Imported lazily: repro.parallel depends on repro.evolution's
             # sibling packages and keeping the base runner import-light.
+            from repro import faults
+            from repro.parallel.shard import scheduler_cost_model
             from repro.parallel.store import PersistentSummaryStore
 
             store = PersistentSummaryStore(self.store_path)
             store_loaded = store.load_into(self.summary_cache)
             store_skipped = store.skipped_entries
+            cost_model = (
+                self.cost_model if self.cost_model is not None else scheduler_cost_model()
+            )
+            costmodel_adopted = store.load_cost_model_into(cost_model)
+            if faults.active_plan() is not None:
+                # A chaos run neither learns (prewarm refuses to observe
+                # under a plan) nor publishes: a crash between the adopt
+                # above and the dump below must leave the stored scheduler
+                # state exactly as a healthy run left it.
+                cost_model = None
 
         if self.include_full:
             # Seed the cache with the base version's summaries: every later
@@ -365,7 +391,9 @@ class VersionHistoryRunner:
         if store is not None:
             report.cache["store_loaded"] = store_loaded
             report.cache["store_skipped"] = store_skipped
-            report.cache["store_dumped"] = store.dump(self.summary_cache)
+            report.cache["store_dumped"] = store.dump(self.summary_cache, cost_model=cost_model)
+            report.cache["costmodel_adopted"] = costmodel_adopted
+            report.cache["costmodel_published"] = store.costmodel_published
             report.cache["store_path"] = self.store_path
             # The handle's lifetime counters (loads/dumps/entries/seconds)
             # plus how many of this run's cache hits the loaded entries

@@ -73,6 +73,43 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """The q-quantile (``0 <= q <= 1``) estimated from the buckets.
+
+        Exact when every observation was equal (``min == max``); otherwise
+        interpolated within the bucket the quantile falls in.  The default
+        bounds are log-spaced, so interpolation is geometric (log-linear)
+        whenever the bucket's edges are positive -- a linear walk through,
+        say, the (0.5, 1.0] bucket would systematically overestimate low
+        quantiles of a long-tailed seconds distribution.  Bucket edges are
+        clamped to the observed ``min``/``max``, which also bounds the
+        otherwise open overflow bucket.  Returns None on an empty histogram.
+        """
+        if not self.count:
+            return None
+        if self.min == self.max:
+            return self.min
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        target = q * self.count
+        cumulative = 0.0
+        for index, bucket_count in enumerate(self.buckets):
+            if bucket_count and cumulative + bucket_count >= target:
+                lower = self.bounds[index - 1] if index > 0 else self.min
+                upper = self.bounds[index] if index < len(self.bounds) else self.max
+                lower = max(lower, self.min)
+                upper = min(max(upper, lower), self.max)
+                fraction = (target - cumulative) / bucket_count
+                if lower > 0 and upper > lower:
+                    value = lower * (upper / lower) ** fraction
+                else:
+                    value = lower + (upper - lower) * fraction
+                return min(max(value, self.min), self.max)
+            cumulative += bucket_count
+        return self.max
+
     def as_dict(self) -> Dict:
         return {
             "bounds": list(self.bounds),

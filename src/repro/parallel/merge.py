@@ -23,7 +23,7 @@ version ranges) use these helpers to combine shard products directly.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 from repro.evolution.testgen import TestSuite
 from repro.parallel.serialize import SerializationError, decode_cache_entry
@@ -72,6 +72,7 @@ def merge_shard_results(
     results: Sequence[dict],
     report,
     cost_model=None,
+    features: Optional[Sequence[tuple]] = None,
 ) -> float:
     """Adopt one pool round's worker envelopes into ``cache``, in order.
 
@@ -81,12 +82,14 @@ def merge_shard_results(
     run-to-run.  Failed shards arrive as ``None`` and are skipped; each
     surviving shard's accounting is accumulated onto ``report`` and its
     measured cost fed to ``cost_model`` (keyed by the shard root's region
-    digest).  Returns the round's summed worker wall-clock seconds, which
-    the scheduler compares against the round's own elapsed time to measure
-    the process-fence overhead.
+    digest, with the region's structural ``features`` -- aligned like
+    ``digests`` -- feeding the model's bucketed feature regression).
+    Returns the round's summed worker wall-clock seconds, which the
+    scheduler compares against the round's own elapsed time to measure the
+    process-fence overhead.
     """
     round_elapsed = 0.0
-    for digest, result in zip(digests, results):
+    for position, (digest, result) in enumerate(zip(digests, results)):
         if result is None:
             continue
         report.worker_paths += result["paths"]
@@ -97,7 +100,12 @@ def merge_shard_results(
             cache, result["entries"], origin="worker"
         )
         if cost_model is not None:
-            cost_model.observe_task(digest, result["paths"], result["elapsed"])
+            cost_model.observe_task(
+                digest,
+                result["paths"],
+                result["elapsed"],
+                features=features[position] if features is not None else None,
+            )
     return round_elapsed
 
 

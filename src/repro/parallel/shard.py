@@ -74,6 +74,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro import faults, obs
+from repro.obs.metrics import Histogram
 from repro.cfg.builder import build_cfg
 from repro.cfg.graph import ControlFlowGraph
 from repro.cfg.ir import NodeKind
@@ -181,16 +182,51 @@ class SchedulerCostModel:
       (divided by the effective parallelism), i.e. serialize + dispatch +
       IPC + decode + adopt.  A subtree ships only when its estimated cost
       clears ``fence_seconds * config.cost_margin``.
+    * **Structural features** -- digests the model has never timed *and*
+      the cache has never seen fall back to a bucketed regression over the
+      region's structural features (node count, branch density, call
+      count, max depth -- computed for free at region-hash time) before
+      resorting to the ``cold_split_depth`` prior: a fresh version's new
+      digests get estimated from what structurally similar regions cost.
+    * **Variance** -- per-digest spread (EWMA of absolute estimate error)
+      plus fence/shard-seconds histograms (:class:`~repro.obs.metrics.
+      Histogram`, the same instrument the obs layer merges per run).  Ship
+      decisions are variance-aware: a subtree whose estimate's spread
+      straddles the fence stays inline, and a fresh process seeds its
+      fence EWMA from the persisted histogram's percentiles instead of one
+      sample.
 
     One process-global instance (:func:`scheduler_cost_model`) serves every
     run by default so a history sweep's later versions benefit from the
     earlier versions' measurements; tests and benchmarks that need cold,
     reproducible scheduling call :func:`reset_scheduler_cost_model`.
+    Observations survive the process via :meth:`export_state` /
+    :meth:`adopt_state`, persisted as a ``costmodel`` entry by
+    :class:`repro.parallel.store.PersistentSummaryStore` (format 4).
+
+    Chaos hygiene: callers must not feed observations from degraded or
+    fault-injected rounds (see :func:`prewarm_parallel`) -- a model that
+    never observes a faulted round cannot persist polluted estimates.
     """
 
     #: Never let a measured fence go below this: timer noise on a loaded
     #: box can make overhead appear to vanish, which would ship everything.
     FENCE_FLOOR_SECONDS = 0.0005
+
+    #: Version stamp of the exported-state schema; :meth:`adopt_state`
+    #: ignores states carrying any other version (forward/backward safe).
+    STATE_VERSION = 1
+
+    #: Hysteresis for the run-level gate: once a procedure has been proven
+    #: cheaper inline, re-arming speculation requires its measured run cost
+    #: to clear the round-overhead threshold by this factor, not merely
+    #: cross it.  Near-fence procedures otherwise flap -- the first gated
+    #: (inline) runs nudge the run EWMA up, a marginally re-armed round
+    #: measures near-floor overhead on the warm pool and drags the fence
+    #: EWMA down, and the shrinking threshold re-arms round after losing
+    #: round.  A 4x margin only re-opens shipping when the workload itself
+    #: grew, which is the one thing that can make speculation pay again.
+    REARM_MARGIN = 4.0
 
     def __init__(
         self,
@@ -205,20 +241,82 @@ class SchedulerCostModel:
         self.observed_rounds = 0
         self._digest_seconds: Dict[str, float] = {}
         self._digest_paths: Dict[str, int] = {}
+        self._digest_spread: Dict[str, float] = {}
         self._run_seconds: Dict[str, float] = {}
         self._run_shards: Dict[str, float] = {}
+        #: Procedures the run gate has turned inline; membership raises the
+        #: re-arm bar to ``threshold * REARM_MARGIN`` (see REARM_MARGIN).
+        self._run_gated: Set[str] = set()
+        #: Bucketed feature regression: quantised structural features ->
+        #: [observation count, total measured seconds].  Additive, so
+        #: states from concurrent processes fold together losslessly.
+        self._feature_buckets: Dict[str, List[float]] = {}
+        self._fence_histogram = Histogram()
+        self._shard_histogram = Histogram()
 
-    def estimate_seconds(self, digest: str, size_hint: Optional[int] = None) -> Optional[float]:
-        """Estimated solve cost for the subtree ``digest``, or None if cold."""
+    @staticmethod
+    def feature_bucket(features: Optional[Tuple[int, ...]]) -> Optional[str]:
+        """Quantise a region's structural features into a coarse bucket key.
+
+        Node count, call count and depth are log2-bucketed (regions within
+        a factor of two of each other pool their observations); branch
+        density -- branches per node -- lands in one of five linear bins.
+        Coarse on purpose: a handful of artifact histories must populate
+        the table densely enough that a *new* version's unseen digests hit
+        a bucket some structurally similar region already paid to measure.
+        """
+        if not features or len(features) < 4:
+            return None
+        try:
+            nodes, branches, calls, depth = (int(value) for value in features[:4])
+        except (TypeError, ValueError):
+            return None
+        if nodes <= 0:
+            return None
+        density_bin = min(4, int(5.0 * branches / nodes))
+        return (
+            f"n{nodes.bit_length()}"
+            f"b{density_bin}"
+            f"c{max(calls, 0).bit_length()}"
+            f"d{max(depth, 0).bit_length()}"
+        )
+
+    def feature_estimate(self, features: Optional[Tuple[int, ...]]) -> Optional[float]:
+        """Mean measured seconds of the feature bucket, or None when empty."""
+        bucket = self.feature_bucket(features)
+        if bucket is None:
+            return None
+        stats = self._feature_buckets.get(bucket)
+        if not stats or stats[0] <= 0:
+            return None
+        return stats[1] / stats[0]
+
+    def estimate_seconds(
+        self,
+        digest: str,
+        size_hint: Optional[int] = None,
+        features: Optional[Tuple[int, ...]] = None,
+    ) -> Optional[float]:
+        """Estimated solve cost for the subtree ``digest``, or None if cold.
+
+        Estimate sources, most specific first: the digest's own measured
+        EWMA, its recorded path count times the seconds-per-path rate, and
+        finally the structural-feature bucket.  Only a digest missing from
+        all three is cold.
+        """
         seconds = self._digest_seconds.get(digest)
         if seconds is not None:
             return seconds
         paths = self._digest_paths.get(digest)
         if paths is None:
             paths = size_hint
-        if paths is None:
-            return None
-        return paths * self.seconds_per_path
+        if paths is not None:
+            return paths * self.seconds_per_path
+        return self.feature_estimate(features)
+
+    def spread_seconds(self, digest: str) -> float:
+        """EWMA of the digest's absolute estimate error (0 when unmeasured)."""
+        return self._digest_spread.get(digest, 0.0)
 
     def should_ship(
         self,
@@ -226,11 +324,18 @@ class SchedulerCostModel:
         depth: int,
         size_hint: Optional[int],
         config: ShardConfig,
+        features: Optional[Tuple[int, ...]] = None,
     ) -> bool:
-        estimate = self.estimate_seconds(digest, size_hint)
+        estimate = self.estimate_seconds(digest, size_hint, features)
         if estimate is None:
             return depth >= config.cold_split_depth
-        return estimate >= self.fence_seconds * config.cost_margin
+        # Variance-aware: ship only when the whole plausible cost interval
+        # [estimate - spread, estimate + spread] clears the fence.  An
+        # estimate whose spread straddles the fence is a coin flip, and a
+        # wrong ship costs a fence while a wrong inline costs only the
+        # (near-fence-sized) subtree itself -- inline is the cheap error.
+        spread = self._digest_spread.get(digest, 0.0)
+        return estimate - spread >= self.fence_seconds * config.cost_margin
 
     def run_estimate(self, procedure: str) -> Optional[float]:
         """EWMA of the procedure's full (warm-cache) serial run cost."""
@@ -247,12 +352,27 @@ class SchedulerCostModel:
         recent shard count): below it, no split of the run can win, so the
         scheduler keeps the whole pass inline.  Unmeasured procedures
         speculate -- the cold prior needs one real round to learn from.
+
+        The gate is sticky (see :data:`REARM_MARGIN`): a procedure it has
+        turned inline stays inline until its run cost clears the threshold
+        with margin, so timer drift on the threshold's inputs cannot flap
+        the decision -- while a procedure is gated no rounds run, so the
+        fence and shard-count EWMAs it is judged by stay frozen.
         """
         seconds = self._run_seconds.get(procedure)
         if seconds is None:
             return True
         shards = max(1.0, self._run_shards.get(procedure, 1.0))
-        return seconds >= self.fence_seconds * config.cost_margin * shards
+        threshold = self.fence_seconds * config.cost_margin * shards
+        if procedure in self._run_gated:
+            if seconds < threshold * self.REARM_MARGIN:
+                return False
+            self._run_gated.discard(procedure)
+            return True
+        if seconds >= threshold:
+            return True
+        self._run_gated.add(procedure)
+        return False
 
     def observe_run(self, procedure: str, seconds: float, shards: int) -> None:
         """Record one complete collection pass (a full serial run).
@@ -275,14 +395,37 @@ class SchedulerCostModel:
                 else (1 - alpha) * prior + alpha * shards
             )
 
-    def observe_task(self, digest: str, paths: int, elapsed: float) -> None:
+    def observe_task(
+        self,
+        digest: str,
+        paths: int,
+        elapsed: float,
+        features: Optional[Tuple[int, ...]] = None,
+    ) -> None:
         """Record one shard's measured cost (worker wall clock)."""
         self.observed_tasks += 1
         alpha = self.alpha
         previous = self._digest_seconds.get(digest)
+        if previous is not None:
+            # Spread = EWMA of |measured - predicted|: how far this
+            # digest's point estimate tends to be off, which is what the
+            # variance-aware ship test weighs against the fence.
+            error = abs(elapsed - previous)
+            prior_spread = self._digest_spread.get(digest)
+            self._digest_spread[digest] = (
+                error
+                if prior_spread is None
+                else (1 - alpha) * prior_spread + alpha * error
+            )
         self._digest_seconds[digest] = (
             elapsed if previous is None else (1 - alpha) * previous + alpha * elapsed
         )
+        self._shard_histogram.observe(elapsed)
+        bucket = self.feature_bucket(features)
+        if bucket is not None:
+            stats = self._feature_buckets.setdefault(bucket, [0.0, 0.0])
+            stats[0] += 1
+            stats[1] += elapsed
         if paths:
             if paths > self._digest_paths.get(digest, 0):
                 self._digest_paths[digest] = paths
@@ -313,7 +456,129 @@ class SchedulerCostModel:
         parallelism = max(1, min(workers, _cpus()))
         overhead = pool_seconds + merge_seconds - worker_elapsed / parallelism
         per_task = max(self.FENCE_FLOOR_SECONDS, overhead / shards)
+        self._fence_histogram.observe(per_task)
         self.fence_seconds = (1 - self.alpha) * self.fence_seconds + self.alpha * per_task
+
+    # -- persistence -----------------------------------------------------------
+
+    def export_state(self) -> Dict:
+        """A pure-JSON snapshot of everything the model has learned.
+
+        The inverse of :meth:`adopt_state`; persisted by
+        :class:`repro.parallel.store.PersistentSummaryStore` as a
+        ``costmodel`` entry so a fresh process schedules warm.
+        """
+        return {
+            "version": self.STATE_VERSION,
+            "fence_seconds": self.fence_seconds,
+            "seconds_per_path": self.seconds_per_path,
+            "observed_tasks": self.observed_tasks,
+            "observed_rounds": self.observed_rounds,
+            "digest_seconds": dict(self._digest_seconds),
+            "digest_paths": dict(self._digest_paths),
+            "digest_spread": dict(self._digest_spread),
+            "run_seconds": dict(self._run_seconds),
+            "run_shards": dict(self._run_shards),
+            "run_gated": sorted(self._run_gated),
+            "feature_buckets": {
+                bucket: list(stats) for bucket, stats in self._feature_buckets.items()
+            },
+            "fence_histogram": self._fence_histogram.as_dict(),
+            "shard_histogram": self._shard_histogram.as_dict(),
+        }
+
+    def adopt_state(self, state: object) -> int:
+        """Fold a persisted state in; returns the digest estimates adopted.
+
+        Local observations win: per-digest/per-run entries are adopted only
+        for keys this model has not measured itself, and the scalar EWMAs
+        are taken only while this model is still cold (it has observed no
+        rounds/tasks of its own).  The fence EWMA is seeded from the
+        persisted fence histogram's median when available -- a distribution
+        summary survives one noisy round far better than the EWMA's final
+        point value does.  Adoption is idempotent, and a state with an
+        unknown version or malformed fields is ignored (returns 0 adopted;
+        individually malformed entries are skipped).
+        """
+        if not isinstance(state, dict) or state.get("version") != self.STATE_VERSION:
+            return 0
+        if self.observed_rounds == 0:
+            fence_histogram = state.get("fence_histogram")
+            if isinstance(fence_histogram, dict) and self._fence_histogram.count == 0:
+                self._fence_histogram.merge_dict(fence_histogram)
+            try:
+                stored_rounds = int(state.get("observed_rounds", 0))
+                stored_fence = float(state.get("fence_seconds", 0.0))
+            except (TypeError, ValueError):
+                stored_rounds, stored_fence = 0, 0.0
+            if stored_rounds > 0 and stored_fence > 0.0:
+                seeded = self._fence_histogram.percentile(0.5)
+                if seeded is None:
+                    seeded = stored_fence
+                self.fence_seconds = max(self.FENCE_FLOOR_SECONDS, seeded)
+                self.observed_rounds = stored_rounds
+        if self.observed_tasks == 0:
+            shard_histogram = state.get("shard_histogram")
+            if isinstance(shard_histogram, dict) and self._shard_histogram.count == 0:
+                self._shard_histogram.merge_dict(shard_histogram)
+            try:
+                stored_tasks = int(state.get("observed_tasks", 0))
+                stored_rate = float(state.get("seconds_per_path", 0.0))
+            except (TypeError, ValueError):
+                stored_tasks, stored_rate = 0, 0.0
+            if stored_tasks > 0 and stored_rate > 0.0:
+                self.seconds_per_path = stored_rate
+                self.observed_tasks = stored_tasks
+        adopted = self._adopt_float_map(state, "digest_seconds", self._digest_seconds)
+        self._adopt_float_map(state, "digest_spread", self._digest_spread)
+        self._adopt_float_map(state, "run_seconds", self._run_seconds)
+        self._adopt_float_map(state, "run_shards", self._run_shards)
+        gated = state.get("run_gated")
+        if isinstance(gated, (list, tuple)):
+            # "Proven cheaper inline" carries across processes like any
+            # other observation; a procedure this model re-arms later
+            # simply leaves the set again.
+            self._run_gated.update(
+                proc for proc in gated if isinstance(proc, str)
+            )
+        paths = state.get("digest_paths")
+        if isinstance(paths, dict):
+            for digest, count in paths.items():
+                try:
+                    count = int(count)
+                except (TypeError, ValueError):
+                    continue
+                if count > self._digest_paths.get(digest, 0):
+                    self._digest_paths[digest] = count
+        buckets = state.get("feature_buckets")
+        if isinstance(buckets, dict):
+            for bucket, stats in buckets.items():
+                if bucket in self._feature_buckets:
+                    continue
+                try:
+                    count, total = float(stats[0]), float(stats[1])
+                except (TypeError, ValueError, IndexError):
+                    continue
+                if count > 0:
+                    self._feature_buckets[str(bucket)] = [count, total]
+        return adopted
+
+    @staticmethod
+    def _adopt_float_map(state: Dict, field_name: str, target: Dict[str, float]) -> int:
+        """setdefault-adopt a str->float map from ``state``; counts adoptions."""
+        source = state.get(field_name)
+        if not isinstance(source, dict):
+            return 0
+        adopted = 0
+        for key, value in source.items():
+            if key in target:
+                continue
+            try:
+                target[str(key)] = float(value)
+            except (TypeError, ValueError):
+                continue
+            adopted += 1
+        return adopted
 
 
 _COST_MODEL = SchedulerCostModel()
@@ -343,6 +608,11 @@ class FrontierTask:
 
     key: tuple
     payload: Dict
+    #: Structural features of the shard root's region (from
+    #: :class:`~repro.cfg.region_hash.RegionSignature`), carried so the
+    #: dispatch order and the post-round observation can consult the cost
+    #: model's feature regression for digests it has never timed.
+    features: Tuple[int, ...] = ()
 
 
 @dataclass
@@ -363,6 +633,13 @@ class ParallelReport:
     #: Eligible frames the cost model kept inline because their estimated
     #: subtree was cheaper than the measured process-fence overhead.
     cost_inline: int = 0
+    #: First-wave shards the scheduler got wrong: shipped blind (no
+    #: estimate from any source -- the cold depth prior decided) or whose
+    #: measured cost landed on the opposite side of the fence threshold
+    #: from the estimate that shipped them.  The warm-start benchmark
+    #: gates this: a persisted model must misestimate strictly less than
+    #: a cold one on the same fresh-process run.
+    first_wave_misestimates: int = 0
     merged_entries: int = 0
     worker_paths: int = 0
     worker_states: int = 0
@@ -401,6 +678,7 @@ class ParallelReport:
             "waves": self.waves,
             "respeculated_shards": self.respeculated_shards,
             "cost_inline": self.cost_inline,
+            "first_wave_misestimates": self.first_wave_misestimates,
             "merged_entries": self.merged_entries,
             "worker_paths": self.worker_paths,
             "worker_states": self.worker_states,
@@ -510,6 +788,7 @@ class FrontierCollector(SymbolicExecutor):
             state.depth,
             self.summary_cache.size_hint(signature.digest),
             self.config,
+            features=signature.features,
         ):
             # Cheaper to solve here than to ship: the ordinary visit
             # explores it and the recording carries its exact key.
@@ -530,6 +809,7 @@ class FrontierCollector(SymbolicExecutor):
         self.tasks.append(
             FrontierTask(
                 key=key,
+                features=signature.features,
                 payload={
                     "root": node.node_id,
                     "edge": edge_label,
@@ -881,6 +1161,13 @@ def prewarm_parallel(
 
     source = source if source is not None else pretty_program(program)
 
+    # Under an active fault plan every measurement is suspect -- a wedged
+    # worker that still finishes reports inflated seconds, a crashed round's
+    # pool time measures the fault -- so the model observes *nothing*:
+    # faulted runs can never pollute the estimates that format-4 stores
+    # persist for future processes.
+    plan_active = faults.active_plan() is not None
+
     chained: Optional[bool] = None
     solver_spec: Optional[Dict] = None
     skip_keys: Set[tuple] = set()
@@ -931,7 +1218,12 @@ def prewarm_parallel(
                 # measured cost of *not* shipping -- what the run-level gate
                 # weighs against the fence next time.
                 report.final_result = wave_result
-                model.observe_run(run_key, wave_seconds, shards=report.shards)
+                degraded = (
+                    getattr(getattr(wave_result, "statistics", None), "completeness", "complete")
+                    != "complete"
+                )
+                if not plan_active and not degraded:
+                    model.observe_run(run_key, wave_seconds, shards=report.shards)
                 break
             if first_wave and len(tasks) < config.min_shards:
                 # Too few tasks to wake the pool.  The next pass explores them
@@ -958,6 +1250,17 @@ def prewarm_parallel(
                 }
 
             ordered = _dispatch_order(tasks, model, summary_cache)
+            if first_wave:
+                # Snapshot what the scheduler believed *before* this round's
+                # measurements update the model: the misestimate audit below
+                # must judge the decisions as made, not as hindsight.
+                fence_threshold = model.fence_seconds * config.cost_margin
+                dispatch_estimates = [
+                    model.estimate_seconds(
+                        task.key[1], summary_cache.size_hint(task.key[1]), task.features
+                    )
+                    for task in ordered
+                ]
             payloads = []
             for task in ordered:
                 payload = dict(task.payload)
@@ -991,13 +1294,31 @@ def prewarm_parallel(
                         [task.key[1] for task in ordered],
                         results,
                         report,
-                        cost_model=model,
+                        cost_model=None if plan_active else model,
+                        features=[task.features for task in ordered],
                     )
             finally:
                 if recorder is not None:
                     recorder.end_category()
             wave_merge_seconds = merge_timer.seconds
             report.merge_seconds += wave_merge_seconds
+
+            if first_wave:
+                # Audit the first wave's ship decisions against measured
+                # reality: a blind ship (cold depth prior, no estimate from
+                # any source) or an estimate on the wrong side of the fence
+                # threshold is a misestimate.  Only the first wave counts --
+                # later waves schedule off this run's own measurements, so
+                # they say nothing about how warm the process *started*.
+                for estimate, result in zip(dispatch_estimates, results):
+                    if result is None:
+                        continue
+                    if estimate is None:
+                        report.first_wave_misestimates += 1
+                    elif (estimate >= fence_threshold) != (
+                        result["elapsed"] >= fence_threshold
+                    ):
+                        report.first_wave_misestimates += 1
 
             if recorder is not None:
                 # Adopt the workers' telemetry under this wave's pool span:
@@ -1012,14 +1333,15 @@ def prewarm_parallel(
                     if worker_payload and pool_timer.span is not None:
                         recorder.adopt_worker(worker_payload, anchor=pool_timer.span)
 
-            model.observe_round(
-                shards=len(ordered),
-                pool_seconds=wave_pool_seconds,
-                merge_seconds=wave_merge_seconds,
-                worker_elapsed=wave_worker_elapsed,
-                workers=workers,
-                failed=sum(1 for result in results if result is None),
-            )
+            if not plan_active:
+                model.observe_round(
+                    shards=len(ordered),
+                    pool_seconds=wave_pool_seconds,
+                    merge_seconds=wave_merge_seconds,
+                    worker_elapsed=wave_worker_elapsed,
+                    workers=workers,
+                    failed=sum(1 for result in results if result is None),
+                )
             # A shard that produced nothing is not retried by later waves --
             # its subtree is explored natively there (and by the caller), so a
             # crash-looping schedule cannot stall the chain.
@@ -1067,7 +1389,7 @@ def _dispatch_order(
     def order_key(position: int):
         task = tasks[position]
         estimate = model.estimate_seconds(
-            task.key[1], summary_cache.size_hint(task.key[1])
+            task.key[1], summary_cache.size_hint(task.key[1]), task.features
         )
         if estimate is None:
             estimate = float("inf")

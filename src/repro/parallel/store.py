@@ -10,8 +10,8 @@ fresh process (or a fresh CI job restoring a cached file) can resume warm:
 entries are re-interned on load and replay exactly as they would have in
 the recording process.
 
-Format (version 3): JSON Lines.  The first line is a header
-``{"format": 3}``; every following line is one self-contained entry
+Format (version 4): JSON Lines.  The first line is a header
+``{"format": 4}``; every following line is one self-contained entry
 ``{"checksum": "<sha256>", "entry": {...}}`` where the checksum covers the
 entry's canonical JSON rendering.  Two properties fall out of the per-line
 layout:
@@ -30,10 +30,21 @@ layout:
 
 A store whose header is missing or carries an unknown format number is
 ignored rather than trusted -- a stale cache file must never break or skew
-a run, it can only fail to warm it.  Format 2 (the layout before
-generalised call summaries existed) is still readable: its entries are a
-strict subset of format 3's shapes, so old stores warm new runs and are
-re-published as format 3 on the next :meth:`~PersistentSummaryStore.dump`.
+a run, it can only fail to warm it.  Formats 2 (pre-call-summary) and 3
+(pre-cost-model) are still readable: their entries are strict subsets of
+format 4's shapes, so old stores warm new runs and are re-published as
+format 4 on the next :meth:`~PersistentSummaryStore.dump`.
+
+Format 4 adds one non-cache entry kind: ``{"kind": "costmodel", "state":
+{...}}`` carries a :meth:`~repro.parallel.shard.SchedulerCostModel.
+export_state` snapshot, so the scheduler's learned estimates (per-digest
+seconds, feature buckets, fence histogram) survive the process alongside
+the summaries they were learned from.  Costmodel lines sit directly after
+the header -- a torn write that destroys the entry tail still salvages the
+scheduler's state -- and each :meth:`~PersistentSummaryStore.dump` that
+carries a model *replaces* them with one merged state (local observations
+win, disk fills the gaps) instead of unioning, so the file never
+accumulates stale snapshots.
 """
 
 from __future__ import annotations
@@ -55,15 +66,24 @@ except ImportError:  # non-POSIX platform: dumps proceed unlocked
     fcntl = None
 
 #: Bump when the serialized entry shape changes; mismatched stores are ignored.
-#: Format 3 adds generalised (fresh-formal) call-summary entries (``"call"``
-#: kind); format-2 stores contain a strict subset of the format-3 entry
-#: shapes, so the reader accepts both and new dumps always publish format 3.
-STORE_FORMAT = 3
+#: Format 3 added generalised (fresh-formal) call-summary entries (``"call"``
+#: kind); format 4 adds the ``"costmodel"`` scheduler-state entry kind.
+#: Older formats contain strict subsets of the format-4 entry shapes, so the
+#: reader accepts them all and new dumps always publish format 4.
+STORE_FORMAT = 4
 
-#: Formats :meth:`PersistentSummaryStore.load` accepts.  Format 2 is the
-#: pre-call-summary layout -- every format-2 entry decodes unchanged under
-#: the format-3 codec, so old stores warm new runs losslessly.
-READ_FORMATS = frozenset({2, STORE_FORMAT})
+#: Formats :meth:`PersistentSummaryStore.load` accepts.  Formats 2 and 3 are
+#: the pre-call-summary and pre-cost-model layouts -- their entries decode
+#: unchanged under the format-4 codec, so old stores warm new runs losslessly.
+READ_FORMATS = frozenset({2, 3, STORE_FORMAT})
+
+#: Entry kind carrying a serialized :class:`~repro.parallel.shard.
+#: SchedulerCostModel` state (never fed to the cache-entry decoder).
+COSTMODEL_KIND = "costmodel"
+
+
+def _is_costmodel(entry: dict) -> bool:
+    return entry.get("kind") == COSTMODEL_KIND
 
 
 def _canonical(entry: dict) -> str:
@@ -101,6 +121,10 @@ class PersistentSummaryStore:
         self.dumped_entries = 0
         self.load_seconds = 0.0
         self.dump_seconds = 0.0
+        #: Digest estimates the last :meth:`load_cost_model_into` adopted,
+        #: and whether the last :meth:`dump` published a costmodel entry.
+        self.costmodel_adopted = 0
+        self.costmodel_published = False
 
     def telemetry(self) -> Dict:
         """The store handle's counters as a flat dict (report plumbing)."""
@@ -112,6 +136,8 @@ class PersistentSummaryStore:
             "dumped_entries": self.dumped_entries,
             "load_seconds": round(self.load_seconds, 6),
             "dump_seconds": round(self.dump_seconds, 6),
+            "costmodel_adopted": self.costmodel_adopted,
+            "costmodel_published": self.costmodel_published,
         }
 
     def exists(self) -> bool:
@@ -119,18 +145,25 @@ class PersistentSummaryStore:
 
     # -- write -----------------------------------------------------------------
 
-    def dump(self, cache: SummaryCache) -> int:
+    def dump(self, cache: SummaryCache, cost_model=None) -> int:
         """Write ``cache``'s serializable entries, unioning with what is on
-        disk; returns the number of entries in the published store.
+        disk; returns the number of cache entries in the published store.
 
         Entries whose fingerprint ids cannot be resolved from their pins
         (which cannot be rebuilt in any other process) are skipped by the
         encoder.  The read-merge-publish sequence runs under an exclusive
         lock file, so concurrent dumpers serialize and union instead of
         clobbering each other.
+
+        ``cost_model`` (a :class:`~repro.parallel.shard.SchedulerCostModel`)
+        additionally publishes the scheduler's learned state as a single
+        ``costmodel`` entry: the model's own export merged over whatever
+        states are already on disk (local observations win), replacing them.
+        Without a model, existing costmodel lines are carried over verbatim
+        -- a summaries-only dump never discards scheduler state.
         """
         with obs.timed("store.dump", "store", path=self.path) as timer:
-            published = self._dump(cache)
+            published = self._dump(cache, cost_model)
         self.dumps += 1
         self.dumped_entries = published
         self.dump_seconds += timer.seconds
@@ -138,7 +171,7 @@ class PersistentSummaryStore:
         obs.counter("store.dumped_entries", published)
         return published
 
-    def _dump(self, cache: SummaryCache) -> int:
+    def _dump(self, cache: SummaryCache, cost_model=None) -> int:
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
         lock_handle = None
@@ -148,10 +181,20 @@ class PersistentSummaryStore:
         try:
             # Union by checksum with the intact lines already on disk
             # (first writer's rendering wins for a shared checksum, which
-            # is the identical content anyway).
+            # is the identical content anyway).  Costmodel lines are kept
+            # apart: they are replaced by one merged state, not unioned --
+            # unioning immutable snapshots of a *mutable* model would grow
+            # the file with stale states forever.
             merged: Dict[str, str] = {}
-            for checksum, line in self._read_raw_lines():
-                merged.setdefault(checksum, line)
+            costmodel_lines: Dict[str, str] = {}
+            disk_states = []
+            for checksum, entry in self._scan_records():
+                line = _canonical({"checksum": checksum, "entry": entry})
+                if _is_costmodel(entry):
+                    costmodel_lines.setdefault(checksum, line)
+                    disk_states.append(entry.get("state"))
+                else:
+                    merged.setdefault(checksum, line)
             for entry in encode_cache_entries(cache.iter_entries()):
                 canonical = _canonical(entry)
                 checksum = _checksum(canonical)
@@ -159,8 +202,23 @@ class PersistentSummaryStore:
                     checksum,
                     _canonical({"checksum": checksum, "entry": entry}),
                 )
+            if cost_model is not None:
+                entry = {
+                    "kind": COSTMODEL_KIND,
+                    "state": self._merged_costmodel_state(cost_model, disk_states),
+                }
+                checksum = _checksum(_canonical(entry))
+                costmodel_lines = {
+                    checksum: _canonical({"checksum": checksum, "entry": entry})
+                }
+            # "Published" means THIS dump wrote a live model's state; lines
+            # merely carried forward from disk don't count (a chaos-gated
+            # dump hands the store on untouched, it doesn't re-publish).
+            self.costmodel_published = cost_model is not None and bool(costmodel_lines)
             payload = "\n".join(
-                [_canonical({"format": STORE_FORMAT})] + list(merged.values())
+                [_canonical({"format": STORE_FORMAT})]
+                + list(costmodel_lines.values())
+                + list(merged.values())
             ) + "\n"
             handle = tempfile.NamedTemporaryFile(
                 "w", encoding="utf-8", dir=directory, suffix=".tmp", delete=False
@@ -179,6 +237,22 @@ class PersistentSummaryStore:
             if lock_handle is not None:
                 fcntl.flock(lock_handle.fileno(), fcntl.LOCK_UN)
                 lock_handle.close()
+
+    @staticmethod
+    def _merged_costmodel_state(cost_model, disk_states) -> Dict:
+        """One publishable state: the live model's, with disk filling gaps.
+
+        Adoption into a scratch model keeps the merge rules (local wins,
+        additive feature buckets, histogram seeding) in exactly one place
+        -- :meth:`~repro.parallel.shard.SchedulerCostModel.adopt_state`.
+        """
+        from repro.parallel.shard import SchedulerCostModel
+
+        scratch = SchedulerCostModel()
+        scratch.adopt_state(cost_model.export_state())
+        for state in disk_states:
+            scratch.adopt_state(state)
+        return scratch.export_state()
 
     def _maybe_tear(self, payload: str) -> None:
         """Fault site ``torn-store-write``: truncate the published file.
@@ -216,7 +290,9 @@ class PersistentSummaryStore:
             else:
                 records, line_skipped = scanned
                 adopted, decode_skipped = merge_encoded_entries_counted(
-                    cache, [entry for _, entry in records], origin="store"
+                    cache,
+                    [entry for _, entry in records if not _is_costmodel(entry)],
+                    origin="store",
                 )
                 self.skipped_entries = line_skipped + decode_skipped
         self.loads += 1
@@ -227,12 +303,41 @@ class PersistentSummaryStore:
         obs.counter("store.skipped_entries", self.skipped_entries)
         return adopted
 
+    def load_cost_model_into(self, model) -> int:
+        """Adopt persisted scheduler state into ``model``; counts estimates.
+
+        Every intact ``costmodel`` line is folded in, in file order (the
+        freshest merged state is published first; any stragglers from a
+        concurrent pre-replacement writer still contribute their unique
+        digests).  Returns the number of per-digest estimates adopted --
+        the model-warming analogue of :meth:`load_into`'s entry count.
+        Same robustness contract: a missing, stale, truncated or corrupt
+        store adopts nothing and never raises.
+        """
+        adopted = 0
+        scanned = self._scan()
+        if scanned is not None:
+            for _, entry in scanned[0]:
+                if _is_costmodel(entry):
+                    adopted += model.adopt_state(entry.get("state"))
+        self.costmodel_adopted = adopted
+        obs.counter("store.costmodel_adopted", adopted)
+        return adopted
+
     def entry_count(self) -> Optional[int]:
-        """Number of intact entries on disk, or None when the store is unusable."""
+        """Number of intact cache entries on disk (costmodel lines are not
+        cache entries and are excluded); None when the store is unusable."""
         scanned = self._scan()
         if scanned is None:
             return None
-        return len(scanned[0])
+        return sum(1 for _, entry in scanned[0] if not _is_costmodel(entry))
+
+    def costmodel_state_count(self) -> int:
+        """Number of intact costmodel lines on disk (0 when unusable)."""
+        scanned = self._scan()
+        if scanned is None:
+            return 0
+        return sum(1 for _, entry in scanned[0] if _is_costmodel(entry))
 
     def checksums(self) -> Optional[Set[str]]:
         """The intact entries' checksums (None when the store is unusable).
@@ -292,12 +397,9 @@ class PersistentSummaryStore:
             records.append((checksum, entry))
         return records, skipped
 
-    def _read_raw_lines(self) -> List:
-        """Intact ``(checksum, canonical line)`` pairs (empty when unusable)."""
+    def _scan_records(self) -> List:
+        """Intact ``(checksum, entry)`` pairs (empty when unusable)."""
         scanned = self._scan()
         if scanned is None:
             return []
-        return [
-            (checksum, _canonical({"checksum": checksum, "entry": entry}))
-            for checksum, entry in scanned[0]
-        ]
+        return scanned[0]

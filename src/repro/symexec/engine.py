@@ -1506,6 +1506,7 @@ def symbolic_execute(
     workers: int = 1,
     parallel_config=None,
     deadline: Optional[DeadlineBudget] = None,
+    cost_model=None,
 ) -> ExecutionResult:
     """Run full symbolic execution on one procedure and return the result.
 
@@ -1521,6 +1522,12 @@ def symbolic_execute(
     ``"degraded"``.  The budget stays in the calling process -- shard
     workers always run with a clean solver (a worker degraded by wall
     clock would ship nondeterministic summaries).
+
+    ``cost_model`` overrides the process-global
+    :func:`~repro.parallel.shard.scheduler_cost_model` the parallel
+    scheduler consults -- callers holding a persisted model (see
+    ``PersistentSummaryStore.load_cost_model_into``) pass it here so the
+    first wave schedules from its estimates.
     """
     parallel_report = None
     parallelize = workers > 1 and not build_tree
@@ -1555,6 +1562,7 @@ def symbolic_execute(
             region_index=executor.region_index,
             solver=executor.solver,
             roots_only=roots_only,
+            cost_model=cost_model,
             want_final_result=tracked_variables is None,
         )
     if (

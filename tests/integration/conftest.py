@@ -1,0 +1,20 @@
+"""Shared fixtures for the integration test suite."""
+
+import pytest
+
+from repro.parallel.shard import reset_scheduler_cost_model
+
+
+@pytest.fixture(autouse=True)
+def _cold_cost_model():
+    """Start every test with a cold scheduler cost model.
+
+    The model is process-global by design (history sweeps want its
+    estimates to carry across runs), but the differential and speculation
+    tests here assert scheduling-sensitive counters (shards, waves,
+    token-miss fallbacks) that must not depend on which tests warmed the
+    model first.
+    """
+    reset_scheduler_cost_model()
+    yield
+    reset_scheduler_cost_model()

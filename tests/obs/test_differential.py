@@ -52,17 +52,23 @@ _EXACT_LEG_KEYS = (
 _PARALLEL_SAFE_LEG_KEYS = ("paths", "distinct_path_conditions")
 
 
-def _counters(report, leg_keys):
+def _counters(report, leg_keys, pin_invalidated=True):
     rows = []
     for row in report.versions:
         entry = {
             "version": row.version,
             "changed_nodes": row.changed_nodes,
             "affected_nodes": row.affected_nodes,
-            "invalidated": row.invalidated,
             "dise_pcs": row.dise_distinct_pcs,
             "full_pcs": row.full_distinct_pcs,
         }
+        if pin_invalidated:
+            # How many cache entries a version change evicts depends on the
+            # cache's *population*, and under the parallel scheduler that is
+            # timing-dependent (which subtrees shipped vs recorded natively
+            # varies run to run) -- pin it on serial runs only, like the
+            # other scheduler-sensitive counters.
+            entry["invalidated"] = row.invalidated
         for leg_name in ("dise", "full"):
             leg = getattr(row, leg_name)
             if leg is not None:
@@ -88,7 +94,9 @@ def test_telemetry_is_observationally_silent(artifact_name, workers):
         recorded = VersionHistoryRunner(factory(), workers=workers).run()
     assert recorder.spans, "the recording saw no spans at all"
 
-    assert _counters(recorded, leg_keys) == _counters(plain, leg_keys)
+    assert _counters(recorded, leg_keys, workers == 1) == _counters(
+        plain, leg_keys, workers == 1
+    )
     if workers == 1:
         assert recorded.cache["entries"] == plain.cache["entries"]
     if plain.seed is not None:

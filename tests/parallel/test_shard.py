@@ -444,3 +444,248 @@ class TestDeterministicDispatch:
             for report in reports:
                 report.pop(key)
         assert reports[0] == reports[1]
+
+
+class TestCostModelState:
+    """export_state / adopt_state: the persistence half of the scheduler."""
+
+    def _taught(self):
+        from repro.parallel.shard import SchedulerCostModel
+
+        model = SchedulerCostModel()
+        model.observe_task("d-steady", paths=10, elapsed=0.5, features=(40, 10, 2, 6))
+        model.observe_task("d-steady", paths=10, elapsed=0.7, features=(40, 10, 2, 6))
+        model.observe_task("d-small", paths=2, elapsed=0.004)
+        model.observe_run("full:p", 1.2, shards=3)
+        # worker_elapsed=0 makes per_task exactly (pool+merge)/shards = 0.1,
+        # so the persisted fence histogram's median is a known value.
+        for _ in range(3):
+            model.observe_round(
+                shards=2, pool_seconds=0.2, merge_seconds=0.0,
+                worker_elapsed=0.0, workers=1,
+            )
+        return model
+
+    def test_export_is_pure_json_and_adopt_round_trips(self):
+        import json as _json
+
+        from repro.parallel.shard import SchedulerCostModel
+
+        model = self._taught()
+        state = _json.loads(_json.dumps(model.export_state()))
+        fresh = SchedulerCostModel()
+        adopted = fresh.adopt_state(state)
+        assert adopted == 2
+        for digest in ("d-steady", "d-small"):
+            assert fresh.estimate_seconds(digest) == pytest.approx(
+                model.estimate_seconds(digest)
+            )
+        assert fresh.spread_seconds("d-steady") == pytest.approx(
+            model.spread_seconds("d-steady")
+        )
+        assert fresh.run_estimate("full:p") == pytest.approx(1.2)
+        assert fresh.seconds_per_path == pytest.approx(model.seconds_per_path)
+        assert fresh.observed_tasks == model.observed_tasks
+        assert fresh.observed_rounds == model.observed_rounds
+
+    def test_adopt_is_idempotent(self):
+        from repro.parallel.shard import SchedulerCostModel
+
+        state = self._taught().export_state()
+        fresh = SchedulerCostModel()
+        assert fresh.adopt_state(state) > 0
+        once = fresh.export_state()
+        assert fresh.adopt_state(state) == 0
+        assert fresh.export_state() == once
+
+    def test_fence_seeds_from_persisted_histogram_median(self):
+        from repro.parallel.shard import SchedulerCostModel
+
+        fresh = SchedulerCostModel()
+        fresh.adopt_state(self._taught().export_state())
+        # Every taught round measured exactly 0.1s/task, so the persisted
+        # histogram is degenerate and the median -- hence the seeded fence
+        # -- is exact, whatever the teacher's own EWMA had converged to.
+        assert fresh.fence_seconds == pytest.approx(0.1)
+
+    def test_local_observations_beat_adopted_state(self):
+        from repro.parallel.shard import SchedulerCostModel
+
+        state = self._taught().export_state()
+        local = SchedulerCostModel()
+        local.observe_task("d-steady", paths=1, elapsed=0.001)
+        local.observe_round(
+            shards=1, pool_seconds=0.5, merge_seconds=0.0,
+            worker_elapsed=0.0, workers=1,
+        )
+        local_fence = local.fence_seconds
+        assert local.adopt_state(state) == 1  # only d-small is new
+        assert local.estimate_seconds("d-steady") == pytest.approx(0.001)
+        assert local.fence_seconds == pytest.approx(local_fence)
+
+    def test_unknown_version_and_garbage_are_ignored(self):
+        from repro.parallel.shard import SchedulerCostModel
+
+        fresh = SchedulerCostModel()
+        cold = fresh.export_state()
+        assert fresh.adopt_state(None) == 0
+        assert fresh.adopt_state("junk") == 0
+        assert fresh.adopt_state({"version": 99, "digest_seconds": {"d": 1.0}}) == 0
+        assert (
+            fresh.adopt_state(
+                {
+                    "version": SchedulerCostModel.STATE_VERSION,
+                    "digest_seconds": {"good": 0.25, "bad": "not-a-number"},
+                    "digest_paths": {"good": "nope"},
+                    "feature_buckets": {"b": "scrambled"},
+                    "fence_histogram": "torn",
+                }
+            )
+            == 1
+        )
+        assert fresh.estimate_seconds("good") == pytest.approx(0.25)
+        assert fresh.fence_seconds == cold["fence_seconds"]
+
+
+class TestFeatureEstimates:
+    def test_unseen_digest_estimated_from_structurally_similar_region(self):
+        from repro.parallel.shard import SchedulerCostModel
+
+        model = SchedulerCostModel()
+        model.observe_task("seen", paths=0, elapsed=0.4, features=(40, 10, 2, 6))
+        # Same log2 size / branch density / call count / depth bucket:
+        assert model.estimate_seconds(
+            "never-seen", None, (41, 10, 2, 7)
+        ) == pytest.approx(0.4)
+        # Ten times the nodes is a different bucket -- no estimate.
+        assert model.estimate_seconds("never-seen", None, (400, 10, 2, 6)) is None
+        # And without features the digest is simply cold.
+        assert model.estimate_seconds("never-seen") is None
+
+    def test_degenerate_features_never_bucket(self):
+        from repro.parallel.shard import SchedulerCostModel
+
+        model = SchedulerCostModel()
+        assert model.feature_bucket(None) is None
+        assert model.feature_bucket(()) is None
+        assert model.feature_bucket((0, 0, 0, 0)) is None
+        assert model.feature_bucket((1, 2)) is None
+        assert model.feature_bucket(("x", 1, 1, 1)) is None
+
+    def test_bucket_mean_accumulates(self):
+        from repro.parallel.shard import SchedulerCostModel
+
+        model = SchedulerCostModel()
+        features = (16, 4, 0, 5)
+        model.observe_task("a", paths=0, elapsed=0.2, features=features)
+        model.observe_task("b", paths=0, elapsed=0.4, features=features)
+        assert model.feature_estimate(features) == pytest.approx(0.3)
+
+
+class TestVarianceAwareShipping:
+    def test_jittery_estimate_straddling_fence_stays_inline(self):
+        from repro.parallel.shard import SchedulerCostModel
+
+        config = ShardConfig()
+        steady = SchedulerCostModel()
+        for _ in range(3):
+            steady.observe_task("d", paths=0, elapsed=0.05)
+        assert steady.should_ship("d", depth=9, size_hint=None, config=config)
+
+        jittery = SchedulerCostModel()
+        jittery.observe_task("d", paths=0, elapsed=0.001)
+        jittery.observe_task("d", paths=0, elapsed=0.02)
+        # Mean estimate (~8.6ms) clears the fence (4.5ms), but the spread
+        # (~19ms) straddles it: the conservative call is to inline.
+        assert jittery.estimate_seconds("d") > jittery.fence_seconds * config.cost_margin
+        assert not jittery.should_ship("d", depth=9, size_hint=None, config=config)
+
+
+class TestRunGateHysteresis:
+    """The run-level gate is sticky: inline-proven procedures stay inline."""
+
+    def test_gated_procedure_ignores_threshold_drift(self):
+        from repro.parallel.shard import SchedulerCostModel
+
+        config = ShardConfig()
+        model = SchedulerCostModel()
+        # 8ms run vs a 0.003 * 1.5 * 6 = 27ms round threshold: gates off.
+        model.observe_run("full:p", 0.008, shards=6)
+        assert not model.should_speculate("full:p", config)
+        # Timer drift: the fence EWMA decays and gated (inline) runs nudge
+        # the run EWMA up.  The bare threshold (0.0006 * 1.5 * 6 = 5.4ms)
+        # is now far below the 16ms run cost -- without hysteresis this
+        # re-arms a speculation the gate just proved useless.
+        model.fence_seconds = 0.0006
+        model.observe_run("full:p", 0.02, shards=0)
+        assert not model.should_speculate("full:p", config)
+
+    def test_gate_rearms_when_the_workload_grows(self):
+        from repro.parallel.shard import SchedulerCostModel
+
+        config = ShardConfig()
+        model = SchedulerCostModel()
+        model.observe_run("full:p", 0.008, shards=6)
+        assert not model.should_speculate("full:p", config)
+        # A genuinely grown workload clears threshold * REARM_MARGIN
+        # (27ms * 4): speculation re-opens, and the procedure can gate
+        # again from scratch later.
+        model.observe_run("full:p", 0.5, shards=0)
+        model.observe_run("full:p", 0.5, shards=0)
+        assert model.should_speculate("full:p", config)
+        for _ in range(8):
+            model.observe_run("full:p", 0.001, shards=0)
+        assert not model.should_speculate("full:p", config)
+
+    def test_gated_set_persists_across_export_adopt(self):
+        from repro.parallel.shard import SchedulerCostModel
+
+        config = ShardConfig()
+        model = SchedulerCostModel()
+        model.observe_run("full:p", 0.008, shards=6)
+        assert not model.should_speculate("full:p", config)
+        state = model.export_state()
+        assert state["run_gated"] == ["full:p"]
+
+        fresh = SchedulerCostModel()
+        fresh.adopt_state(state)
+        # The fresh process inherits both the run EWMAs and the inline
+        # verdict: it never pays the flap's losing round to re-learn it.
+        assert not fresh.should_speculate("full:p", config)
+
+
+class TestWarmStartMisestimates:
+    def test_adopted_model_cuts_first_wave_misestimates(self):
+        from repro.parallel.shard import reset_scheduler_cost_model, scheduler_cost_model
+
+        artifact = asw_artifact()
+        program = artifact.base_program()
+
+        reset_scheduler_cost_model()
+        cold = symbolic_execute(
+            program,
+            procedure_name=artifact.procedure_name,
+            summary_cache=SummaryCache(),
+            workers=2,
+        )
+        assert cold.parallel is not None
+        # Every first-wave dispatch of a cold model is blind (the depth
+        # prior decided, not an estimate): all of them count.  Later waves
+        # ship with warmer estimates and are out of scope for the counter.
+        assert 0 < cold.parallel.first_wave_misestimates <= cold.parallel.shards
+
+        state = scheduler_cost_model().export_state()
+        warm_model = reset_scheduler_cost_model()
+        assert warm_model.adopt_state(state) > 0
+        warm = symbolic_execute(
+            program,
+            procedure_name=artifact.procedure_name,
+            summary_cache=SummaryCache(),
+            workers=2,
+        )
+        assert warm.parallel is not None
+        assert (
+            warm.parallel.first_wave_misestimates
+            < cold.parallel.first_wave_misestimates
+        )
+        assert _pcs(warm.summary) == _pcs(cold.summary)

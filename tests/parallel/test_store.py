@@ -181,3 +181,210 @@ def test_call_summaries_round_trip_through_store(tmp_path):
     )
     assert warm.statistics.generalized_call_stores == 0
     assert warm.statistics.generalized_call_hits > 0
+
+
+# -- format 4: persisted cost-model state --------------------------------------
+
+
+def _taught_model():
+    from repro.parallel.shard import SchedulerCostModel
+
+    model = SchedulerCostModel()
+    model.observe_task("digest-a", paths=4, elapsed=0.2, features=(16, 4, 0, 5))
+    model.observe_task("digest-b", paths=2, elapsed=0.05)
+    model.observe_run("full:update", 0.4, shards=2)
+    model.observe_round(
+        shards=2, pool_seconds=0.2, merge_seconds=0.0, worker_elapsed=0.0, workers=1
+    )
+    return model
+
+
+def test_costmodel_entry_round_trips(tmp_path):
+    import pytest
+
+    from repro.parallel.shard import SchedulerCostModel
+
+    program = update_modified_program()
+    cache, _ = _record_cache(program)
+    model = _taught_model()
+    store = PersistentSummaryStore(str(tmp_path / "store.json"))
+    dumped = store.dump(cache, cost_model=model)
+    assert store.costmodel_published
+    assert store.costmodel_state_count() == 1
+    # The costmodel line is bookkeeping, not a cache entry: dump's return
+    # value, entry_count and load_into must all agree on cache entries only.
+    assert store.entry_count() == dumped
+    fresh_cache = SummaryCache()
+    assert store.load_into(fresh_cache) == dumped
+    assert store.skipped_entries == 0
+
+    fresh = SchedulerCostModel()
+    assert store.load_cost_model_into(fresh) == 2
+    assert store.costmodel_adopted == 2
+    for digest in ("digest-a", "digest-b"):
+        assert fresh.estimate_seconds(digest) == pytest.approx(
+            model.estimate_seconds(digest)
+        )
+    assert fresh.run_estimate("full:update") == pytest.approx(0.4)
+    # Fence seeded from the persisted histogram median (one 0.1s/task round).
+    assert fresh.fence_seconds == pytest.approx(0.1)
+
+
+def test_dump_without_model_carries_costmodel_lines(tmp_path):
+    from repro.parallel.shard import SchedulerCostModel
+
+    program = update_modified_program()
+    cache, _ = _record_cache(program)
+    store = PersistentSummaryStore(str(tmp_path / "store.json"))
+    store.dump(cache, cost_model=_taught_model())
+    # A later writer with nothing to publish must not strip the state.
+    store.dump(cache)
+    assert not store.costmodel_published
+    assert store.costmodel_state_count() == 1
+    assert store.load_cost_model_into(SchedulerCostModel()) == 2
+
+
+def test_dump_with_model_replaces_and_merges_states(tmp_path):
+    import pytest
+
+    from repro.parallel.shard import SchedulerCostModel
+
+    program = update_modified_program()
+    cache, _ = _record_cache(program)
+    store = PersistentSummaryStore(str(tmp_path / "store.json"))
+    store.dump(cache, cost_model=_taught_model())
+
+    second = SchedulerCostModel()
+    second.observe_task("digest-a", paths=4, elapsed=9.0)
+    second.observe_task("digest-c", paths=1, elapsed=0.01)
+    store.dump(cache, cost_model=second)
+    # Replaced, not accumulated: one merged line, live model's keys winning
+    # over the disk state's, disk-only keys surviving.
+    assert store.costmodel_state_count() == 1
+    merged = SchedulerCostModel()
+    assert store.load_cost_model_into(merged) == 3
+    assert merged.estimate_seconds("digest-a") == pytest.approx(9.0)
+    assert merged.estimate_seconds("digest-b") is not None
+    assert merged.estimate_seconds("digest-c") == pytest.approx(0.01)
+
+
+def test_load_cost_model_from_missing_or_corrupt_store(tmp_path):
+    from repro.parallel.shard import SchedulerCostModel
+
+    absent = PersistentSummaryStore(str(tmp_path / "absent.json"))
+    assert absent.load_cost_model_into(SchedulerCostModel()) == 0
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("{ not json", encoding="utf-8")
+    assert (
+        PersistentSummaryStore(str(corrupt)).load_cost_model_into(SchedulerCostModel())
+        == 0
+    )
+
+
+def test_format_3_store_loads_and_republishes_as_format_4(tmp_path):
+    """Backward compatibility: a format-3 store (no costmodel lines) loads
+    cleanly, and the next model-carrying dump upgrades it in place."""
+    from repro.parallel.shard import SchedulerCostModel
+
+    program = update_modified_program()
+    cache, _ = _record_cache(program)
+    store = PersistentSummaryStore(str(tmp_path / "store.json"))
+    dumped = store.dump(cache)
+
+    with open(store.path, "r", encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    assert json.loads(lines[0]) == {"format": STORE_FORMAT}
+    lines[0] = json.dumps({"format": 3})
+    with open(store.path, "w", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+    clear_intern_table()
+    fresh = SummaryCache()
+    assert store.load_into(fresh) == dumped
+    assert store.skipped_entries == 0
+    assert store.load_cost_model_into(SchedulerCostModel()) == 0
+
+    assert store.dump(cache, cost_model=_taught_model()) == dumped
+    with open(store.path, "r", encoding="utf-8") as handle:
+        first_line = handle.readline()
+    assert json.loads(first_line) == {"format": STORE_FORMAT}
+    assert store.costmodel_state_count() == 1
+    reloaded = SummaryCache()
+    assert store.load_into(reloaded) == dumped
+
+
+# -- hypothesis: arbitrary learned states survive the store --------------------
+
+from hypothesis import given, settings, strategies as st
+
+_DIGESTS = st.text(alphabet="abcdef0123456789", min_size=1, max_size=12)
+_SECONDS = st.floats(
+    min_value=1e-6, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+_OBSERVATIONS = st.lists(
+    st.tuples(
+        _DIGESTS,
+        st.integers(min_value=0, max_value=50),
+        _SECONDS,
+        st.one_of(
+            st.none(),
+            st.tuples(
+                st.integers(min_value=1, max_value=4096),
+                st.integers(min_value=0, max_value=1024),
+                st.integers(min_value=0, max_value=64),
+                st.integers(min_value=0, max_value=64),
+            ),
+        ),
+    ),
+    max_size=20,
+)
+
+
+def _model_from(observations):
+    from repro.parallel.shard import SchedulerCostModel
+
+    model = SchedulerCostModel()
+    for digest, paths, elapsed, features in observations:
+        model.observe_task(digest, paths=paths, elapsed=elapsed, features=features)
+    return model
+
+
+@given(observations=_OBSERVATIONS)
+@settings(max_examples=100, deadline=None)
+def test_costmodel_state_json_round_trip_is_lossless(observations):
+    """encode -> decode -> adopt-into-cold reproduces every estimate, and a
+    second adoption is a no-op (the idempotence the store merge relies on)."""
+    from repro.parallel.shard import SchedulerCostModel
+
+    model = _model_from(observations)
+    state = json.loads(json.dumps(model.export_state()))
+    fresh = SchedulerCostModel()
+    fresh.adopt_state(state)
+    assert fresh.export_state()["digest_seconds"] == state["digest_seconds"]
+    assert fresh.export_state()["digest_paths"] == state["digest_paths"]
+    assert fresh.export_state()["feature_buckets"] == state["feature_buckets"]
+    once = fresh.export_state()
+    assert fresh.adopt_state(state) == 0
+    assert fresh.export_state() == once
+
+
+@given(observations=_OBSERVATIONS)
+@settings(max_examples=25, deadline=None)
+def test_costmodel_state_survives_store_dump_load(observations):
+    """Any learned state written as a format-4 costmodel entry loads back
+    with every digest estimate intact."""
+    import tempfile
+
+    from repro.parallel.shard import SchedulerCostModel
+
+    model = _model_from(observations)
+    with tempfile.TemporaryDirectory() as scratch:
+        store = PersistentSummaryStore(os.path.join(scratch, "store.json"))
+        store.dump(SummaryCache(), cost_model=model)
+        assert store.costmodel_state_count() == 1
+        loaded = SchedulerCostModel()
+        adopted = store.load_cost_model_into(loaded)
+    exported = model.export_state()
+    assert adopted == len(exported["digest_seconds"])
+    assert loaded.export_state()["digest_seconds"] == exported["digest_seconds"]
+    assert loaded.export_state()["run_seconds"] == exported["run_seconds"]
